@@ -1,0 +1,70 @@
+// Command simtviz renders an ASCII lane-occupancy timeline for one warp
+// of a kernel — the textual analogue of the paper's Figure 1 / Figure
+// 3(b) execution cartoons. Compare the baseline and speculative builds
+// to see convergence change shape:
+//
+//	simtviz -kernel rsbench -mode baseline -rows 60
+//	simtviz -kernel rsbench -mode spec -rows 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrecon/internal/core"
+	"specrecon/internal/simt"
+	"specrecon/internal/viz"
+	"specrecon/internal/workloads"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "rsbench", "workload name")
+		mode   = flag.String("mode", "baseline", "baseline | spec")
+		rows   = flag.Int("rows", 80, "max timeline rows")
+		tasks  = flag.Int("tasks", 4, "tasks per thread (small values keep timelines readable)")
+		hist   = flag.Bool("hist", false, "also print the active-lane histogram")
+	)
+	flag.Parse()
+
+	w, err := workloads.Get(*kernel)
+	if err != nil {
+		fail(err)
+	}
+	inst := w.Build(workloads.BuildConfig{Threads: 32, Tasks: *tasks})
+
+	opts := core.BaselineOptions()
+	if *mode == "spec" {
+		opts = core.SpecReconOptions()
+	}
+	comp, err := core.Compile(inst.Module, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	tl := viz.NewTimeline(0)
+	res, err := simt.Run(comp.Module, simt.Config{
+		Kernel:  inst.Kernel,
+		Threads: inst.Threads,
+		Seed:    inst.Seed,
+		Memory:  inst.Memory,
+		Strict:  true,
+		Trace:   tl.Record,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s (%s): %s\n\n", *kernel, *mode, res.Metrics.String())
+	fmt.Print(tl.Render(*rows))
+	if *hist {
+		fmt.Println()
+		fmt.Print(tl.OccupancyHistogram())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simtviz:", err)
+	os.Exit(1)
+}

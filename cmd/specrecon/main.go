@@ -1,0 +1,265 @@
+// Command specrecon compiles and runs one kernel on the SIMT simulator,
+// reporting SIMT efficiency and timing for the baseline and
+// speculative-reconvergence builds.
+//
+// The kernel is either a bundled benchmark name (see -list) or a path to
+// a .sasm file in the textual IR format (ir.Parse); annotations travel in
+// .predict directives.
+//
+// Examples:
+//
+//	specrecon -kernel rsbench
+//	specrecon -kernel rsbench -mode spec -threshold 24 -print
+//	specrecon -kernel mykernel.sasm -mode auto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+	"specrecon/internal/workloads"
+)
+
+func main() {
+	var (
+		kernel     = flag.String("kernel", "", "workload name or .sasm file")
+		mode       = flag.String("mode", "both", "baseline | spec | auto | both")
+		threshold  = flag.Int("threshold", -1, "override soft-barrier threshold (0=hard, 1..32=soft, -1=per-annotation)")
+		deconf     = flag.String("deconflict", "dynamic", "dynamic | static | none")
+		policy     = flag.String("policy", "maxgroup", "scheduler: maxgroup | minpc | roundrobin")
+		model      = flag.String("model", "its", "execution engine: its (Volta) | stack (pre-Volta)")
+		interleave = flag.Bool("interleave", false, "interleave warps issue-by-issue (ITS engine only)")
+		threads    = flag.Int("threads", 0, "thread count (0 = workload default)")
+		tasks      = flag.Int("tasks", 0, "tasks per thread (0 = workload default)")
+		seed       = flag.Uint64("seed", 0, "seed (0 = workload default)")
+		printIR    = flag.Bool("print", false, "print the compiled IR")
+		dot        = flag.Bool("dot", false, "print the compiled kernel's CFG in Graphviz dot syntax")
+		lint       = flag.Bool("lint", false, "run static diagnostics on the input module")
+		sweep      = flag.Bool("sweep", false, "sweep the soft-barrier threshold 1..32 and report eff/speedup")
+		list       = flag.Bool("list", false, "list bundled workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-14s %-16s %s\n", w.Name, w.Pattern, w.Description)
+		}
+		return
+	}
+	if *kernel == "" {
+		fmt.Fprintln(os.Stderr, "specrecon: -kernel is required (try -list)")
+		os.Exit(2)
+	}
+
+	inst, err := loadInstance(*kernel, *threads, *tasks, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	if *lint {
+		warnings := core.Lint(inst.Module)
+		if len(warnings) == 0 {
+			fmt.Println("lint: clean")
+		}
+		for _, w := range warnings {
+			fmt.Println("lint:", w)
+		}
+	}
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	dec, err := parseDeconflict(*deconf)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := parseModel(*model)
+	if err != nil {
+		fail(err)
+	}
+
+	if *sweep {
+		if err := runSweep(inst, pol, dec); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	modes := []string{*mode}
+	if *mode == "both" {
+		modes = []string{"baseline", "spec"}
+	}
+	var baseCycles int64
+	for _, mo := range modes {
+		opts, mod, err := optionsFor(mo, inst, dec, *threshold)
+		if err != nil {
+			fail(err)
+		}
+		comp, err := core.Compile(mod, opts)
+		if err != nil {
+			fail(err)
+		}
+		if *printIR {
+			fmt.Println(ir.Print(comp.Module))
+		}
+		if *dot {
+			fmt.Println(ir.DOT(comp.Module.FuncByName(inst.Kernel)))
+		}
+		res, err := simt.Run(comp.Module, simt.Config{
+			Kernel:          inst.Kernel,
+			Threads:         inst.Threads,
+			Seed:            inst.Seed,
+			Memory:          inst.Memory,
+			Policy:          pol,
+			Model:           eng,
+			InterleaveWarps: *interleave,
+			Strict:          eng == simt.ModelITS,
+		})
+		if err != nil {
+			fail(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%-9s simt_eff=%5.1f%%  cycles=%-10d issues=%-9d mem_tx=%-8d conflicts=%d\n",
+			mo+":", 100*m.SIMTEfficiency(), m.Cycles, m.Issues, m.MemTransactions, len(comp.Conflicts))
+		if mo == "baseline" {
+			baseCycles = m.Cycles
+		} else if baseCycles > 0 {
+			fmt.Printf("          speedup over baseline: %.2fx\n", float64(baseCycles)/float64(m.Cycles))
+		}
+	}
+}
+
+// runSweep measures the kernel across soft-barrier thresholds.
+func runSweep(inst *workloads.Instance, pol simt.Policy, dec core.DeconflictMode) error {
+	runAt := func(opts core.Options) (*simt.Metrics, error) {
+		comp, err := core.Compile(inst.Module, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simt.Run(comp.Module, simt.Config{
+			Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+			Memory: inst.Memory, Policy: pol, Strict: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Metrics, nil
+	}
+	base, err := runAt(core.BaselineOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: eff %5.1f%%  cycles %d\n", 100*base.SIMTEfficiency(), base.Cycles)
+	fmt.Printf("%9s %10s %10s\n", "threshold", "simt eff", "speedup")
+	for _, t := range []int{1, 4, 8, 12, 16, 20, 24, 28, 30, 32} {
+		opts := core.SpecReconOptions()
+		opts.Deconflict = dec
+		opts.ThresholdOverride = t
+		m, err := runAt(opts)
+		if err != nil {
+			return fmt.Errorf("threshold %d: %w", t, err)
+		}
+		fmt.Printf("%9d %9.1f%% %9.2fx\n", t, 100*m.SIMTEfficiency(), float64(base.Cycles)/float64(m.Cycles))
+	}
+	return nil
+}
+
+func loadInstance(kernel string, threads, tasks int, seed uint64) (*workloads.Instance, error) {
+	if strings.HasSuffix(kernel, ".sasm") {
+		src, err := os.ReadFile(kernel)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := ir.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", kernel, err)
+		}
+		if threads == 0 {
+			threads = ir.WarpWidth
+		}
+		return &workloads.Instance{
+			Module:  mod,
+			Kernel:  mod.Funcs[0].Name,
+			Threads: threads,
+			Seed:    seed,
+		}, nil
+	}
+	w, err := workloads.Get(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return w.Build(workloads.BuildConfig{Threads: threads, Tasks: tasks, Seed: seed}), nil
+}
+
+// optionsFor returns the compile options and the module to compile for a
+// mode. Auto mode strips manual annotations and runs the detector.
+func optionsFor(mode string, inst *workloads.Instance, dec core.DeconflictMode, threshold int) (core.Options, *ir.Module, error) {
+	switch mode {
+	case "baseline":
+		return core.BaselineOptions(), inst.Module, nil
+	case "spec":
+		opts := core.SpecReconOptions()
+		opts.Deconflict = dec
+		opts.ThresholdOverride = threshold
+		return opts, inst.Module, nil
+	case "auto":
+		mod := inst.Module.Clone()
+		for _, f := range mod.Funcs {
+			f.Predictions = nil
+		}
+		applied := core.AutoAnnotate(mod, core.DefaultAutoDetectOptions())
+		for _, c := range applied {
+			fmt.Printf("auto: %s candidate at=%s label=%s score=%.1f\n", c.Kind, c.At.Name, c.Label.Name, c.Score())
+		}
+		opts := core.SpecReconOptions()
+		opts.Deconflict = dec
+		opts.ThresholdOverride = threshold
+		return opts, mod, nil
+	}
+	return core.Options{}, nil, fmt.Errorf("unknown mode %q", mode)
+}
+
+func parsePolicy(s string) (simt.Policy, error) {
+	switch s {
+	case "maxgroup":
+		return simt.PolicyMaxGroup, nil
+	case "minpc":
+		return simt.PolicyMinPC, nil
+	case "roundrobin":
+		return simt.PolicyRoundRobin, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func parseModel(s string) (simt.Model, error) {
+	switch s {
+	case "its":
+		return simt.ModelITS, nil
+	case "stack":
+		return simt.ModelStack, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", s)
+}
+
+func parseDeconflict(s string) (core.DeconflictMode, error) {
+	switch s {
+	case "dynamic":
+		return core.DeconflictDynamic, nil
+	case "static":
+		return core.DeconflictStatic, nil
+	case "none":
+		return core.DeconflictNone, nil
+	}
+	return 0, fmt.Errorf("unknown deconfliction mode %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "specrecon:", err)
+	os.Exit(1)
+}

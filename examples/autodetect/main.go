@@ -1,0 +1,76 @@
+// Autodetect example: run the paper's automatic detector (section 4.5)
+// over the un-annotated MeiyaMD5 and OptiX kernels, show the candidates
+// it finds with their cost-model scores, apply them, and measure the
+// upside — the Figure 10 experiment in miniature — followed by a small
+// application-population funnel (section 5.4).
+//
+//	go run ./examples/autodetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specrecon"
+)
+
+func main() {
+	for _, name := range []string{"meiyamd5", "optix-ao"} {
+		w, err := specrecon.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst := w.Build(specrecon.WorkloadConfig{})
+
+		// These workloads carry no manual annotations; ask the
+		// detector what it sees.
+		cands := specrecon.AutoDetect(inst.Module)
+		fmt.Printf("%s: detector found %d candidate(s)\n", name, len(cands))
+		for _, c := range cands {
+			fmt.Printf("  %-16s region start %-16s label %-14s score %.1f\n",
+				c.Kind, c.At.Name, c.Label.Name, c.Score())
+		}
+
+		base := run(inst.Module, inst, specrecon.BaselineOptions())
+
+		annotated := inst.Module.Clone()
+		applied := specrecon.AutoAnnotate(annotated)
+		if len(applied) == 0 {
+			fmt.Println("  nothing profitable; skipping")
+			continue
+		}
+		auto := run(annotated, inst, specrecon.SpecReconOptions())
+
+		fmt.Printf("  baseline eff %5.1f%%  ->  auto eff %5.1f%%   speedup %.2fx\n\n",
+			100*base.Metrics.SIMTEfficiency(),
+			100*auto.Metrics.SIMTEfficiency(),
+			float64(base.Metrics.Cycles)/float64(auto.Metrics.Cycles))
+	}
+
+	// A reduced section-5.4 funnel (the full 520-application run lives
+	// in cmd/figures -fig 10).
+	funnel, err := specrecon.RunFunnel(130, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population funnel over %d synthetic apps: %d below 80%% efficiency, %d detected, %d significantly improved\n",
+		funnel.Studied, funnel.LowEff, funnel.Detected, funnel.Significant)
+}
+
+func run(mod *specrecon.Module, inst *specrecon.WorkloadInstance, opts specrecon.CompileOptions) *specrecon.RunResult {
+	comp, err := specrecon.Compile(mod, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := specrecon.Run(comp.Module, specrecon.RunConfig{
+		Kernel:  inst.Kernel,
+		Threads: inst.Threads,
+		Seed:    inst.Seed,
+		Memory:  inst.Memory,
+		Strict:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,62 @@
+// Monte Carlo example: run the RSBench neutron-transport benchmark (the
+// paper's Figure 3 case study) end to end, then sweep the soft-barrier
+// threshold to show the Loop Merge refill tradeoff.
+//
+//	go run ./examples/montecarlo
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"specrecon"
+)
+
+func main() {
+	w, err := specrecon.WorkloadByName("rsbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RSBench:", w.Description)
+
+	inst := w.Build(specrecon.WorkloadConfig{})
+	base := compileAndRun(inst, specrecon.BaselineOptions())
+	spec := compileAndRun(inst, specrecon.SpecReconOptions())
+
+	fmt.Printf("\nPDOM baseline:            eff %5.1f%%  cycles %d\n",
+		100*base.Metrics.SIMTEfficiency(), base.Metrics.Cycles)
+	fmt.Printf("speculative reconvergence: eff %5.1f%%  cycles %d  (%.2fx)\n",
+		100*spec.Metrics.SIMTEfficiency(), spec.Metrics.Cycles,
+		float64(base.Metrics.Cycles)/float64(spec.Metrics.Cycles))
+
+	// Threshold sweep: how many lanes must collect at the inner-loop
+	// reconvergence point before the cohort proceeds.
+	fmt.Println("\nsoft-barrier threshold sweep:")
+	pts, err := specrecon.Figure9("rsbench", specrecon.WorkloadConfig{}, []int{1, 8, 16, 24, 28, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		bar := strings.Repeat("#", int(60*p.Eff))
+		fmt.Printf("  T=%2d  eff %5.1f%%  speedup %.2fx  %s\n", p.Threshold, 100*p.Eff, p.Speedup, bar)
+	}
+}
+
+func compileAndRun(inst *specrecon.WorkloadInstance, opts specrecon.CompileOptions) *specrecon.RunResult {
+	comp, err := specrecon.Compile(inst.Module, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := specrecon.Run(comp.Module, specrecon.RunConfig{
+		Kernel:  inst.Kernel,
+		Threads: inst.Threads,
+		Seed:    inst.Seed,
+		Memory:  inst.Memory,
+		Strict:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module specrecon
+
+go 1.22

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// buildFlatKernel is a one-task-per-thread kernel with a divergent,
+// non-nested loop: each thread processes exactly one variable-length
+// task — the shape section 3 says needs thread coarsening before Loop
+// Merge applies. Task data (trip counts) lives in memory indexed by
+// task id, so coarsening preserves results exactly (no RNG draws).
+func buildFlatKernel(tasks int) (*ir.Module, []uint64) {
+	m := ir.NewModule("flat")
+	tripBase := int64(tasks)
+	m.MemWords = tasks + 256
+
+	f := m.NewFunction("kernel")
+	b := ir.NewBuilder(f)
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	fin := f.NewBlock("fin")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	trip := b.Load(b.AddI(tid, tripBase), 0)
+	j := b.Reg()
+	b.ConstTo(j, 0)
+	acc := b.FConst(0)
+	b.Br(header)
+
+	b.SetBlock(header)
+	b.CBr(b.SetLT(j, trip), body, fin)
+
+	b.SetBlock(body)
+	x := b.FAddI(acc, 1.0)
+	for k := 0; k < 8; k++ {
+		x = b.FMA(x, x, acc)
+		x = b.FSqrt(b.FAbs(x))
+	}
+	b.FMovTo(acc, b.FAdd(acc, x))
+	b.MovTo(j, b.AddI(j, 1))
+	b.Br(header)
+
+	b.SetBlock(fin)
+	b.FStore(tid, 0, acc)
+	b.Exit()
+
+	mem := make([]uint64, m.MemWords)
+	for i := 0; i < tasks; i++ {
+		// Deterministic, imbalanced trips 1..24.
+		mem[tasks+i] = uint64(1 + (i*7+3)%24)
+	}
+	return m, mem
+}
+
+// TestCoarsenPreservesResults: the coarsened kernel with threads/K
+// threads computes exactly the original launch's outputs.
+func TestCoarsenPreservesResults(t *testing.T) {
+	const tasks = 128
+	ref, mem := buildFlatKernel(tasks)
+	refComp, err := Compile(ref, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := simt.Run(refComp.Module, simt.Config{Kernel: "kernel", Threads: tasks, Memory: mem, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, factor := range []int{2, 4} {
+		m, mem2 := buildFlatKernel(tasks)
+		if err := Coarsen(m, "kernel", factor); err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		comp, err := Compile(m, BaselineOptions())
+		if err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		res, err := simt.Run(comp.Module, simt.Config{Kernel: "kernel", Threads: tasks / factor, Memory: mem2, Strict: true})
+		if err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		for i := 0; i < tasks; i++ {
+			if refRes.Memory[i] != res.Memory[i] {
+				t.Fatalf("factor %d: task %d output differs", factor, i)
+			}
+		}
+	}
+}
+
+// TestCoarseningEnablesLoopMerge reproduces the section 3 story end to
+// end: the flat kernel has no loop-merge opportunity (no nesting); after
+// coarsening the detector finds one, and applying it beats the
+// coarsened baseline.
+func TestCoarseningEnablesLoopMerge(t *testing.T) {
+	const tasks = 256
+	flat, _ := buildFlatKernel(tasks)
+	if cands := DetectOpportunities(flat, DefaultAutoDetectOptions()); len(cands) != 0 {
+		for _, c := range cands {
+			if c.Kind == PatternLoopMerge {
+				t.Fatalf("flat kernel should offer no loop merge, found %v at %s", c.Kind, c.Label.Name)
+			}
+		}
+	}
+
+	coarse, mem := buildFlatKernel(tasks)
+	if err := Coarsen(coarse, "kernel", 8); err != nil {
+		t.Fatal(err)
+	}
+	cands := DetectOpportunities(coarse, DefaultAutoDetectOptions())
+	var found *Candidate
+	for i := range cands {
+		if cands[i].Kind == PatternLoopMerge {
+			found = &cands[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("coarsening did not create a loop-merge opportunity")
+	}
+
+	run := func(opts Options, mod *ir.Module) *simt.Metrics {
+		comp, err := Compile(mod, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simt.Run(comp.Module, simt.Config{Kernel: "kernel", Threads: tasks / 8, Memory: mem, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &res.Metrics
+	}
+
+	base := run(BaselineOptions(), coarse)
+	annotated := coarse.Clone()
+	AutoAnnotate(annotated, DefaultAutoDetectOptions())
+	spec := run(SpecReconOptions(), annotated)
+
+	if spec.SIMTEfficiency() <= base.SIMTEfficiency() {
+		t.Errorf("loop merge on the coarsened kernel should improve efficiency: %.3f -> %.3f",
+			base.SIMTEfficiency(), spec.SIMTEfficiency())
+	}
+	t.Logf("coarsened: eff %.1f%% -> %.1f%%, speedup %.2fx",
+		100*base.SIMTEfficiency(), 100*spec.SIMTEfficiency(),
+		float64(base.Cycles)/float64(spec.Cycles))
+}
+
+// TestCoarsenErrors covers the guards.
+func TestCoarsenErrors(t *testing.T) {
+	m, _ := buildFlatKernel(32)
+	if err := Coarsen(m, "kernel", 1); err == nil {
+		t.Error("factor 1 should fail")
+	}
+	if err := Coarsen(m, "nope", 4); err == nil {
+		t.Error("missing function should fail")
+	}
+	// Lane-dependent kernels refuse coarsening.
+	lm := ir.NewModule("lane")
+	lf := lm.NewFunction("kernel")
+	lb := ir.NewBuilder(lf)
+	lb.SetBlock(lf.NewBlock("e"))
+	lb.Lane()
+	lb.Exit()
+	if err := Coarsen(lm, "kernel", 2); err == nil || !strings.Contains(err.Error(), "lane") {
+		t.Errorf("lane guard failed: %v", err)
+	}
+}

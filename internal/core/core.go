@@ -1,0 +1,309 @@
+// Package core implements the paper's contribution: compiler-assisted
+// speculative reconvergence (Damani et al., CGO 2020, section 4).
+//
+// The pipeline mirrors the paper's production-compiler implementation:
+//
+//  1. Divergence analysis finds potentially divergent branches.
+//  2. A baseline pass inserts the standard post-dominator (PDOM)
+//     convergence barriers the GPU compiler would emit: JoinBarrier at
+//     every divergent branch, WaitBarrier at the branch's immediate
+//     post-dominator.
+//  3. Prediction lowering (section 4.2) turns each user annotation —
+//     Predict(label) plus a reconvergence label, or a callee name for the
+//     interprocedural variant (section 4.4) — into JoinBarrier /
+//     WaitBarrier / RejoinBarrier / CancelBarrier placements, plus an
+//     orthogonal barrier pair collecting all threads at the region exit.
+//     CancelBarrier placement is driven by the joined-barrier dataflow
+//     analysis (equation 1) at region exits; RejoinBarrier is placed
+//     after the cleared wait. Soft barriers (section 4.6) lower to the
+//     ISA's thresholded wait.
+//  4. Conflict analysis (section 4.3) computes joined live intervals for
+//     every barrier and flags pairs whose intervals overlap
+//     non-inclusively; deconfliction is either static (delete the
+//     conflicting PDOM barrier's operations) or dynamic (insert
+//     CancelBarrier of the conflicting barrier before the new wait).
+//  5. Barrier register allocation colors virtual barriers onto the
+//     warp's 16 physical barrier registers by interference of their
+//     joined ranges.
+//
+// The automatic detector of section 4.5 lives in autodetect.go.
+package core
+
+import (
+	"fmt"
+
+	"specrecon/internal/cfg"
+	"specrecon/internal/divergence"
+	"specrecon/internal/ir"
+)
+
+// DeconflictMode selects the section-4.3 strategy.
+type DeconflictMode int
+
+const (
+	// DeconflictDynamic inserts CancelBarrier of each conflicting
+	// barrier before the speculative wait (Figure 5(c)); the paper's
+	// evaluation uses this mode.
+	DeconflictDynamic DeconflictMode = iota
+	// DeconflictStatic deletes the conflicting PDOM barrier's
+	// operations (Figure 5(b)).
+	DeconflictStatic
+	// DeconflictNone performs no deconfliction; useful only for tests
+	// demonstrating why deconfliction is necessary (deadlocks).
+	DeconflictNone
+)
+
+func (d DeconflictMode) String() string {
+	switch d {
+	case DeconflictDynamic:
+		return "dynamic"
+	case DeconflictStatic:
+		return "static"
+	case DeconflictNone:
+		return "none"
+	}
+	return fmt.Sprintf("deconflict(%d)", int(d))
+}
+
+// Options configures Compile.
+type Options struct {
+	// InsertPDOM inserts the baseline post-dominator barriers. On for
+	// both baseline and optimized builds (the paper's transform runs on
+	// top of the standard compiler output).
+	InsertPDOM bool
+	// ApplyPredictions lowers the function's Prediction annotations.
+	ApplyPredictions bool
+	// Deconflict selects the strategy when ApplyPredictions is set.
+	Deconflict DeconflictMode
+	// ThresholdOverride, when >= 0, replaces every prediction's soft
+	// barrier threshold (0 means a hard wait-for-all barrier). Used by
+	// the Figure 9 threshold sweeps. When < 0 the per-prediction
+	// thresholds apply.
+	ThresholdOverride int
+	// SkipAllocation keeps virtual barrier ids (tests only; the
+	// simulator accepts any number of barriers, real hardware has 16).
+	SkipAllocation bool
+}
+
+// BaselineOptions compiles with standard PDOM synchronization only.
+func BaselineOptions() Options {
+	return Options{InsertPDOM: true, ThresholdOverride: -1}
+}
+
+// SpecReconOptions compiles with speculative reconvergence applied on top
+// of PDOM synchronization, using dynamic deconfliction as in the paper's
+// evaluation.
+func SpecReconOptions() Options {
+	return Options{
+		InsertPDOM:        true,
+		ApplyPredictions:  true,
+		Deconflict:        DeconflictDynamic,
+		ThresholdOverride: -1,
+	}
+}
+
+// BarrierKind records why a barrier exists, for deconfliction decisions
+// and diagnostics.
+type BarrierKind int
+
+const (
+	// KindUser marks barriers already present in the input IR.
+	KindUser BarrierKind = iota
+	// KindPDOM marks baseline post-dominator barriers.
+	KindPDOM
+	// KindSpec marks speculative reconvergence barriers (the paper's b0).
+	KindSpec
+	// KindExit marks the orthogonal region-exit barriers (the paper's b1).
+	KindExit
+	// KindSpecCall marks interprocedural speculative barriers.
+	KindSpecCall
+)
+
+func (k BarrierKind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindPDOM:
+		return "pdom"
+	case KindSpec:
+		return "spec"
+	case KindExit:
+		return "exit"
+	case KindSpecCall:
+		return "speccall"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// BarrierInfo describes one virtual barrier created by the pipeline.
+type BarrierInfo struct {
+	ID   int
+	Kind BarrierKind
+	// Fn is the function the barrier was created for; interprocedural
+	// barriers also appear in the predicted callee.
+	Fn *ir.Function
+	// Callee is set for interprocedural barriers.
+	Callee string
+}
+
+// Compilation is the result of Compile: the transformed module plus
+// everything the passes learned, for reporting and tests.
+type Compilation struct {
+	Module   *ir.Module
+	Options  Options
+	Barriers []BarrierInfo
+	// Conflicts lists the conflicting barrier pairs found per function.
+	Conflicts []ConflictPair
+	// BarrierAssignment maps virtual barrier id -> physical register.
+	BarrierAssignment map[int]int
+	// Stats summarizes what the pipeline emitted.
+	Stats CompileStats
+}
+
+// CompileStats counts the synchronization the pipeline inserted — the
+// static code-size cost of the transform, which section 4.3 weighs when
+// comparing deconfliction strategies.
+type CompileStats struct {
+	Joins     int // JoinBarrier/RejoinBarrier operations emitted
+	Waits     int // hard WaitBarrier operations
+	SoftWaits int // thresholded waits
+	Cancels   int // CancelBarrier operations
+	// InputInstrs/OutputInstrs are total module instruction counts
+	// before and after the pipeline.
+	InputInstrs  int
+	OutputInstrs int
+}
+
+// gatherStats fills Stats from the compiled module.
+func gatherStats(mod *ir.Module, inputInstrs int) CompileStats {
+	st := CompileStats{InputInstrs: inputInstrs}
+	for _, f := range mod.Funcs {
+		st.OutputInstrs += f.NumInstrs()
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.OpJoin:
+					st.Joins++
+				case ir.OpWait:
+					st.Waits++
+				case ir.OpWaitN:
+					st.SoftWaits++
+				case ir.OpCancel:
+					st.Cancels++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// ConflictPair records one section-4.3 conflict.
+type ConflictPair struct {
+	Fn   *ir.Function
+	A, B int // virtual barrier ids; A is the spec/exit barrier
+}
+
+// compiler carries the pipeline's working state.
+type compiler struct {
+	mod      *ir.Module
+	opts     Options
+	barriers []BarrierInfo
+	nextBar  int
+	result   *Compilation
+}
+
+// Compile clones m, runs the configured pipeline over every function, and
+// returns the transformed module with its compilation report. The input
+// module is not modified.
+func Compile(m *ir.Module, opts Options) (*Compilation, error) {
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("core: input module invalid: %w", err)
+	}
+	mod := m.Clone()
+	c := &compiler{mod: mod, opts: opts}
+	c.result = &Compilation{Module: mod, Options: opts, BarrierAssignment: map[int]int{}}
+
+	// Virtual barrier ids are module-wide unique so that interprocedural
+	// barriers can span functions.
+	for _, f := range mod.Funcs {
+		if n := f.MaxBarrier() + 1; n > c.nextBar {
+			c.nextBar = n
+		}
+	}
+	for b := 0; b < c.nextBar; b++ {
+		c.barriers = append(c.barriers, BarrierInfo{ID: b, Kind: KindUser})
+	}
+
+	if opts.InsertPDOM {
+		for _, f := range mod.Funcs {
+			c.insertPDOM(f)
+		}
+	}
+	if opts.ApplyPredictions {
+		for _, f := range mod.Funcs {
+			if err := c.applyPredictions(f); err != nil {
+				return nil, fmt.Errorf("core: func %q: %w", f.Name, err)
+			}
+		}
+	}
+	if !opts.SkipAllocation {
+		if err := c.allocateBarriers(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if err := ir.VerifyModule(mod); err != nil {
+		return nil, fmt.Errorf("core: output module invalid (compiler bug): %w", err)
+	}
+	c.result.Barriers = c.barriers
+	inputInstrs := 0
+	for _, f := range m.Funcs {
+		inputInstrs += f.NumInstrs()
+	}
+	c.result.Stats = gatherStats(mod, inputInstrs)
+	return c.result, nil
+}
+
+// newBarrier mints a fresh virtual barrier.
+func (c *compiler) newBarrier(kind BarrierKind, f *ir.Function, callee string) int {
+	id := c.nextBar
+	c.nextBar++
+	c.barriers = append(c.barriers, BarrierInfo{ID: id, Kind: kind, Fn: f, Callee: callee})
+	return id
+}
+
+// insertPDOM places the baseline barriers: for every divergent
+// conditional branch, JoinBarrier in the branch block and WaitBarrier at
+// the branch's immediate post-dominator ("GPU compilers currently attempt
+// reconvergence at the post-dominator", paper section 1).
+func (c *compiler) insertPDOM(f *ir.Function) {
+	info := cfg.New(f)
+	div := divergence.Analyze(c.mod, f, info)
+
+	type placement struct {
+		branch *ir.Block
+		pdom   *ir.Block
+		bar    int
+	}
+	var places []placement
+	for _, b := range info.RPO {
+		if !div.DivergentBranch[b.Index] {
+			continue
+		}
+		pd := info.Ipdom(b)
+		if pd == nil {
+			// The branch reconverges only at thread exit; lanes leave
+			// independently and the implicit exit cleanup applies.
+			continue
+		}
+		places = append(places, placement{branch: b, pdom: pd, bar: c.newBarrier(KindPDOM, f, "")})
+	}
+	// Insert joins, then waits. Waits are inserted at block tops in RPO
+	// order of their branches, so inner (later-discovered) barriers end
+	// up above outer ones and are released first.
+	for _, p := range places {
+		p.branch.InsertBeforeTerminator(ir.Instr{Op: ir.OpJoin, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Bar: p.bar})
+	}
+	for _, p := range places {
+		p.pdom.InsertTop(ir.Instr{Op: ir.OpWait, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Bar: p.bar})
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specrecon/internal/ir"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestCompiledListing1Golden snapshots the complete pipeline output for
+// the Listing 1 kernel — PDOM insertion, prediction lowering, dynamic
+// deconfliction and barrier allocation — against a golden file. Any
+// change to pass behaviour shows up as a readable diff; refresh with
+//
+//	go test ./internal/core -run Golden -update
+func TestCompiledListing1Golden(t *testing.T) {
+	m := buildListing1(64, 8)
+	comp, err := Compile(m, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ir.Print(comp.Module)
+
+	path := filepath.Join("testdata", "listing1_compiled.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("compiled output drifted from golden file %s;\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

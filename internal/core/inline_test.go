@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// TestInlinePreservesSemantics: inlining the common callee leaves kernel
+// results unchanged.
+func TestInlinePreservesSemantics(t *testing.T) {
+	ref := buildFigure2c(true)
+	refComp, err := Compile(ref, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := simt.Run(refComp.Module, simt.Config{Kernel: "main", Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inlined := buildFigure2c(true)
+	sites, _, err := Inline(inlined, "main", "foo")
+	if err != nil {
+		t.Fatalf("Inline: %v", err)
+	}
+	if sites != 2 {
+		t.Fatalf("inlined %d sites, want 2", sites)
+	}
+	if calls(inlined.FuncByName("main"), "foo") {
+		t.Fatal("calls to foo remain after inlining")
+	}
+	inComp, err := Compile(inlined, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRes, err := simt.Run(inComp.Module, simt.Config{Kernel: "main", Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refRes.Memory {
+		if refRes.Memory[i] != inRes.Memory[i] {
+			t.Fatalf("inlining changed results at word %d", i)
+		}
+	}
+}
+
+// TestInliningInhibitsReconvergence demonstrates the section 6
+// interaction: after inlining, the two call sites become distinct PCs,
+// the interprocedural prediction is dropped, and the common code
+// executes serially again — reconvergence is lost.
+func TestInliningInhibitsReconvergence(t *testing.T) {
+	// With the call: interprocedural reconvergence gives high callee
+	// occupancy.
+	withCall := buildFigure2c(true)
+	wcComp, err := Compile(withCall, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcRes, err := simt.Run(wcComp.Module, simt.Config{Kernel: "main", Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inlined: the prediction must be dropped...
+	inlined := buildFigure2c(true)
+	_, dropped, err := Inline(inlined, "main", "foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d predictions, want 1", dropped)
+	}
+	// ...and the spec-compiled inlined kernel loses the efficiency win.
+	inComp, err := Compile(inlined, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRes, err := simt.Run(inComp.Module, simt.Config{Kernel: "main", Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inRes.Metrics.SIMTEfficiency() >= wcRes.Metrics.SIMTEfficiency() {
+		t.Errorf("inlining should lose the interprocedural reconvergence win: %.3f (call) vs %.3f (inlined)",
+			wcRes.Metrics.SIMTEfficiency(), inRes.Metrics.SIMTEfficiency())
+	}
+}
+
+// TestInlineErrors covers the guard rails.
+func TestInlineErrors(t *testing.T) {
+	m := buildFigure2c(false)
+	if _, _, err := Inline(m, "main", "nope"); err == nil {
+		t.Error("missing callee should fail")
+	}
+	if _, _, err := Inline(m, "main", "main"); err == nil {
+		t.Error("self-inline should fail")
+	}
+	// Self-recursive callee.
+	rec := ir.NewModule("rec")
+	rf := rec.NewFunction("r")
+	rb := ir.NewBuilder(rf)
+	rb.SetBlock(rf.NewBlock("e"))
+	rb.Call("r")
+	rb.Ret()
+	caller := rec.NewFunction("c")
+	cb := ir.NewBuilder(caller)
+	cb.SetBlock(caller.NewBlock("e"))
+	cb.Call("r")
+	cb.Exit()
+	if _, _, err := Inline(rec, "c", "r"); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("recursive inline error = %v", err)
+	}
+	// Inlining a never-called callee is a no-op.
+	m2 := buildFigure2c(false)
+	g := m2.NewFunction("ghost")
+	gb := ir.NewBuilder(g)
+	gb.SetBlock(g.NewBlock("ge"))
+	gb.Ret()
+	sites, _, err := Inline(m2, "main", "ghost")
+	if err != nil || sites != 0 {
+		t.Errorf("no-op inline: sites=%d err=%v", sites, err)
+	}
+}
+
+// TestOutlineCreatesOpportunity demonstrates the inverse refactoring:
+// extracting duplicated expensive code into a function enables the
+// interprocedural prediction.
+func TestOutlineCreatesOpportunity(t *testing.T) {
+	// Kernel with the expensive code duplicated on both sides of a
+	// divergent branch (the pre-refactoring shape).
+	build := func() *ir.Module {
+		m := ir.NewModule("dup")
+		m.MemWords = 128
+		f := m.NewFunction("kernel")
+		b := ir.NewBuilder(f)
+		entry := f.NewBlock("entry")
+		header := f.NewBlock("header")
+		split := f.NewBlock("split")
+		thn := f.NewBlock("thn")
+		els := f.NewBlock("els")
+		merge := f.NewBlock("merge")
+		done := f.NewBlock("done")
+
+		b.SetBlock(entry)
+		tid := b.Tid()
+		i := b.Reg()
+		b.ConstTo(i, 0)
+		n := b.Const(16)
+		acc := b.FReg()
+		b.FConstTo(acc, 0)
+		b.Br(header)
+
+		b.SetBlock(header)
+		b.CBr(b.SetLT(i, n), split, done)
+
+		b.SetBlock(split)
+		b.CBr(b.FSetLTI(b.FRand(), 0.5), thn, els)
+
+		// Identical expensive bodies, duplicated (uses fixed registers
+		// so both sides emit literally identical code).
+		emitExpensive := func() {
+			x := b.FAddI(acc, 1.0)
+			for k := 0; k < 10; k++ {
+				x = b.FMA(x, x, acc)
+				x = b.FSqrt(b.FAbs(x))
+			}
+			b.FMovTo(acc, b.FAdd(acc, x))
+		}
+		b.SetBlock(thn)
+		emitExpensive()
+		b.Br(merge)
+		b.SetBlock(els)
+		emitExpensive()
+		b.Br(merge)
+
+		b.SetBlock(merge)
+		b.MovTo(i, b.AddI(i, 1))
+		b.Br(header)
+
+		b.SetBlock(done)
+		b.FStore(tid, 0, acc)
+		b.Exit()
+		return m
+	}
+
+	m := build()
+	// Outline only the then-side body; then redirect the else side to
+	// call the same function, completing the refactor into Figure 2(c).
+	if err := Outline(m, "kernel", "thn", "shade"); err != nil {
+		t.Fatalf("Outline: %v", err)
+	}
+	f := m.FuncByName("kernel")
+	els := f.BlockByName("els")
+	term := *els.Terminator()
+	els.Instrs = []ir.Instr{
+		{Op: ir.OpCall, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Callee: "shade"},
+		term,
+	}
+	// Annotate the new reconvergence opportunity.
+	f.Predictions = append(f.Predictions, ir.Prediction{At: f.BlockByName("entry"), Callee: "shade"})
+
+	base, err := Compile(m, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(m, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := simt.Run(base.Module, simt.Config{Kernel: "kernel", Seed: 9, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := simt.Run(spec.Module, simt.Config{Kernel: "kernel", Seed: 9, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rb.Memory {
+		if rb.Memory[i] != rs.Memory[i] {
+			t.Fatalf("outlined kernel results differ at word %d", i)
+		}
+	}
+	if rs.Metrics.SIMTEfficiency() <= rb.Metrics.SIMTEfficiency() {
+		t.Errorf("refactoring + interprocedural prediction should improve efficiency: %.3f -> %.3f",
+			rb.Metrics.SIMTEfficiency(), rs.Metrics.SIMTEfficiency())
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"specrecon/internal/cfg"
+	"specrecon/internal/dataflow"
+	"specrecon/internal/ir"
+)
+
+// LintWarning is one diagnostic from the lint passes.
+type LintWarning struct {
+	Fn    string
+	Block string
+	Msg   string
+}
+
+func (w LintWarning) String() string {
+	return fmt.Sprintf("%s.%s: %s", w.Fn, w.Block, w.Msg)
+}
+
+// Lint runs best-effort static diagnostics over the module. It does not
+// fail compilation — kernels with warnings may still be intentional —
+// but the workloads and corpus generators are tested to be lint-clean.
+//
+// Checks:
+//
+//   - read-before-write: a register live into the entry block is read on
+//     some path before any definition (callees are exempt: their low
+//     registers are parameters by convention);
+//   - unreachable blocks;
+//   - barrier hygiene: a wait on a barrier that no path ever joins, and
+//     a joined barrier with no wait or cancel anywhere (a lane that
+//     exits the kernel still participating).
+func Lint(m *ir.Module) []LintWarning {
+	var out []LintWarning
+
+	// Functions called from elsewhere receive arguments in low
+	// registers; only entry kernels are checked for uninitialized reads.
+	called := map[string]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if in := &b.Instrs[i]; in.Op == ir.OpCall {
+					called[in.Callee] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range m.Funcs {
+		f.Reindex()
+		info := cfg.New(f)
+
+		if !called[f.Name] {
+			out = append(out, lintUninitialized(f, info)...)
+		}
+		for _, b := range f.Blocks {
+			if !info.Reachable(b) {
+				out = append(out, LintWarning{Fn: f.Name, Block: b.Name, Msg: "unreachable block"})
+			}
+		}
+	}
+	out = append(out, lintBarriers(m)...)
+	return out
+}
+
+// lintUninitialized reports registers that are live into the entry
+// block: some path reads them before any write.
+func lintUninitialized(f *ir.Function, info *cfg.Info) []LintWarning {
+	ints, floats := dataflow.RegLiveness(f, info)
+	entry := f.Entry().Index
+	var regs []string
+	ints.In[entry].ForEach(func(r int) {
+		regs = append(regs, fmt.Sprintf("r%d", r))
+	})
+	floats.In[entry].ForEach(func(r int) {
+		regs = append(regs, fmt.Sprintf("f%d", r))
+	})
+	if len(regs) == 0 {
+		return nil
+	}
+	sort.Strings(regs)
+	return []LintWarning{{
+		Fn:    f.Name,
+		Block: f.Entry().Name,
+		Msg:   fmt.Sprintf("registers possibly read before written: %v", regs),
+	}}
+}
+
+// lintBarriers checks join/wait pairing at module granularity: barrier
+// registers are warp state shared across the whole call graph, and the
+// interprocedural variant legitimately joins a barrier in a caller while
+// waiting on it at a callee's entry.
+func lintBarriers(m *ir.Module) []LintWarning {
+	nb := 1
+	for _, f := range m.Funcs {
+		if n := dataflow.NumBarriers(f); n > nb {
+			nb = n
+		}
+	}
+	joins := make([]bool, nb)
+	waits := make([]bool, nb)
+	clears := make([]bool, nb) // wait or cancel
+	where := make([]string, nb)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if !in.Op.IsBarrierOp() {
+					continue
+				}
+				switch in.Op {
+				case ir.OpJoin:
+					joins[in.Bar] = true
+					where[in.Bar] = f.Name + "." + b.Name
+				case ir.OpWait, ir.OpWaitN:
+					waits[in.Bar] = true
+					clears[in.Bar] = true
+				case ir.OpCancel:
+					clears[in.Bar] = true
+				}
+			}
+		}
+	}
+	var out []LintWarning
+	for bar := 0; bar < nb; bar++ {
+		if waits[bar] && !joins[bar] {
+			out = append(out, LintWarning{Fn: m.Name, Msg: fmt.Sprintf("b%d is waited on but never joined", bar)})
+		}
+		if joins[bar] && !clears[bar] {
+			out = append(out, LintWarning{Fn: m.Name, Block: where[bar], Msg: fmt.Sprintf("b%d is joined but never waited or cancelled", bar)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/workloads"
+)
+
+func TestLintCleanOnWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		inst := w.Build(workloads.BuildConfig{})
+		if warnings := Lint(inst.Module); len(warnings) != 0 {
+			for _, wn := range warnings {
+				t.Errorf("%s: %s", w.Name, wn)
+			}
+		}
+	}
+}
+
+func TestLintCleanAfterCompilation(t *testing.T) {
+	// The compiler's own barrier insertion must satisfy the barrier
+	// hygiene lint: every joined barrier has a wait or cancel.
+	for _, name := range []string{"rsbench", "xsbench", "callmicro"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := w.Build(workloads.BuildConfig{})
+		comp, err := Compile(inst.Module, SpecReconOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wn := range Lint(comp.Module) {
+			t.Errorf("%s (compiled): %s", name, wn)
+		}
+	}
+}
+
+func TestLintUninitializedRead(t *testing.T) {
+	m := ir.NewModule("bad")
+	f := m.NewFunction("kernel")
+	b := ir.NewBuilder(f)
+	f.NRegs = 4
+	e := f.NewBlock("e")
+	b.SetBlock(e)
+	uninit := ir.Reg(3)
+	sum := b.AddI(uninit, 1) // read of r3 with no prior write
+	_ = sum
+	b.Exit()
+
+	warnings := Lint(m)
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w.Msg, "read before written") && strings.Contains(w.Msg, "r3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint missed the uninitialized read: %v", warnings)
+	}
+}
+
+func TestLintCalleeParamsExempt(t *testing.T) {
+	// A called function reads its argument registers without writing
+	// them; that is the calling convention, not a bug.
+	m := buildFigure2c(false)
+	for _, w := range Lint(m) {
+		if w.Fn == "foo" && strings.Contains(w.Msg, "read before written") {
+			t.Errorf("callee parameter flagged: %s", w)
+		}
+	}
+}
+
+func TestLintUnreachableBlock(t *testing.T) {
+	m, _ := ir.Parse(`module t memwords=8
+func @k nregs=1 nfregs=0 {
+e:
+  exit
+island:
+  exit
+}
+`)
+	warnings := Lint(m)
+	found := false
+	for _, w := range warnings {
+		if w.Block == "island" && strings.Contains(w.Msg, "unreachable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint missed the unreachable block: %v", warnings)
+	}
+}
+
+func TestLintBarrierHygiene(t *testing.T) {
+	m, err := ir.Parse(`module t memwords=8
+func @k nregs=1 nfregs=0 {
+e:
+  join b0
+  wait b1
+  exit
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := Lint(m)
+	var joinedNoWait, waitedNoJoin bool
+	for _, w := range warnings {
+		if strings.Contains(w.Msg, "b0 is joined but never") {
+			joinedNoWait = true
+		}
+		if strings.Contains(w.Msg, "b1 is waited on but never joined") {
+			waitedNoJoin = true
+		}
+	}
+	if !joinedNoWait || !waitedNoJoin {
+		t.Errorf("barrier hygiene lint incomplete: %v", warnings)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	m := buildListing1(16, 4)
+	dot := ir.DOT(m.FuncByName("kernel"))
+	for _, want := range []string{"digraph", "\"entry\"", "\"expensive\"", "predict", "label=\"T\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+func TestConstantFolding(t *testing.T) {
+	m, err := ir.Parse(`module t memwords=64
+func @k nregs=8 nfregs=4 {
+e:
+  tid r0
+  const r1, #6
+  const r2, #7
+  mul r3, r1, r2
+  add r4, r3, #8
+  fconst f0, #2.0
+  fconst f1, #3.0
+  fmul f2, f0, f1
+  fadd f3, f2, #1.0
+  st [r0], r4
+  fst [r0+32], f3
+  exit
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Optimize(m)
+	if n == 0 {
+		t.Fatal("nothing folded")
+	}
+	// The arithmetic chain must have collapsed to constants.
+	f := m.Funcs[0]
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case ir.OpMul, ir.OpAdd, ir.OpFMul, ir.OpFAdd:
+				t.Errorf("unfolded %v survived", b.Instrs[i].Op)
+			}
+		}
+	}
+	res, err := simt.Run(m, simt.Config{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Memory[0] != 50 {
+		t.Errorf("folded result = %d, want 50", res.Memory[0])
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	m, err := ir.Parse(`module t memwords=64
+func @k nregs=8 nfregs=4 {
+e:
+  tid r0
+  add r1, r0, #1
+  add r2, r1, #2
+  add r3, r0, #9
+  fconst f1, #4.0
+  fsqrt f2, f1
+  st [r0], r3
+  exit
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Funcs[0].NumInstrs()
+	Optimize(m)
+	after := m.Funcs[0].NumInstrs()
+	if after >= before {
+		t.Fatalf("DCE removed nothing: %d -> %d", before, after)
+	}
+	res, err := simt.Run(m, simt.Config{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if res.Memory[i] != uint64(i+9) {
+			t.Fatalf("mem[%d] = %d, want %d", i, res.Memory[i], i+9)
+		}
+	}
+}
+
+func TestDCEKeepsImpureOps(t *testing.T) {
+	m, err := ir.Parse(`module t memwords=64
+func @k nregs=4 nfregs=4 {
+e:
+  tid r0
+  rand r1
+  frand f0
+  frand f1
+  fst [r0], f1
+  const r2, #1
+  atomadd r3, [r0+32], r2
+  exit
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1 and f0 are dead, but rand/frand advance the RNG stream:
+	// removing them would change f1's value. Atomics mutate memory.
+	Optimize(m)
+	counts := map[ir.Opcode]int{}
+	for _, b := range m.Funcs[0].Blocks {
+		for i := range b.Instrs {
+			counts[b.Instrs[i].Op]++
+		}
+	}
+	if counts[ir.OpRand] != 1 || counts[ir.OpFRand] != 2 {
+		t.Errorf("RNG ops eliminated: rand=%d frand=%d", counts[ir.OpRand], counts[ir.OpFRand])
+	}
+	if counts[ir.OpAtomAdd] != 1 {
+		t.Error("atomic eliminated")
+	}
+}
+
+// TestOptimizePreservesWorkloadResults: optimizing before the
+// speculative pipeline never changes any workload's output.
+func TestOptimizePreservesWorkloadResults(t *testing.T) {
+	m := buildListing1(96, 10)
+	ref, err := Compile(m, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := simt.Run(ref.Module, simt.Config{Kernel: "kernel", Seed: 4, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := m.Clone()
+	Optimize(opt)
+	optComp, err := Compile(opt, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := simt.Run(optComp.Module, simt.Config{Kernel: "kernel", Seed: 4, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refRes.Memory {
+		if refRes.Memory[i] != optRes.Memory[i] {
+			t.Fatalf("optimization changed results at word %d", i)
+		}
+	}
+}
+
+// TestOptimizeIdempotent: a second Optimize finds nothing.
+func TestOptimizeIdempotent(t *testing.T) {
+	m := buildListing1(32, 4)
+	Optimize(m)
+	if n := Optimize(m); n != 0 {
+		t.Errorf("second optimize made %d changes", n)
+	}
+}
+
+// TestWorkloadsAreNearlyFoldFree: the hand-built benchmark kernels
+// should not be carrying large amounts of foldable or dead code.
+func TestWorkloadsAreNearlyFoldFree(t *testing.T) {
+	m := buildLoopMergeKernel(6, 2)
+	before := m.Funcs[0].NumInstrs()
+	n := Optimize(m)
+	if n > before/10 {
+		t.Errorf("kernel builder emitted %d foldable/dead instructions of %d", n, before)
+	}
+}

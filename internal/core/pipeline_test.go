@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// buildListing1 constructs the paper's Listing 1: a loop whose body holds
+// a divergent condition guarding an expensive block, with prolog and
+// epilog work around it. The prediction region starts at the loop
+// preheader and the reconvergence label is the expensive block.
+//
+//	Predict(L1)
+//	for (i = 0; i < N; i++) {
+//	    Prolog()
+//	    if (divergent_condition()) {
+//	        L1: Expensive()
+//	    }
+//	    Epilog()
+//	}
+func buildListing1(n int64, expensiveOps int) *ir.Module {
+	m := ir.NewModule("listing1")
+	m.MemWords = 4096
+	f := m.NewFunction("kernel")
+	b := ir.NewBuilder(f)
+
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("header")
+	prolog := f.NewBlock("prolog")
+	expensive := f.NewBlock("expensive")
+	epilog := f.NewBlock("epilog")
+	done := f.NewBlock("done")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	i := b.Reg()
+	b.ConstTo(i, 0)
+	acc := b.FReg()
+	b.FConstTo(acc, 0)
+	nReg := b.Const(n)
+	b.Predict(expensive)
+	b.Br(header)
+
+	b.SetBlock(header)
+	cond := b.SetLT(i, nReg)
+	b.CBr(cond, prolog, done)
+
+	b.SetBlock(prolog)
+	// A little prolog work.
+	p := b.ItoF(i)
+	p = b.FAddI(p, 1.25)
+	b.FMovTo(acc, b.FAdd(acc, p))
+	// Divergent condition: each lane takes the expensive path on a
+	// pseudo-random ~1/4 of iterations.
+	r := b.FRand()
+	take := b.FSetLTI(r, 0.2)
+	b.CBr(take, expensive, epilog)
+
+	b.SetBlock(expensive)
+	x := b.FAddI(acc, 0.5)
+	for k := 0; k < expensiveOps; k++ {
+		x = b.FMA(x, x, p)
+		x = b.FSqrt(b.FAbs(x))
+	}
+	b.FMovTo(acc, b.FAdd(acc, x))
+	b.Br(epilog)
+
+	b.SetBlock(epilog)
+	b.MovTo(i, b.AddI(i, 1))
+	b.Br(header)
+
+	b.SetBlock(done)
+	b.FStore(tid, 0, acc)
+	b.Exit()
+	return m
+}
+
+// runStrict compiles m with opts and runs it under strict barrier
+// accounting, failing the test on any compile or simulation error.
+func runStrict(t *testing.T, m *ir.Module, opts Options) (*Compilation, *simt.Result) {
+	t.Helper()
+	comp, err := Compile(m, opts)
+	if err != nil {
+		t.Fatalf("Compile(%+v): %v", opts, err)
+	}
+	res, err := simt.Run(comp.Module, simt.Config{Kernel: "kernel", Seed: 7, Strict: true})
+	if err != nil {
+		t.Fatalf("simt.Run after %+v: %v\n%s", opts, err, ir.Print(comp.Module))
+	}
+	return comp, res
+}
+
+func TestListing1BaselineVsSpecRecon(t *testing.T) {
+	m := buildListing1(256, 24)
+
+	_, base := runStrict(t, m, BaselineOptions())
+	comp, spec := runStrict(t, m, SpecReconOptions())
+
+	// Semantic preservation: barriers are hints, results must match.
+	for i, w := range base.Memory {
+		if spec.Memory[i] != w {
+			t.Fatalf("memory diverges at word %d: baseline %x, specrecon %x", i, w, spec.Memory[i])
+		}
+	}
+
+	be := base.Metrics.SIMTEfficiency()
+	se := spec.Metrics.SIMTEfficiency()
+	t.Logf("baseline: %s", base.Metrics.String())
+	t.Logf("specrecon: %s", spec.Metrics.String())
+	t.Logf("conflicts: %d", len(comp.Conflicts))
+	if se <= be {
+		t.Errorf("speculative reconvergence did not improve SIMT efficiency: baseline %.3f, spec %.3f", be, se)
+	}
+	if len(comp.Conflicts) == 0 {
+		t.Errorf("expected conflicts between the speculative barrier and PDOM barriers, found none")
+	}
+}
+
+func TestListing1DeadlocksWithoutDeconfliction(t *testing.T) {
+	m := buildListing1(256, 24)
+	opts := SpecReconOptions()
+	opts.Deconflict = DeconflictNone
+	comp, err := Compile(m, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	_, err = simt.Run(comp.Module, simt.Config{Kernel: "kernel", Seed: 7, Strict: true})
+	if err == nil {
+		t.Fatalf("expected deadlock without deconfliction, but the kernel completed")
+	}
+	t.Logf("got expected failure: %v", err)
+}
+
+func TestListing1StaticDeconfliction(t *testing.T) {
+	m := buildListing1(256, 24)
+	_, base := runStrict(t, m, BaselineOptions())
+
+	opts := SpecReconOptions()
+	opts.Deconflict = DeconflictStatic
+	_, spec := runStrict(t, m, opts)
+
+	for i, w := range base.Memory {
+		if spec.Memory[i] != w {
+			t.Fatalf("memory diverges at word %d under static deconfliction", i)
+		}
+	}
+	if spec.Metrics.SIMTEfficiency() <= base.Metrics.SIMTEfficiency() {
+		t.Errorf("static deconfliction: SIMT efficiency did not improve (baseline %.3f, spec %.3f)",
+			base.Metrics.SIMTEfficiency(), spec.Metrics.SIMTEfficiency())
+	}
+}

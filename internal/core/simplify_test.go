@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+func TestSimplifyStraightLineMerge(t *testing.T) {
+	m, err := ir.Parse(`module t memwords=64
+func @k nregs=2 nfregs=0 {
+e:
+  tid r0
+  br second
+second:
+  const r1, #1
+  br third
+third:
+  st [r0], r1
+  exit
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[0]
+	n := Simplify(f)
+	if n == 0 {
+		t.Fatal("no simplifications made")
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks after simplify = %d, want 1", len(f.Blocks))
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("simplified module invalid: %v", err)
+	}
+	res, err := simt.Run(m, simt.Config{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Memory[0] != 1 {
+		t.Fatal("simplified kernel computes wrong result")
+	}
+}
+
+func TestSimplifySkipsEmptyBlocks(t *testing.T) {
+	m, err := ir.Parse(`module t memwords=64
+func @k nregs=2 nfregs=0 {
+e:
+  tid r0
+  and r1, r0, #1
+  cbr r1, hop, merge
+hop:
+  br merge
+merge:
+  st [r0], r1
+  exit
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[0]
+	Simplify(f)
+	if f.BlockByName("hop") != nil {
+		t.Error("empty hop block survived")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("invalid after simplify: %v", err)
+	}
+}
+
+func TestSimplifyPreservesPredictions(t *testing.T) {
+	m := buildListing1(32, 4)
+	f := m.FuncByName("kernel")
+	before := len(f.Predictions)
+	label := f.Predictions[0].Label
+	at := f.Predictions[0].At
+	Simplify(f)
+	if len(f.Predictions) != before {
+		t.Fatal("predictions lost")
+	}
+	if f.Predictions[0].Label != label || f.Predictions[0].At != at {
+		t.Fatal("prediction block identity changed")
+	}
+	if f.BlockByName(label.Name) == nil {
+		t.Fatal("label block merged away")
+	}
+	// Must still compile and run under the speculative pipeline.
+	comp, err := Compile(m, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simt.Run(comp.Module, simt.Config{Kernel: "kernel", Seed: 2, Strict: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplifyAfterInlining: the inliner's continuation chains collapse,
+// and behaviour is unchanged.
+func TestSimplifyAfterInlining(t *testing.T) {
+	m := buildFigure2c(true)
+	if _, _, err := Inline(m, "main", "foo"); err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("main")
+	blocksBefore := len(f.Blocks)
+	n := SimplifyModule(m)
+	if n == 0 {
+		t.Fatal("inlined function offered nothing to simplify")
+	}
+	if len(f.Blocks) >= blocksBefore {
+		t.Errorf("block count did not shrink: %d -> %d", blocksBefore, len(f.Blocks))
+	}
+
+	comp, err := Compile(m, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := simt.Run(comp.Module, simt.Config{Kernel: "main", Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := buildFigure2c(true)
+	refComp, err := Compile(ref, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simt.Run(refComp.Module, simt.Config{Kernel: "main", Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Memory {
+		if want.Memory[i] != got.Memory[i] {
+			t.Fatalf("simplified+inlined results differ at word %d", i)
+		}
+	}
+}
+
+// TestSimplifyIdempotent: a second run makes no further changes.
+func TestSimplifyIdempotent(t *testing.T) {
+	m := buildFigure2c(true)
+	if _, _, err := Inline(m, "main", "foo"); err != nil {
+		t.Fatal(err)
+	}
+	SimplifyModule(m)
+	if n := SimplifyModule(m); n != 0 {
+		t.Errorf("second simplify made %d changes", n)
+	}
+}
+
+// TestSimplifyOnCorpusStyleKernels: the workload modules are already
+// tight; Simplify must not break them even when it finds nothing.
+func TestSimplifyOnWorkloads(t *testing.T) {
+	m := buildLoopMergeKernel(4, 2)
+	SimplifyModule(m)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("invalid after simplify: %v", err)
+	}
+	comp, err := Compile(m, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simt.Run(comp.Module, simt.Config{Kernel: "kernel", Seed: 1, Strict: true}); err != nil {
+		t.Fatal(err)
+	}
+}

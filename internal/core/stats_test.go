@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestCompileStats checks the static-cost accounting, including the
+// section-4.3 observation that "static deconfliction has an advantage
+// over dynamic deconfliction in terms of number of instructions
+// executed and barrier registers used".
+func TestCompileStats(t *testing.T) {
+	m := buildListing1(64, 8)
+
+	base, err := Compile(m, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Joins == 0 || base.Stats.Waits == 0 {
+		t.Error("baseline PDOM pass emitted no synchronization")
+	}
+	if base.Stats.Cancels != 0 || base.Stats.SoftWaits != 0 {
+		t.Errorf("baseline should have no cancels or soft waits: %+v", base.Stats)
+	}
+	if base.Stats.OutputInstrs <= base.Stats.InputInstrs {
+		t.Error("output should grow with inserted barriers")
+	}
+
+	dyn, err := Compile(m, SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Stats.Cancels == 0 {
+		t.Error("speculative build should carry cancels (region exits + dynamic deconfliction)")
+	}
+
+	statOpts := SpecReconOptions()
+	statOpts.Deconflict = DeconflictStatic
+	stat, err := Compile(m, statOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static deconfliction deletes the conflicting PDOM barrier's ops
+	// instead of adding cancels: fewer total instructions.
+	if stat.Stats.OutputInstrs >= dyn.Stats.OutputInstrs {
+		t.Errorf("static deconfliction should emit less code: static %d vs dynamic %d",
+			stat.Stats.OutputInstrs, dyn.Stats.OutputInstrs)
+	}
+	if stat.Stats.Cancels >= dyn.Stats.Cancels {
+		t.Errorf("static deconfliction should carry fewer cancels: %d vs %d",
+			stat.Stats.Cancels, dyn.Stats.Cancels)
+	}
+
+	soft := SpecReconOptions()
+	soft.ThresholdOverride = 16
+	sw, err := Compile(m, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Stats.SoftWaits == 0 {
+		t.Error("threshold override should emit soft waits")
+	}
+}

@@ -1,0 +1,25 @@
+package corpus
+
+import (
+	"testing"
+
+	"specrecon/internal/ir"
+)
+
+// TestCorpusPrintParseRoundTrip pushes every generated kernel shape
+// through the textual format: a structural fuzz of the printer/parser
+// over hundreds of machine-generated modules.
+func TestCorpusPrintParseRoundTrip(t *testing.T) {
+	apps := Generate(250, 77)
+	for _, app := range apps {
+		text := ir.Print(app.Module)
+		parsed, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: parse of printed module failed: %v\n%s", app.Name, err, text)
+		}
+		again := ir.Print(parsed)
+		if again != text {
+			t.Fatalf("%s: round trip unstable", app.Name)
+		}
+	}
+}

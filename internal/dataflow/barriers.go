@@ -1,0 +1,236 @@
+package dataflow
+
+import (
+	"specrecon/internal/cfg"
+	"specrecon/internal/ir"
+)
+
+// NumBarriers returns one more than the highest barrier register index
+// used in f (so barrier bitsets are wide enough), at least 1.
+func NumBarriers(f *ir.Function) int {
+	n := f.MaxBarrier() + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// JoinedBarriers implements the paper's equation (1): a forward union
+// analysis where JoinBarrier generates joined-ness and WaitBarrier kills
+// it. A barrier is "joined" at a point P if some path from program start
+// to P contains a JoinBarrier not followed by a WaitBarrier.
+//
+// includeCancels extends the kill set with CancelBarrier, which the paper
+// ignores during initial placement (cancels are not yet inserted) but
+// which matters when the analysis is re-run for conflict detection, where
+// a live range "extends from the moment threads join the barrier until
+// the barrier is cleared either by waiting or exiting threads".
+func JoinedBarriers(f *ir.Function, info *cfg.Info, includeCancels bool) *Result {
+	nb := NumBarriers(f)
+	return Solve(f, info, Problem{
+		Dir:     Forward,
+		NumBits: nb,
+		Gen: func(b *ir.Block) Bits {
+			gen := NewBits(nb)
+			for i := range b.Instrs {
+				switch in := &b.Instrs[i]; in.Op {
+				case ir.OpJoin:
+					gen.Set(in.Bar)
+				case ir.OpWait, ir.OpWaitN:
+					gen.Clear(in.Bar)
+				case ir.OpCancel:
+					if includeCancels {
+						gen.Clear(in.Bar)
+					}
+				}
+			}
+			return gen
+		},
+		Kill: func(b *ir.Block) Bits {
+			kill := NewBits(nb)
+			for i := range b.Instrs {
+				switch in := &b.Instrs[i]; in.Op {
+				case ir.OpJoin:
+					kill.Clear(in.Bar)
+				case ir.OpWait, ir.OpWaitN:
+					kill.Set(in.Bar)
+				case ir.OpCancel:
+					if includeCancels {
+						kill.Set(in.Bar)
+					}
+				}
+			}
+			return kill
+		},
+	})
+}
+
+// LiveBarriers implements the paper's equation (2): a backward union
+// analysis where WaitBarrier generates liveness and JoinBarrier kills it.
+// A barrier is live at P if a WaitBarrier lies on some path from P to the
+// end of the program.
+func LiveBarriers(f *ir.Function, info *cfg.Info) *Result {
+	nb := NumBarriers(f)
+	return Solve(f, info, Problem{
+		Dir:     Backward,
+		NumBits: nb,
+		Gen: func(b *ir.Block) Bits {
+			gen := NewBits(nb)
+			// Scan backward so the earliest instruction dominates the
+			// block summary.
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				switch in := &b.Instrs[i]; in.Op {
+				case ir.OpWait, ir.OpWaitN:
+					gen.Set(in.Bar)
+				case ir.OpJoin:
+					gen.Clear(in.Bar)
+				}
+			}
+			return gen
+		},
+		Kill: func(b *ir.Block) Bits {
+			kill := NewBits(nb)
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				switch in := &b.Instrs[i]; in.Op {
+				case ir.OpWait, ir.OpWaitN:
+					kill.Clear(in.Bar)
+				case ir.OpJoin:
+					kill.Set(in.Bar)
+				}
+			}
+			return kill
+		},
+	})
+}
+
+// Point identifies one instruction position inside a function.
+type Point struct {
+	Block int // Block.Index
+	Instr int // instruction index within the block
+}
+
+// JoinedAt refines a JoinedBarriers result to instruction granularity:
+// it returns, for each block, the joined set *before* each instruction.
+// The slice is indexed [blockIndex][instrIndex].
+func JoinedAt(f *ir.Function, res *Result, includeCancels bool) [][]Bits {
+	out := make([][]Bits, len(f.Blocks))
+	for _, b := range f.Blocks {
+		cur := res.In[b.Index].Clone()
+		rows := make([]Bits, len(b.Instrs))
+		for i := range b.Instrs {
+			rows[i] = cur.Clone()
+			switch in := &b.Instrs[i]; in.Op {
+			case ir.OpJoin:
+				cur.Set(in.Bar)
+			case ir.OpWait, ir.OpWaitN:
+				cur.Clear(in.Bar)
+			case ir.OpCancel:
+				if includeCancels {
+					cur.Clear(in.Bar)
+				}
+			}
+		}
+		out[b.Index] = rows
+	}
+	return out
+}
+
+// RegLiveness computes backward liveness of the integer and float
+// register files (two independent problems, returned separately). It is
+// used by cost models and by sanity checks in tests.
+func RegLiveness(f *ir.Function, info *cfg.Info) (ints, floats *Result) {
+	ints = regLiveness(f, info, false)
+	floats = regLiveness(f, info, true)
+	return ints, floats
+}
+
+func regLiveness(f *ir.Function, info *cfg.Info, floats bool) *Result {
+	n := f.NRegs
+	if floats {
+		n = f.NFRegs
+	}
+	if n < 1 {
+		n = 1
+	}
+	file := fileOfInterest(floats)
+	return Solve(f, info, Problem{
+		Dir:     Backward,
+		NumBits: n,
+		Gen: func(b *ir.Block) Bits {
+			gen := NewBits(n)
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := &b.Instrs[i]
+				if d, dfile := dstOf(in); dfile == file && d >= 0 {
+					gen.Clear(int(d))
+				}
+				for _, u := range usesOf(in, file) {
+					if u >= 0 {
+						gen.Set(int(u))
+					}
+				}
+			}
+			return gen
+		},
+		Kill: func(b *ir.Block) Bits {
+			kill := NewBits(n)
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := &b.Instrs[i]
+				if d, dfile := dstOf(in); dfile == file && d >= 0 {
+					kill.Set(int(d))
+				}
+				for _, u := range usesOf(in, file) {
+					if u >= 0 {
+						kill.Clear(int(u))
+					}
+				}
+			}
+			return kill
+		},
+	})
+}
+
+type regFileTag int
+
+const (
+	tagInt regFileTag = iota
+	tagFloat
+)
+
+func fileOfInterest(floats bool) regFileTag {
+	if floats {
+		return tagFloat
+	}
+	return tagInt
+}
+
+// dstOf returns the destination register of in and which file it is in.
+func dstOf(in *ir.Instr) (ir.Reg, regFileTag) {
+	dsts := ir.OperandFiles(in.Op)
+	if dsts.Dst == ir.FileFloat {
+		return in.Dst, tagFloat
+	}
+	if dsts.Dst == ir.FileInt {
+		return in.Dst, tagInt
+	}
+	return ir.NoReg, tagInt
+}
+
+// usesOf returns the source registers of in belonging to the given file.
+func usesOf(in *ir.Instr, file regFileTag) []ir.Reg {
+	sig := ir.OperandFiles(in.Op)
+	var uses []ir.Reg
+	add := func(r ir.Reg, f ir.OperandFile) {
+		if r < 0 {
+			return
+		}
+		if (f == ir.FileInt && file == tagInt) || (f == ir.FileFloat && file == tagFloat) {
+			uses = append(uses, r)
+		}
+	}
+	add(in.A, sig.A)
+	if !in.BImm {
+		add(in.B, sig.B)
+	}
+	add(in.C, sig.C)
+	return uses
+}

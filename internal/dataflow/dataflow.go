@@ -1,0 +1,184 @@
+// Package dataflow provides a small generic bitset dataflow solver plus
+// the two analyses of the paper's section 4.2.1: joined-barrier analysis
+// (equation 1, a forward may-analysis telling at each point whether a
+// barrier has been joined and not yet cleared) and barrier live-range
+// analysis (equation 2, a backward may-analysis telling whether a
+// WaitBarrier lies ahead). Register liveness for the verifier and cost
+// models reuses the same solver.
+package dataflow
+
+import (
+	"math/bits"
+
+	"specrecon/internal/cfg"
+	"specrecon/internal/ir"
+)
+
+// Bits is a fixed-width bitset.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+func (b Bits) Set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b Bits) Clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b Bits) Has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Copy copies src into b; both must have the same width.
+func (b Bits) Copy(src Bits) { copy(b, src) }
+
+// UnionWith ors src into b, reporting whether b changed.
+func (b Bits) UnionWith(src Bits) bool {
+	changed := false
+	for i, w := range src {
+		nw := b[i] | w
+		if nw != b[i] {
+			b[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot removes src's bits from b.
+func (b Bits) AndNot(src Bits) {
+	for i, w := range src {
+		b[i] &^= w
+	}
+}
+
+// Or sets b = x | y.
+func (b Bits) Or(x, y Bits) {
+	for i := range b {
+		b[i] = x[i] | y[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports bit equality.
+func (b Bits) Equal(o Bits) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b Bits) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			fn(wi*64 + i)
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns a copy of b.
+func (b Bits) Clone() Bits {
+	out := make(Bits, len(b))
+	copy(out, b)
+	return out
+}
+
+// Direction selects forward or backward propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem describes a gen/kill union dataflow problem at block
+// granularity: OUT = (IN − Kill) ∪ Gen for forward problems, and
+// symmetrically for backward ones, with IN the union over predecessor
+// OUTs (successor INs when backward).
+type Problem struct {
+	Dir     Direction
+	NumBits int
+	// Gen and Kill give each block's composed gen/kill sets.
+	Gen  func(b *ir.Block) Bits
+	Kill func(b *ir.Block) Bits
+}
+
+// Result holds per-block IN and OUT sets indexed by Block.Index.
+type Result struct {
+	In, Out []Bits
+}
+
+// Solve runs the worklist algorithm to a fixed point.
+func Solve(f *ir.Function, info *cfg.Info, p Problem) *Result {
+	n := len(f.Blocks)
+	res := &Result{In: make([]Bits, n), Out: make([]Bits, n)}
+	gen := make([]Bits, n)
+	kill := make([]Bits, n)
+	for i, b := range f.Blocks {
+		res.In[i] = NewBits(p.NumBits)
+		res.Out[i] = NewBits(p.NumBits)
+		gen[i] = p.Gen(b)
+		kill[i] = p.Kill(b)
+	}
+
+	// Iteration order: RPO for forward problems, reverse RPO for
+	// backward ones, repeated until stable.
+	order := make([]*ir.Block, len(info.RPO))
+	copy(order, info.RPO)
+	if p.Dir == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	tmp := NewBits(p.NumBits)
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			i := b.Index
+			if p.Dir == Forward {
+				// IN = union of predecessor OUTs
+				for k := range res.In[i] {
+					res.In[i][k] = 0
+				}
+				for _, pr := range info.Preds[i] {
+					res.In[i].UnionWith(res.Out[pr.Index])
+				}
+				// OUT = (IN - kill) | gen
+				tmp.Copy(res.In[i])
+				tmp.AndNot(kill[i])
+				tmp.UnionWith(gen[i])
+				if !tmp.Equal(res.Out[i]) {
+					res.Out[i].Copy(tmp)
+					changed = true
+				}
+			} else {
+				// OUT = union of successor INs
+				for k := range res.Out[i] {
+					res.Out[i][k] = 0
+				}
+				for _, s := range b.Succs {
+					res.Out[i].UnionWith(res.In[s.Index])
+				}
+				// IN = (OUT - kill) | gen
+				tmp.Copy(res.Out[i])
+				tmp.AndNot(kill[i])
+				tmp.UnionWith(gen[i])
+				if !tmp.Equal(res.In[i]) {
+					res.In[i].Copy(tmp)
+					changed = true
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"testing"
+
+	"specrecon/internal/workloads"
+)
+
+// TestAveragedComparisonsStable: across four seeds, every annotated
+// benchmark keeps a speedup above 1 with modest spread — the headline
+// results are not artifacts of one lucky seed.
+func TestAveragedComparisonsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	for _, name := range []string{"rsbench", "mcb", "pathtracer", "mc-gpu"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg, err := CompareAveraged(w, workloads.BuildConfig{}, -1, DefaultSeeds)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: eff %.1f%%->%.1f%%, speedup mean %.2fx [%.2f..%.2f] stdev %.2f",
+			name, 100*avg.MeanBase, 100*avg.MeanSpec, avg.MeanSpeed, avg.MinSpeed, avg.MaxSpeed, avg.StdevSpeed)
+		if avg.MinSpeed < 1.02 {
+			t.Errorf("%s: worst-seed speedup %.2fx; the win should hold across seeds", name, avg.MinSpeed)
+		}
+		if avg.StdevSpeed > 0.35*avg.MeanSpeed {
+			t.Errorf("%s: speedup spread (stdev %.2f vs mean %.2f) is suspiciously wide", name, avg.StdevSpeed, avg.MeanSpeed)
+		}
+		if avg.MeanSpec <= avg.MeanBase {
+			t.Errorf("%s: mean efficiency did not improve", name)
+		}
+	}
+}

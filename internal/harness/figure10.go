@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+
+	"specrecon/internal/core"
+	"specrecon/internal/corpus"
+	"specrecon/internal/simt"
+	"specrecon/internal/workloads"
+)
+
+// Figure 10 and the section 5.4 study: automatic speculative
+// reconvergence. Two parts: (1) the corpus funnel — how many of a large
+// application population are divergent, how many have detected
+// opportunity, how many improve significantly; (2) the upside bars for
+// the automatically discovered kernels (the OptiX trace kernels and
+// MeiyaMD5).
+
+// FunnelResult reproduces the counts of section 5.4: "Of the 520 CUDA
+// applications we studied, 75 had a SIMT efficiency of less than about
+// 80%. Our implementation detected non-trivial opportunity in 16
+// applications, and 5 showed significant improvement."
+type FunnelResult struct {
+	Studied     int
+	LowEff      int // SIMT efficiency below the 80% screen
+	Detected    int // non-trivial opportunity found by the detector
+	Significant int // speedup and efficiency both improved materially
+	Regressed   int // detected but transformed version ran slower
+	// PerApp holds the detail rows for detected applications.
+	PerApp []FunnelRow
+}
+
+// FunnelRow is one detected application's outcome.
+type FunnelRow struct {
+	Name    string
+	Kind    string
+	BaseEff float64
+	AutoEff float64
+	Speedup float64
+	Score   float64
+}
+
+// significantSpeedup and significantEffRetention are the screens for a
+// "significant improvement" in the funnel: a real runtime win that does
+// not trade away SIMT efficiency.
+const (
+	significantSpeedup      = 1.25
+	significantEffRetention = 0.95
+	lowEffScreen            = 0.80
+)
+
+// RunFunnel generates a corpus of n synthetic applications and pushes
+// them through the detector and the simulator.
+func RunFunnel(n int, seed uint64) (*FunnelResult, error) {
+	apps := corpus.Generate(n, seed)
+	res := &FunnelResult{Studied: len(apps)}
+	for _, app := range apps {
+		baseComp, err := core.Compile(app.Module, core.BaselineOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline compile: %w", app.Name, err)
+		}
+		runCfg := simt.Config{Kernel: app.Kernel, Threads: app.Threads, Seed: app.Seed, Memory: app.Memory, Strict: true}
+		base, err := simt.Run(baseComp.Module, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline run: %w", app.Name, err)
+		}
+		baseEff := base.Metrics.SIMTEfficiency()
+		if baseEff < lowEffScreen {
+			res.LowEff++
+		}
+
+		// The detector only considers applications below the screen,
+		// mirroring the paper's triage.
+		if baseEff >= lowEffScreen {
+			continue
+		}
+		annotated := app.Module.Clone()
+		applied := core.AutoAnnotate(annotated, core.DefaultAutoDetectOptions())
+		if len(applied) == 0 {
+			continue
+		}
+		res.Detected++
+
+		specComp, err := core.Compile(annotated, core.SpecReconOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: auto compile: %w", app.Name, err)
+		}
+		spec, err := simt.Run(specComp.Module, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: auto run: %w", app.Name, err)
+		}
+		if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Name, err)
+		}
+		autoEff := spec.Metrics.SIMTEfficiency()
+		speedup := float64(base.Metrics.Cycles) / float64(spec.Metrics.Cycles)
+		row := FunnelRow{
+			Name:    app.Name,
+			Kind:    app.Kind.String(),
+			BaseEff: baseEff,
+			AutoEff: autoEff,
+			Speedup: speedup,
+			Score:   applied[0].Score(),
+		}
+		res.PerApp = append(res.PerApp, row)
+		if speedup >= significantSpeedup && autoEff >= significantEffRetention*baseEff {
+			res.Significant++
+		}
+		if speedup < 1.0 {
+			res.Regressed++
+		}
+	}
+	return res, nil
+}
+
+// AutoComparison measures one real workload under automatic detection:
+// the module is auto-annotated (any manual predictions stripped first)
+// and compared against baseline — the bars of Figure 10.
+func AutoComparison(w *workloads.Workload, cfg workloads.BuildConfig) (Comparison, []core.Candidate, error) {
+	inst := w.Build(cfg)
+	// Strip manual annotations so the detector works unaided.
+	stripped := inst.Module.Clone()
+	for _, f := range stripped.Funcs {
+		f.Predictions = nil
+	}
+	applied := core.AutoAnnotate(stripped, core.DefaultAutoDetectOptions())
+
+	_, base, err := Run(inst, core.BaselineOptions())
+	if err != nil {
+		return Comparison{}, nil, err
+	}
+	autoInst := &workloads.Instance{Module: stripped, Kernel: inst.Kernel, Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed}
+	comp, spec, err := Run(autoInst, core.SpecReconOptions())
+	if err != nil {
+		return Comparison{}, nil, err
+	}
+	if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
+		return Comparison{}, nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return Comparison{
+		Name:       w.Name,
+		Pattern:    w.Pattern,
+		BaseEff:    base.Metrics.SIMTEfficiency(),
+		SpecEff:    spec.Metrics.SIMTEfficiency(),
+		BaseCycles: base.Metrics.Cycles,
+		SpecCycles: spec.Metrics.Cycles,
+		BaseIssues: base.Metrics.Issues,
+		SpecIssues: spec.Metrics.Issues,
+		Conflicts:  len(comp.Conflicts),
+	}, applied, nil
+}
+
+// Figure10 runs automatic speculative reconvergence over the kernels the
+// paper reports upside for: the OptiX trace kernels and MeiyaMD5.
+func Figure10(cfg workloads.BuildConfig) ([]Comparison, error) {
+	var out []Comparison
+	for _, name := range []string{"optix-ao", "optix-path", "optix-shadow", "meiyamd5"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		c, _, err := AutoComparison(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

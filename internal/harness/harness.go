@@ -1,0 +1,213 @@
+// Package harness drives the paper's experiments: it compiles each
+// workload in its baseline and speculative-reconvergence variants, runs
+// them on the SIMT simulator, and produces the rows behind every results
+// figure of the paper (Figures 7, 8, 9 and 10). cmd/figures formats the
+// output; EXPERIMENTS.md records a reference run.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+	"specrecon/internal/workloads"
+)
+
+// Run compiles one workload instance with the given options and runs it.
+func Run(inst *workloads.Instance, opts core.Options) (*core.Compilation, *simt.Result, error) {
+	comp, err := core.Compile(inst.Module, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
+	}
+	res, err := simt.Run(comp.Module, simt.Config{
+		Kernel:  inst.Kernel,
+		Threads: inst.Threads,
+		Seed:    inst.Seed,
+		Memory:  inst.Memory,
+		Strict:  true,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("run %s: %w", inst.Module.Name, err)
+	}
+	return comp, res, nil
+}
+
+// Comparison is one bar pair of Figure 7 plus the derived Figure 8 view.
+type Comparison struct {
+	Name       string
+	Pattern    string
+	BaseEff    float64 // baseline SIMT efficiency, 0..1
+	SpecEff    float64 // speculative-reconvergence SIMT efficiency
+	BaseCycles int64
+	SpecCycles int64
+	BaseIssues int64
+	SpecIssues int64
+	Conflicts  int
+	Threshold  int // effective soft-barrier threshold (0 = hard barrier)
+}
+
+// EffImprovement returns SpecEff / BaseEff (Figure 8's first series).
+func (c Comparison) EffImprovement() float64 {
+	if c.BaseEff == 0 {
+		return 0
+	}
+	return c.SpecEff / c.BaseEff
+}
+
+// Speedup returns baseline cycles / optimized cycles (Figure 8's second
+// series).
+func (c Comparison) Speedup() float64 {
+	if c.SpecCycles == 0 {
+		return 0
+	}
+	return float64(c.BaseCycles) / float64(c.SpecCycles)
+}
+
+// Compare builds the workload once and measures baseline versus
+// speculative reconvergence. A negative thresholdOverride keeps each
+// prediction's own (tuned) threshold.
+func Compare(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride int) (Comparison, error) {
+	inst := w.Build(cfg)
+	_, base, err := Run(inst, core.BaselineOptions())
+	if err != nil {
+		return Comparison{}, err
+	}
+	specOpts := core.SpecReconOptions()
+	specOpts.ThresholdOverride = thresholdOverride
+	comp, spec, err := Run(inst, specOpts)
+	if err != nil {
+		return Comparison{}, err
+	}
+	if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
+		return Comparison{}, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	threshold := thresholdOverride
+	if threshold < 0 {
+		threshold = firstThreshold(inst.Module)
+	}
+	return Comparison{
+		Name:       w.Name,
+		Pattern:    w.Pattern,
+		BaseEff:    base.Metrics.SIMTEfficiency(),
+		SpecEff:    spec.Metrics.SIMTEfficiency(),
+		BaseCycles: base.Metrics.Cycles,
+		SpecCycles: spec.Metrics.Cycles,
+		BaseIssues: base.Metrics.Issues,
+		SpecIssues: spec.Metrics.Issues,
+		Conflicts:  len(comp.Conflicts),
+		Threshold:  threshold,
+	}, nil
+}
+
+func firstThreshold(m *ir.Module) int {
+	for _, f := range m.Funcs {
+		for _, p := range f.Predictions {
+			return p.Threshold
+		}
+	}
+	return 0
+}
+
+// VerifySameResults checks that two final memory images agree. Words
+// that differ bitwise must still agree as floats to within a tiny
+// relative error: kernels using floating-point atomics (gpu-mcml's
+// absorption grid) produce order-dependent rounding, and convergence
+// barriers legitimately reorder lanes.
+func VerifySameResults(a, b []uint64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("memory sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		fa, fb := math.Float64frombits(a[i]), math.Float64frombits(b[i])
+		if closeEnough(fa, fb) {
+			continue
+		}
+		return fmt.Errorf("memory word %d differs: %#x (%g) vs %#x (%g)", i, a[i], fa, b[i], fb)
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	// Only values that look like genuine floats get tolerance: small
+	// integers reinterpret as denormals, and treating those as "close"
+	// would mask real integer mismatches (e.g. counters 2 vs 3).
+	if math.Abs(a) < 1e-300 || math.Abs(b) < 1e-300 {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// Figure7 measures SIMT efficiency before and after speculative
+// reconvergence for every programmer-annotated benchmark (paper section
+// 5.2). Each workload runs at its tuned per-prediction threshold.
+func Figure7(cfg workloads.BuildConfig) ([]Comparison, error) {
+	var out []Comparison
+	for _, w := range workloads.Annotated() {
+		c, err := Compare(w, cfg, -1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Figure8 is the same experiment viewed as relative SIMT-efficiency
+// improvement versus speedup; the paper observes the former roughly
+// upper-bounds the latter.
+func Figure8(cfg workloads.BuildConfig) ([]Comparison, error) {
+	return Figure7(cfg)
+}
+
+// ThresholdPoint is one x-position of Figure 9.
+type ThresholdPoint struct {
+	Threshold int
+	Eff       float64
+	Speedup   float64
+	Cycles    int64
+}
+
+// Figure9 sweeps the soft-barrier threshold for one workload (the paper
+// shows PathTracer and XSBench). Threshold t means the waiting cohort
+// proceeds once t lanes have collected; t=0 never waits, t=32 waits for
+// every possible participant.
+func Figure9(name string, cfg workloads.BuildConfig, thresholds []int) ([]ThresholdPoint, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	inst := w.Build(cfg)
+	_, base, err := Run(inst, core.BaselineOptions())
+	if err != nil {
+		return nil, err
+	}
+	var out []ThresholdPoint
+	for _, t := range thresholds {
+		specOpts := core.SpecReconOptions()
+		specOpts.ThresholdOverride = t
+		_, spec, err := Run(inst, specOpts)
+		if err != nil {
+			return nil, fmt.Errorf("threshold %d: %w", t, err)
+		}
+		if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
+			return nil, fmt.Errorf("threshold %d: %w", t, err)
+		}
+		out = append(out, ThresholdPoint{
+			Threshold: t,
+			Eff:       spec.Metrics.SIMTEfficiency(),
+			Speedup:   float64(base.Metrics.Cycles) / float64(spec.Metrics.Cycles),
+			Cycles:    spec.Metrics.Cycles,
+		})
+	}
+	return out, nil
+}

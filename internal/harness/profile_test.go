@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"testing"
+
+	"specrecon/internal/workloads"
+)
+
+func TestCollectProfile(t *testing.T) {
+	w, err := workloads.Get("rsbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(workloads.BuildConfig{Tasks: 4})
+	profile, err := CollectProfile(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner loop body must dominate the profile.
+	if profile["inner_body"] <= profile["prolog"] {
+		t.Errorf("profile: inner_body (%d) should dominate prolog (%d)",
+			profile["inner_body"], profile["prolog"])
+	}
+	if profile["entry"] != int64(inst.Threads) {
+		t.Errorf("entry visits = %d, want %d", profile["entry"], inst.Threads)
+	}
+}
+
+// TestProfileGuidedDetectionOnWorkloads: with a measured profile the
+// detector still finds the loop-merge candidates on the auto-detected
+// suite and improves them.
+func TestProfileGuidedDetectionOnWorkloads(t *testing.T) {
+	for _, name := range []string{"meiyamd5", "optix-ao"} {
+		w, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, applied, err := ProfileGuidedAutoComparison(w, workloads.BuildConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(applied) == 0 {
+			t.Errorf("%s: profile-guided detector found nothing", name)
+			continue
+		}
+		if c.SpecEff <= c.BaseEff {
+			t.Errorf("%s: profile-guided transform did not improve efficiency (%.3f -> %.3f)",
+				name, c.BaseEff, c.SpecEff)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"specrecon/internal/workloads"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	var sb strings.Builder
+	// Small funnel keeps the test quick; the full 520 runs in the
+	// figures command and the funnel-shape test.
+	if err := WriteMarkdownReport(&sb, workloads.BuildConfig{}, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## Figure 7", "## Figure 8", "## Figure 9", "## Figure 10",
+		"## Section 5.4",
+		"| rsbench |", "| xsbench |", "| pathtracer |",
+		"| optix-ao |", "| meiyamd5 |",
+		"| studied | 520 | 60 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Markdown tables must be well-formed: every table row has the same
+	// column count as its header within a block.
+	lines := strings.Split(out, "\n")
+	cols := 0
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "|") {
+			cols = 0
+			continue
+		}
+		n := strings.Count(ln, "|")
+		if cols == 0 {
+			cols = n
+		} else if n != cols {
+			t.Errorf("ragged table row: %q (want %d pipes, got %d)", ln, cols, n)
+		}
+	}
+}

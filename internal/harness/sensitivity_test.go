@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"testing"
+
+	"specrecon/internal/core"
+	"specrecon/internal/workloads"
+)
+
+// TestModelSensitivity pins the robustness claim of EXPERIMENTS.md:
+// under every memory-model variant, (1) SIMT efficiency improves for
+// each benchmark (efficiency is model-independent by construction —
+// issues don't depend on costs — so this doubles as a sanity check),
+// (2) the compute-bound benchmarks keep a solid speedup, and (3)
+// xsbench, the memory-bound case, stays the weakest speedup of the set
+// — the paper's qualitative ordering survives cost-model perturbation.
+func TestModelSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity grid is slow")
+	}
+	names := []string{"mcb", "pathtracer", "xsbench", "rsbench"}
+	grid, err := Sensitivity(names, workloads.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for variant, rows := range grid {
+		var xsSpeedup float64
+		minOther := 1e9
+		for _, r := range rows {
+			t.Logf("%-10s %-10s eff %.1f%%->%.1f%% speedup %.2fx",
+				variant, r.Name, 100*r.BaseEff, 100*r.SpecEff, r.Speedup())
+			if r.SpecEff <= r.BaseEff {
+				t.Errorf("%s/%s: efficiency did not improve", variant, r.Name)
+			}
+			if r.Name == "xsbench" {
+				xsSpeedup = r.Speedup()
+				continue
+			}
+			if r.Speedup() < minOther {
+				minOther = r.Speedup()
+			}
+			if r.Speedup() < 1.3 {
+				t.Errorf("%s/%s: compute-bound speedup %.2fx collapsed under model change", variant, r.Name, r.Speedup())
+			}
+		}
+		if xsSpeedup >= minOther {
+			t.Errorf("%s: xsbench (%.2fx) should stay the weakest speedup (others >= %.2fx)", variant, xsSpeedup, minOther)
+		}
+	}
+}
+
+// TestNoMLPAblation: without memory-level parallelism, converged
+// divergent gathers cost as much as serial ones and the speedup of
+// memory-touching workloads collapses — the reason the memory model
+// carries an MLP term (and the reason reconvergence pays on real GPUs,
+// whose memory systems overlap a warp's transactions).
+func TestNoMLPAblation(t *testing.T) {
+	v := NoMLPVariant()
+	for _, tc := range []struct {
+		name     string
+		memBound bool
+	}{
+		{"rsbench", true},   // gather in every inner iteration
+		{"meiyamd5", false}, // pure integer compute
+	} {
+		w, err := workloads.Get(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := w.Build(workloads.BuildConfig{})
+		mod := inst.Module.Clone()
+		if tc.name == "meiyamd5" {
+			// Un-annotated workload: let the detector annotate it.
+			core.AutoAnnotate(mod, core.DefaultAutoDetectOptions())
+		}
+		c, err := CompareWithCache(&workloads.Workload{Name: tc.name, Build: func(workloads.BuildConfig) *workloads.Instance {
+			return &workloads.Instance{Module: mod, Kernel: inst.Kernel, Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed}
+		}}, workloads.BuildConfig{}, v.Cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("no-mlp %-10s speedup %.2fx", tc.name, c.Speedup())
+		if tc.memBound && c.Speedup() > 1.25 {
+			t.Errorf("%s: serialized transactions should erase most of the speedup, got %.2fx", tc.name, c.Speedup())
+		}
+		if !tc.memBound && c.Speedup() < 1.4 {
+			t.Errorf("%s: compute-bound speedup should survive the no-MLP model, got %.2fx", tc.name, c.Speedup())
+		}
+	}
+}
+
+// TestEfficiencyIsModelIndependent: SIMT efficiency counts issues, not
+// cycles, so it must be bit-identical across cost models.
+func TestEfficiencyIsModelIndependent(t *testing.T) {
+	w, err := workloads.Get("mcb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref Comparison
+	for i, v := range ModelVariants() {
+		c, err := CompareWithCache(w, workloads.BuildConfig{Tasks: 4}, v.Cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = c
+			continue
+		}
+		if c.BaseEff != ref.BaseEff || c.SpecEff != ref.SpecEff || c.BaseIssues != ref.BaseIssues {
+			t.Errorf("%s: efficiency/issues changed with the cost model (%.4f/%.4f vs %.4f/%.4f)",
+				v.Name, c.BaseEff, c.SpecEff, ref.BaseEff, ref.SpecEff)
+		}
+	}
+}

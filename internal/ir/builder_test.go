@@ -1,0 +1,187 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuilderFullSurface drives every builder helper once, verifies the
+// module, and round-trips it through the textual format — broad coverage
+// of the emit helpers and the printer's operand forms.
+func TestBuilderFullSurface(t *testing.T) {
+	m := NewModule("surface")
+	m.MemWords = 256
+
+	callee := m.NewFunction("leaf")
+	{
+		cb := NewBuilder(callee)
+		cb.SetBlock(callee.NewBlock("leaf_entry"))
+		callee.NFRegs = 1
+		cb.FMovTo(Reg(0), cb.FAddI(Reg(0), 1.0))
+		cb.Ret()
+	}
+
+	f := m.NewFunction("kernel")
+	b := NewBuilder(f)
+	if f.NFRegs < 1 {
+		f.NFRegs = 1
+	}
+	entry := b.Block("entry")
+	_ = entry
+	loop := f.NewBlock("loop")
+	thn := f.NewBlock("thn")
+	els := f.NewBlock("els")
+	merge := f.NewBlock("merge")
+	tail := f.NewBlock("tail")
+
+	// Integer surface.
+	tid := b.Tid()
+	lane := b.Lane()
+	nt := b.NumThreads()
+	r := b.Rand()
+	c := b.Const(3)
+	mv := b.Mov(c)
+	b.MovTo(mv, c)
+	b.ConstTo(mv, 4)
+	sum := b.Add(tid, lane)
+	sum = b.AddI(sum, 1)
+	sub := b.Sub(nt, c)
+	sub = b.SubI(sub, 1)
+	mul := b.Mul(sum, sub)
+	mul = b.MulI(mul, 2)
+	dv := b.Div(mul, c)
+	md := b.Mod(dv, c)
+	md = b.ModI(md, 5)
+	mn := b.Min(sum, sub)
+	mx := b.Max(sum, sub)
+	an := b.And(mn, mx)
+	an = b.AndI(an, 255)
+	or := b.Or(an, c)
+	xo := b.Xor(or, c)
+	xo = b.XorI(xo, 1)
+	sl := b.Shl(xo, c)
+	sl = b.ShlI(sl, 1)
+	sr := b.ShrI(sl, 2)
+	eq := b.SetEQ(sr, c)
+	eq = b.SetEQI(eq, 0)
+	ne := b.SetNE(eq, c)
+	ne = b.SetNEI(ne, 1)
+	lt := b.SetLT(ne, c)
+	lt = b.SetLTI(lt, 2)
+	le := b.SetLE(lt, c)
+	gt := b.SetGT(le, c)
+	gt = b.SetGTI(gt, 0)
+	ge := b.SetGE(gt, c)
+	ge = b.SetGEI(ge, 0)
+	_ = r
+
+	// Float surface.
+	fc := b.FConst(1.5)
+	fd := b.FReg()
+	b.FConstTo(fd, 2.5)
+	b.FMovTo(fd, fc)
+	fr := b.FRand()
+	fa := b.FAdd(fc, fr)
+	fa = b.FAddI(fa, 0.5)
+	fs := b.FSub(fa, fc)
+	fs = b.FSubI(fs, 0.25)
+	fm := b.FMul(fs, fc)
+	fm = b.FMulI(fm, 2.0)
+	fdv := b.FDiv(fm, b.FConst(2.0))
+	fmin := b.FMinOp(fdv, fc)
+	fmax := b.FMaxOp(fmin, fc)
+	fneg := b.FNeg(fmax)
+	fabs := b.FAbs(fneg)
+	fsq := b.FSqrt(fabs)
+	_ = fsq
+	fex := b.FExp(b.FConst(0))
+	flg := b.FLog(fex)
+	fsin := b.FSin(flg)
+	fcos := b.FCos(fsin)
+	fma := b.FMA(fcos, fc, fabs)
+	flt := b.FSetLT(fma, fc)
+	flt2 := b.FSetLTI(fma, 9.0)
+	fgt := b.FSetGT(fma, fc)
+	fgt2 := b.FSetGTI(fma, -9.0)
+	fge := b.FSetGE(fma, fc)
+	fle := b.FSetLE(fma, fc)
+	itf := b.ItoF(lt)
+	fti := b.FtoI(itf)
+	_, _, _, _, _, _, _ = flt, flt2, fgt, fgt2, fge, fle, fti
+
+	// Memory surface.
+	addr := b.AndI(tid, 63)
+	ld := b.Load(addr, 0)
+	fl := b.FLoad(addr, 64)
+	b.Store(addr, 128, ld)
+	b.FStore(addr, 192, fl)
+	one := b.Const(1)
+	old := b.AtomAdd(b.Const(0), 130, one)
+	fold := b.FAtomAdd(b.Const(0), 131, fl)
+	_, _ = old, fold
+
+	// Votes and sync.
+	va := b.VoteAny(ge)
+	vl := b.VoteAll(va)
+	bl := b.Ballot(vl)
+	_ = bl
+	b.WarpSync()
+
+	// Barriers.
+	bar := b.Barrier()
+	b.Join(bar)
+	cnt := b.Arrived(bar)
+	_ = cnt
+	b.Cancel(bar)
+	b.Join(bar)
+	b.Wait(bar)
+	b.Join(bar)
+	b.WaitN(bar, 16)
+	b.Call("leaf")
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	cond := b.AndI(tid, 1)
+	b.CBr(cond, thn, els)
+
+	b.SetBlock(thn)
+	b.Predict(merge)
+	b.Br(merge)
+
+	b.SetBlock(els)
+	b.PredictThreshold(merge, 8)
+	b.PredictCall("leaf")
+	b.Br(merge)
+
+	b.SetBlock(merge)
+	sel := b.Reg()
+	b.Emit(Instr{Op: OpSelect, Dst: sel, A: cond, B: tid, C: lane})
+	b.Emit(Instr{Op: OpNop, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg})
+	b.Br(tail)
+
+	b.SetBlock(tail)
+	if b.Current() != tail {
+		t.Fatal("Current() mismatch")
+	}
+	b.Exit()
+
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("surface module invalid: %v", err)
+	}
+
+	text := Print(m)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse of printed surface module: %v\n%s", err, text)
+	}
+	if Print(back) != text {
+		t.Fatal("surface module round trip unstable")
+	}
+	if !strings.Contains(text, ".predictcall @leaf") || !strings.Contains(text, "threshold=8") {
+		t.Error("prediction directives missing from print")
+	}
+	dot := DOT(m.FuncByName("kernel"))
+	if !strings.Contains(dot, "digraph") {
+		t.Error("DOT output malformed")
+	}
+}

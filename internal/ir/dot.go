@@ -1,0 +1,53 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the function's control-flow graph in Graphviz dot syntax,
+// one record-shaped node per basic block with its instructions, solid
+// edges for branch targets. Prediction annotations are drawn as dashed
+// edges from the region-start block to the label block. Useful for
+// debugging pass output:
+//
+//	go run ./cmd/specrecon -kernel rsbench -mode spec -dot | dot -Tsvg ...
+func DOT(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=record, fontname=\"monospace\", fontsize=10];\n")
+	for _, b := range f.Blocks {
+		var lines []string
+		lines = append(lines, b.Name+":")
+		for i := range b.Instrs {
+			lines = append(lines, "  "+FormatInstr(&b.Instrs[i], b))
+		}
+		label := strings.Join(lines, "\\l") + "\\l"
+		label = strings.ReplaceAll(label, "\"", "\\\"")
+		label = strings.ReplaceAll(label, "{", "\\{")
+		label = strings.ReplaceAll(label, "}", "\\}")
+		label = strings.ReplaceAll(label, "<", "\\<")
+		label = strings.ReplaceAll(label, ">", "\\>")
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"];\n", b.Name, label)
+	}
+	for _, b := range f.Blocks {
+		for si, s := range b.Succs {
+			attr := ""
+			if b.Terminator().Op == OpCBr {
+				if si == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", b.Name, s.Name, attr)
+		}
+	}
+	for _, p := range f.Predictions {
+		if p.Label != nil {
+			fmt.Fprintf(&sb, "  %q -> %q [style=dashed, color=blue, label=\"predict\"];\n", p.At.Name, p.Label.Name)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

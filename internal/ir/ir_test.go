@@ -1,0 +1,224 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs a small module with a diamond CFG used by
+// several tests.
+func buildDiamond(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("diamond")
+	f := m.NewFunction("kernel")
+	b := NewBuilder(f)
+
+	entry := f.NewBlock("entry")
+	thn := f.NewBlock("thn")
+	els := f.NewBlock("els")
+	merge := f.NewBlock("merge")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	c := b.AndI(tid, 1)
+	b.CBr(c, thn, els)
+
+	b.SetBlock(thn)
+	b.Const(1)
+	b.Br(merge)
+
+	b.SetBlock(els)
+	b.Const(2)
+	b.Br(merge)
+
+	b.SetBlock(merge)
+	b.Exit()
+
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("diamond module invalid: %v", err)
+	}
+	return m, f
+}
+
+func TestBlockInsertAndRemove(t *testing.T) {
+	_, f := buildDiamond(t)
+	blk := f.BlockByName("thn")
+	orig := len(blk.Instrs)
+
+	blk.InsertTop(Instr{Op: OpNop})
+	if blk.Instrs[0].Op != OpNop {
+		t.Fatalf("InsertTop did not place at index 0: %v", blk.Instrs[0].Op)
+	}
+	blk.InsertBeforeTerminator(Instr{Op: OpNop})
+	if blk.Instrs[len(blk.Instrs)-2].Op != OpNop {
+		t.Fatalf("InsertBeforeTerminator misplaced")
+	}
+	if blk.Terminator().Op != OpBr {
+		t.Fatalf("terminator changed: %v", blk.Terminator().Op)
+	}
+	if len(blk.Instrs) != orig+2 {
+		t.Fatalf("length = %d, want %d", len(blk.Instrs), orig+2)
+	}
+	blk.RemoveAt(0)
+	if len(blk.Instrs) != orig+1 {
+		t.Fatalf("RemoveAt failed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.Predictions = append(f.Predictions, Prediction{At: f.Entry(), Label: f.BlockByName("thn")})
+
+	clone := m.Clone()
+	cf := clone.FuncByName("kernel")
+	if cf == f {
+		t.Fatal("clone returned the same function pointer")
+	}
+	// Mutating the clone must not affect the original.
+	cf.BlockByName("thn").InsertTop(Instr{Op: OpNop})
+	if len(f.BlockByName("thn").Instrs) == len(cf.BlockByName("thn").Instrs) {
+		t.Fatal("clone shares instruction storage with the original")
+	}
+	// Successor edges must point into the clone.
+	for _, b := range cf.Blocks {
+		for _, s := range b.Succs {
+			if s.Name != "" && cf.BlockByName(s.Name) != s {
+				t.Fatalf("clone block %q successor %q not remapped", b.Name, s.Name)
+			}
+		}
+	}
+	// Predictions must be remapped.
+	if cf.Predictions[0].At != cf.Entry() || cf.Predictions[0].Label != cf.BlockByName("thn") {
+		t.Fatal("clone predictions not remapped onto cloned blocks")
+	}
+	if err := VerifyModule(clone); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m, f := buildDiamond(t)
+	blk := f.BlockByName("thn")
+	blk.Instrs = blk.Instrs[:len(blk.Instrs)-1] // drop the br
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "not a terminator") {
+		t.Fatalf("want missing-terminator error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesBadSuccessorCount(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.BlockByName("entry").Succs = f.BlockByName("entry").Succs[:1]
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "successors") {
+		t.Fatalf("want successor-count error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesRegisterOutOfRange(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.BlockByName("thn").InsertTop(Instr{Op: OpMov, Dst: Reg(f.NRegs + 5), A: 0})
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want out-of-range error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.BlockByName("thn").InsertTop(Instr{Op: OpExit})
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "before end of block") {
+		t.Fatalf("want mid-block-terminator error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesUnknownCallee(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.BlockByName("thn").InsertTop(Instr{Op: OpCall, Callee: "nope"})
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Fatalf("want undefined-function error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesDuplicateBlockNames(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.BlockByName("thn").Name = "els"
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "duplicate block name") {
+		t.Fatalf("want duplicate-name error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesStaleIndex(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.Blocks[1], f.Blocks[2] = f.Blocks[2], f.Blocks[1] // swap without Reindex
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "stale index") {
+		t.Fatalf("want stale-index error, got %v", err)
+	}
+	f.Reindex()
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("after Reindex module should verify: %v", err)
+	}
+}
+
+func TestVerifyPredictions(t *testing.T) {
+	m, f := buildDiamond(t)
+	f.Predictions = []Prediction{{At: f.Entry()}} // neither label nor callee
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "neither Label nor Callee") {
+		t.Fatalf("want prediction error, got %v", err)
+	}
+	f.Predictions = []Prediction{{At: f.Entry(), Label: f.BlockByName("thn"), Threshold: 99}}
+	if err := VerifyModule(m); err == nil || !strings.Contains(err.Error(), "threshold") {
+		t.Fatalf("want threshold error, got %v", err)
+	}
+}
+
+func TestBuilderRegisterSizing(t *testing.T) {
+	m := NewModule("regs")
+	f := m.NewFunction("kernel")
+	b := NewBuilder(f)
+	blk := f.NewBlock("entry")
+	b.SetBlock(blk)
+	r1 := b.Const(5)
+	r2 := b.AddI(r1, 1)
+	fr := b.FConst(1.5)
+	_ = b.FAdd(fr, fr)
+	_ = r2
+	b.Exit()
+	if f.NRegs < 2 {
+		t.Errorf("NRegs = %d, want >= 2", f.NRegs)
+	}
+	if f.NFRegs < 2 {
+		t.Errorf("NFRegs = %d, want >= 2", f.NFRegs)
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("builder output invalid: %v", err)
+	}
+}
+
+func TestMaxBarrier(t *testing.T) {
+	m, f := buildDiamond(t)
+	if got := f.MaxBarrier(); got != -1 {
+		t.Fatalf("MaxBarrier on barrier-free function = %d, want -1", got)
+	}
+	f.BlockByName("thn").InsertTop(Instr{Op: OpJoin, Bar: 7})
+	if got := f.MaxBarrier(); got != 7 {
+		t.Fatalf("MaxBarrier = %d, want 7", got)
+	}
+	_ = m
+}
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		info := opTable[op]
+		if info.name == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if info.latency <= 0 {
+			t.Errorf("opcode %s has non-positive latency", info.name)
+		}
+		back, ok := OpcodeByName(info.name)
+		if !ok || back != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v", info.name, back, ok, op)
+		}
+		if info.term && op != OpRet && op != OpExit && info.nsucc == 0 {
+			t.Errorf("terminator %s has no successors and is not ret/exit", info.name)
+		}
+	}
+}

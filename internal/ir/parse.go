@@ -1,0 +1,430 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module in the textual format produced by Print. It is the
+// inverse of Print up to formatting: Parse(Print(m)) yields a module that
+// prints identically (a property verified by the round-trip tests).
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	m, err := p.module()
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %w", p.pos, err)
+	}
+	if err := VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("parsed module fails verification: %w", err)
+	}
+	return m, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int // 1-based line number of the line most recently consumed
+}
+
+// next returns the next non-empty, non-comment line, trimmed, or ok=false
+// at end of input.
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		p.pos++
+		if i := strings.IndexByte(ln, ';'); i >= 0 {
+			ln = ln[:i]
+		}
+		ln = strings.TrimSpace(ln)
+		if ln != "" {
+			return ln, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) module() (*Module, error) {
+	ln, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("empty input")
+	}
+	fields := strings.Fields(ln)
+	if len(fields) < 2 || fields[0] != "module" {
+		return nil, fmt.Errorf("expected 'module <name> ...', got %q", ln)
+	}
+	m := NewModule(fields[1])
+	for _, kv := range fields[2:] {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return nil, fmt.Errorf("malformed module attribute %q", kv)
+		}
+		switch k {
+		case "memwords":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("memwords: %v", err)
+			}
+			m.MemWords = n
+		default:
+			return nil, fmt.Errorf("unknown module attribute %q", k)
+		}
+	}
+	for {
+		ln, ok := p.next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(ln, "func ") {
+			return nil, fmt.Errorf("expected 'func', got %q", ln)
+		}
+		if err := p.function(m, ln); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// pendingPred is a prediction directive seen during the first pass, with
+// block references still by name.
+type pendingPred struct {
+	at        string
+	label     string
+	callee    string
+	threshold int
+}
+
+// pendingSuccs records a block's successor names for the second pass.
+type pendingSuccs struct {
+	block *Block
+	names []string
+}
+
+func (p *parser) function(m *Module, header string) error {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(header), "{"))
+	if len(fields) < 2 || !strings.HasPrefix(fields[1], "@") {
+		return fmt.Errorf("malformed func header %q", header)
+	}
+	f := m.NewFunction(strings.TrimPrefix(fields[1], "@"))
+	for _, kv := range fields[2:] {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return fmt.Errorf("malformed func attribute %q", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("func attribute %s: %v", k, err)
+		}
+		switch k {
+		case "nregs":
+			f.NRegs = n
+		case "nfregs":
+			f.NFRegs = n
+		default:
+			return fmt.Errorf("unknown func attribute %q", k)
+		}
+	}
+
+	var cur *Block
+	var succs []pendingSuccs
+	var preds []pendingPred
+	for {
+		ln, ok := p.next()
+		if !ok {
+			return fmt.Errorf("unterminated function %q", f.Name)
+		}
+		if ln == "}" {
+			break
+		}
+		if strings.HasSuffix(ln, ":") && !strings.Contains(ln, " ") {
+			cur = f.NewBlock(strings.TrimSuffix(ln, ":"))
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("instruction %q before any block label", ln)
+		}
+		if strings.HasPrefix(ln, ".predict") {
+			pp, err := parsePredict(ln, cur.Name)
+			if err != nil {
+				return err
+			}
+			preds = append(preds, pp)
+			continue
+		}
+		in, succNames, err := parseInstr(ln)
+		if err != nil {
+			return fmt.Errorf("%q: %w", ln, err)
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		if len(succNames) > 0 {
+			succs = append(succs, pendingSuccs{block: cur, names: succNames})
+		}
+	}
+
+	// Second pass: resolve successor and prediction block names.
+	for _, ps := range succs {
+		for _, name := range ps.names {
+			t := f.BlockByName(name)
+			if t == nil {
+				return fmt.Errorf("func %q: undefined block %q", f.Name, name)
+			}
+			ps.block.Succs = append(ps.block.Succs, t)
+		}
+	}
+	for _, pp := range preds {
+		pred := Prediction{Threshold: pp.threshold, Callee: pp.callee}
+		pred.At = f.BlockByName(pp.at)
+		if pp.label != "" {
+			pred.Label = f.BlockByName(pp.label)
+			if pred.Label == nil {
+				return fmt.Errorf("func %q: prediction label %q undefined", f.Name, pp.label)
+			}
+		}
+		f.Predictions = append(f.Predictions, pred)
+	}
+	f.Reindex()
+	return nil
+}
+
+func parsePredict(ln, atBlock string) (pendingPred, error) {
+	fields := strings.Fields(ln)
+	pp := pendingPred{at: atBlock}
+	if len(fields) < 2 {
+		return pp, fmt.Errorf("malformed directive %q", ln)
+	}
+	switch fields[0] {
+	case ".predict":
+		pp.label = fields[1]
+	case ".predictcall":
+		pp.callee = strings.TrimPrefix(fields[1], "@")
+	default:
+		return pp, fmt.Errorf("unknown directive %q", fields[0])
+	}
+	for _, kv := range fields[2:] {
+		k, v, found := strings.Cut(kv, "=")
+		if !found || k != "threshold" {
+			return pp, fmt.Errorf("malformed directive attribute %q", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return pp, fmt.Errorf("threshold: %v", err)
+		}
+		pp.threshold = n
+	}
+	return pp, nil
+}
+
+// parseInstr parses one instruction line; terminator successor names are
+// returned separately for the caller's second pass.
+func parseInstr(ln string) (Instr, []string, error) {
+	in := Instr{Dst: NoReg, A: NoReg, B: NoReg, C: NoReg}
+	mnemonic, rest, _ := strings.Cut(ln, " ")
+	op, ok := OpcodeByName(mnemonic)
+	if !ok {
+		return in, nil, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+	info := &opTable[op]
+
+	var toks []string
+	for _, t := range strings.Split(rest, ",") {
+		t = strings.TrimSpace(t)
+		if t != "" {
+			toks = append(toks, t)
+		}
+	}
+	pop := func() (string, error) {
+		if len(toks) == 0 {
+			return "", fmt.Errorf("missing operand for %s", mnemonic)
+		}
+		t := toks[0]
+		toks = toks[1:]
+		return t, nil
+	}
+	reg := func(file regFile) (Reg, error) {
+		t, err := pop()
+		if err != nil {
+			return NoReg, err
+		}
+		want := byte('r')
+		if file == fileFloat {
+			want = 'f'
+		}
+		if len(t) < 2 || t[0] != want {
+			return NoReg, fmt.Errorf("expected %c-register, got %q", want, t)
+		}
+		n, err := strconv.Atoi(t[1:])
+		if err != nil {
+			return NoReg, fmt.Errorf("bad register %q", t)
+		}
+		return Reg(n), nil
+	}
+	memOperand := func() error {
+		t, err := pop()
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(t, "[") || !strings.HasSuffix(t, "]") {
+			return fmt.Errorf("expected memory operand, got %q", t)
+		}
+		body := t[1 : len(t)-1]
+		regPart := body
+		var off int64
+		if i := strings.IndexAny(body[1:], "+-"); i >= 0 {
+			regPart = body[:i+1]
+			off, err = strconv.ParseInt(body[i+1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad offset in %q", t)
+			}
+		}
+		if len(regPart) < 2 || regPart[0] != 'r' {
+			return fmt.Errorf("bad address register in %q", t)
+		}
+		n, err := strconv.Atoi(regPart[1:])
+		if err != nil {
+			return fmt.Errorf("bad address register in %q", t)
+		}
+		in.A = Reg(n)
+		in.Imm = off
+		return nil
+	}
+	valueOperand := func(file regFile) error {
+		if len(toks) > 0 && strings.HasPrefix(toks[0], "#") {
+			t, _ := pop()
+			in.BImm = true
+			return parseImm(&in, t[1:], file)
+		}
+		r, err := reg(file)
+		if err != nil {
+			return err
+		}
+		in.B = r
+		return nil
+	}
+
+	var err error
+	switch op {
+	case OpLoad, OpFLoad:
+		if in.Dst, err = reg(info.dst); err != nil {
+			return in, nil, err
+		}
+		if err = memOperand(); err != nil {
+			return in, nil, err
+		}
+	case OpStore, OpFStore:
+		if err = memOperand(); err != nil {
+			return in, nil, err
+		}
+		if err = valueOperand(info.b); err != nil {
+			return in, nil, err
+		}
+	case OpAtomAdd, OpFAtomAdd:
+		if in.Dst, err = reg(info.dst); err != nil {
+			return in, nil, err
+		}
+		if err = memOperand(); err != nil {
+			return in, nil, err
+		}
+		if err = valueOperand(info.b); err != nil {
+			return in, nil, err
+		}
+	default:
+		if info.dst != fileNone {
+			if in.Dst, err = reg(info.dst); err != nil {
+				return in, nil, err
+			}
+		}
+		if info.a != fileNone {
+			if in.A, err = reg(info.a); err != nil {
+				return in, nil, err
+			}
+		}
+		if info.b != fileNone {
+			if err = valueOperand(info.b); err != nil {
+				return in, nil, err
+			}
+		}
+		if info.c != fileNone {
+			if in.C, err = reg(info.c); err != nil {
+				return in, nil, err
+			}
+		}
+		if info.bar {
+			t, err := pop()
+			if err != nil {
+				return in, nil, err
+			}
+			if len(t) < 2 || t[0] != 'b' {
+				return in, nil, fmt.Errorf("expected barrier, got %q", t)
+			}
+			n, err := strconv.Atoi(t[1:])
+			if err != nil {
+				return in, nil, fmt.Errorf("bad barrier %q", t)
+			}
+			in.Bar = n
+		}
+		switch info.imm {
+		case immInt:
+			t, err := pop()
+			if err != nil {
+				return in, nil, err
+			}
+			if err = parseImm(&in, strings.TrimPrefix(t, "#"), fileInt); err != nil {
+				return in, nil, err
+			}
+		case immFloat:
+			t, err := pop()
+			if err != nil {
+				return in, nil, err
+			}
+			if err = parseImm(&in, strings.TrimPrefix(t, "#"), fileFloat); err != nil {
+				return in, nil, err
+			}
+		case immThreshold:
+			t, err := pop()
+			if err != nil {
+				return in, nil, err
+			}
+			n, err := strconv.ParseInt(t, 10, 64)
+			if err != nil {
+				return in, nil, fmt.Errorf("bad threshold %q", t)
+			}
+			in.Imm = n
+		}
+		if info.call {
+			t, err := pop()
+			if err != nil {
+				return in, nil, err
+			}
+			in.Callee = strings.TrimPrefix(t, "@")
+		}
+		if info.term && info.nsucc > 0 {
+			if len(toks) != info.nsucc {
+				return in, nil, fmt.Errorf("%s wants %d successors, got %d", mnemonic, info.nsucc, len(toks))
+			}
+			names := toks
+			toks = nil
+			return in, names, nil
+		}
+	}
+	if len(toks) != 0 {
+		return in, nil, fmt.Errorf("trailing operands %v", toks)
+	}
+	return in, nil, nil
+}
+
+func parseImm(in *Instr, lit string, file regFile) error {
+	if file == fileFloat {
+		v, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return fmt.Errorf("bad float immediate %q", lit)
+		}
+		in.FImm = v
+		return nil
+	}
+	v, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad integer immediate %q", lit)
+	}
+	in.Imm = v
+	return nil
+}

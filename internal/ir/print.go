@@ -1,0 +1,163 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the module in the textual assembly format understood by
+// Parse. The format is line-oriented:
+//
+//	module rsbench memwords=8192
+//
+//	func @kernel nregs=14 nfregs=6 {
+//	entry:
+//	  .predict hot threshold=16
+//	  tid r0
+//	  add r1, r0, #5
+//	  ld r2, [r1+8]
+//	  join b0
+//	  cbr r2, hot, cold
+//	hot:
+//	  ...
+//	}
+//
+// Predictions are printed as .predict / .predictcall directives at the top
+// of their region-start block.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s memwords=%d\n", m.Name, m.MemWords)
+	for _, f := range m.Funcs {
+		sb.WriteString("\n")
+		printFunction(&sb, f)
+	}
+	return sb.String()
+}
+
+// PrintFunction renders one function in the assembly format.
+func PrintFunction(f *Function) string {
+	var sb strings.Builder
+	printFunction(&sb, f)
+	return sb.String()
+}
+
+func printFunction(sb *strings.Builder, f *Function) {
+	fmt.Fprintf(sb, "func @%s nregs=%d nfregs=%d {\n", f.Name, f.NRegs, f.NFRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", b.Name)
+		for _, p := range f.Predictions {
+			if p.At != b {
+				continue
+			}
+			if p.Callee != "" {
+				fmt.Fprintf(sb, "  .predictcall @%s", p.Callee)
+			} else {
+				fmt.Fprintf(sb, "  .predict %s", p.Label.Name)
+			}
+			if p.Threshold != 0 {
+				fmt.Fprintf(sb, " threshold=%d", p.Threshold)
+			}
+			sb.WriteString("\n")
+		}
+		for i := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(FormatInstr(&b.Instrs[i], b))
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// FormatInstr renders a single instruction. The owning block is needed to
+// name branch successors; it may be nil for non-terminators.
+func FormatInstr(in *Instr, b *Block) string {
+	info := &opTable[in.Op]
+	var ops []string
+
+	mem := func(addr Reg, off int64) string {
+		if off == 0 {
+			return fmt.Sprintf("[r%d]", addr)
+		}
+		return fmt.Sprintf("[r%d%+d]", addr, off)
+	}
+	regTok := func(r Reg, file regFile) string {
+		if file == fileFloat {
+			return fmt.Sprintf("f%d", r)
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+
+	switch in.Op {
+	case OpLoad, OpFLoad:
+		ops = []string{regTok(in.Dst, info.dst), mem(in.A, in.Imm)}
+	case OpStore, OpFStore:
+		v := regTok(in.B, info.b)
+		if in.BImm {
+			v = immTok(in, info)
+		}
+		ops = []string{mem(in.A, in.Imm), v}
+	case OpAtomAdd, OpFAtomAdd:
+		v := regTok(in.B, info.b)
+		if in.BImm {
+			v = immTok(in, info)
+		}
+		ops = []string{regTok(in.Dst, info.dst), mem(in.A, in.Imm), v}
+	default:
+		if info.dst != fileNone {
+			ops = append(ops, regTok(in.Dst, info.dst))
+		}
+		if info.a != fileNone {
+			ops = append(ops, regTok(in.A, info.a))
+		}
+		if info.b != fileNone {
+			if in.BImm {
+				ops = append(ops, immTok(in, info))
+			} else {
+				ops = append(ops, regTok(in.B, info.b))
+			}
+		}
+		if info.c != fileNone {
+			ops = append(ops, regTok(in.C, info.c))
+		}
+		if info.bar {
+			ops = append(ops, fmt.Sprintf("b%d", in.Bar))
+		}
+		switch info.imm {
+		case immInt:
+			ops = append(ops, "#"+strconv.FormatInt(in.Imm, 10))
+		case immFloat:
+			ops = append(ops, "#"+formatFloat(in.FImm))
+		case immThreshold:
+			ops = append(ops, strconv.FormatInt(in.Imm, 10))
+		}
+		if info.call {
+			ops = append(ops, "@"+in.Callee)
+		}
+		if info.term && b != nil {
+			for _, s := range b.Succs {
+				ops = append(ops, s.Name)
+			}
+		}
+	}
+	if len(ops) == 0 {
+		return info.name
+	}
+	return info.name + " " + strings.Join(ops, ", ")
+}
+
+func immTok(in *Instr, info *opInfo) string {
+	if info.b == fileFloat {
+		return "#" + formatFloat(in.FImm)
+	}
+	return "#" + strconv.FormatInt(in.Imm, 10)
+}
+
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// Ensure the token round-trips as a float even for integral values.
+	if !strings.ContainsAny(s, ".eEnI") {
+		s += ".0"
+	}
+	return s
+}

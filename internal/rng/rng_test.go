@@ -1,0 +1,156 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s0 := Split(7, 0)
+	s1 := Split(7, 1)
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("split streams collided %d times", collisions)
+	}
+	// Same (seed, stream) replays exactly.
+	a, b := Split(7, 5), Split(7, 5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("split stream not reproducible")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnAndRangeBounds(t *testing.T) {
+	check := func(seed uint64, n uint16, lo int8, span uint8) bool {
+		s := New(seed)
+		nn := int(n%1000) + 1
+		for i := 0; i < 50; i++ {
+			if v := s.Intn(nn); v < 0 || v >= nn {
+				return false
+			}
+		}
+		l, h := int(lo), int(lo)+int(span)
+		for i := 0; i < 50; i++ {
+			if v := s.Range(l, h); v < l || v > h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned a negative value")
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Coarse chi-square-ish check over 16 buckets.
+	s := New(2024)
+	const draws = 160000
+	var buckets [16]int
+	for i := 0; i < draws; i++ {
+		buckets[s.Intn(16)]++
+	}
+	want := draws / 16
+	for i, got := range buckets {
+		if math.Abs(float64(got-want)) > 0.05*float64(want) {
+			t.Errorf("bucket %d = %d, want about %d", i, got, want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(5)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += s.Exp(3.0)
+	}
+	mean := sum / draws
+	if mean < 2.9 || mean > 3.1 {
+		t.Errorf("Exp(3) sample mean = %f", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(6)
+	const draws = 100000
+	sum := 0
+	for i := 0; i < draws; i++ {
+		sum += s.Geometric(0.25)
+	}
+	mean := float64(sum) / draws
+	if mean < 3.9 || mean > 4.1 {
+		t.Errorf("Geometric(0.25) sample mean = %f, want about 4", mean)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := New(1)
+	for _, fn := range []func(){
+		func() { s.Intn(0) },
+		func() { s.Range(3, 2) },
+		func() { s.Geometric(0) },
+		func() { s.Geometric(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,316 @@
+package simt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"specrecon/internal/ir"
+)
+
+// evalInt runs a one-lane kernel computing `op` over the given integer
+// operands and returns the result.
+func evalInt(t *testing.T, op ir.Opcode, a, b int64, bImm bool) int64 {
+	t.Helper()
+	m := ir.NewModule("t")
+	m.MemWords = 8
+	f := m.NewFunction("k")
+	bd := ir.NewBuilder(f)
+	blk := f.NewBlock("e")
+	bd.SetBlock(blk)
+	ra := bd.Const(a)
+	var in ir.Instr
+	dst := bd.Reg()
+	if bImm {
+		in = ir.Instr{Op: op, Dst: dst, A: ra, B: ir.NoReg, C: ir.NoReg, BImm: true, Imm: b}
+	} else {
+		rb := bd.Const(b)
+		in = ir.Instr{Op: op, Dst: dst, A: ra, B: rb, C: ir.NoReg}
+	}
+	bd.Emit(in)
+	zero := bd.Const(0)
+	bd.Store(zero, 0, dst)
+	bd.Exit()
+	res, err := Run(m, Config{Threads: 1, Strict: true})
+	if err != nil {
+		t.Fatalf("evalInt(%v): %v", op, err)
+	}
+	return int64(res.Memory[0])
+}
+
+// evalFloat runs a one-lane kernel computing a unary or binary float op.
+func evalFloat(t *testing.T, op ir.Opcode, a, b float64, unary bool) float64 {
+	t.Helper()
+	m := ir.NewModule("t")
+	m.MemWords = 8
+	f := m.NewFunction("k")
+	bd := ir.NewBuilder(f)
+	blk := f.NewBlock("e")
+	bd.SetBlock(blk)
+	fa := bd.FConst(a)
+	dst := bd.FReg()
+	if unary {
+		bd.Emit(ir.Instr{Op: op, Dst: dst, A: fa, B: ir.NoReg, C: ir.NoReg})
+	} else {
+		fb := bd.FConst(b)
+		bd.Emit(ir.Instr{Op: op, Dst: dst, A: fa, B: fb, C: ir.NoReg})
+	}
+	zero := bd.Const(0)
+	bd.FStore(zero, 0, dst)
+	bd.Exit()
+	res, err := Run(m, Config{Threads: 1, Strict: true})
+	if err != nil {
+		t.Fatalf("evalFloat(%v): %v", op, err)
+	}
+	return math.Float64frombits(res.Memory[0])
+}
+
+func TestIntegerOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   ir.Opcode
+		a, b int64
+		want int64
+	}{
+		{ir.OpAdd, 5, 7, 12},
+		{ir.OpSub, 5, 7, -2},
+		{ir.OpMul, -3, 7, -21},
+		{ir.OpDiv, 42, 5, 8},
+		{ir.OpDiv, 42, 0, 0}, // GPU-style guarded division
+		{ir.OpMod, 42, 5, 2},
+		{ir.OpMod, 42, 0, 0},
+		{ir.OpMin, -3, 7, -3},
+		{ir.OpMax, -3, 7, 7},
+		{ir.OpAnd, 0b1100, 0b1010, 0b1000},
+		{ir.OpOr, 0b1100, 0b1010, 0b1110},
+		{ir.OpXor, 0b1100, 0b1010, 0b0110},
+		{ir.OpShl, 3, 4, 48},
+		{ir.OpShr, -8, 1, int64(uint64(0xfffffffffffffff8) >> 1)},
+		{ir.OpSetEQ, 4, 4, 1},
+		{ir.OpSetEQ, 4, 5, 0},
+		{ir.OpSetNE, 4, 5, 1},
+		{ir.OpSetLT, 4, 5, 1},
+		{ir.OpSetLE, 5, 5, 1},
+		{ir.OpSetGT, 5, 4, 1},
+		{ir.OpSetGE, 4, 5, 0},
+	}
+	for _, tc := range cases {
+		for _, imm := range []bool{false, true} {
+			got := evalInt(t, tc.op, tc.a, tc.b, imm)
+			if got != tc.want {
+				t.Errorf("%v(%d, %d) imm=%v = %d, want %d", tc.op, tc.a, tc.b, imm, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestFloatOpSemantics(t *testing.T) {
+	bin := []struct {
+		op   ir.Opcode
+		a, b float64
+		want float64
+	}{
+		{ir.OpFAdd, 1.5, 2.25, 3.75},
+		{ir.OpFSub, 1.5, 2.25, -0.75},
+		{ir.OpFMul, 1.5, 2.0, 3.0},
+		{ir.OpFDiv, 3.0, 2.0, 1.5},
+		{ir.OpFMin, -1.0, 2.0, -1.0},
+		{ir.OpFMax, -1.0, 2.0, 2.0},
+	}
+	for _, tc := range bin {
+		got := evalFloat(t, tc.op, tc.a, tc.b, false)
+		if got != tc.want {
+			t.Errorf("%v(%g, %g) = %g, want %g", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+	un := []struct {
+		op   ir.Opcode
+		a    float64
+		want float64
+	}{
+		{ir.OpFNeg, 1.5, -1.5},
+		{ir.OpFAbs, -1.5, 1.5},
+		{ir.OpFSqrt, 9.0, 3.0},
+		{ir.OpFExp, 0.0, 1.0},
+		{ir.OpFLog, 1.0, 0.0},
+		{ir.OpFSin, 0.0, 0.0},
+		{ir.OpFCos, 0.0, 1.0},
+	}
+	for _, tc := range un {
+		got := evalFloat(t, tc.op, tc.a, 0, true)
+		if got != tc.want {
+			t.Errorf("%v(%g) = %g, want %g", tc.op, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestFMASelectConversions(t *testing.T) {
+	m := asm(t, fmt.Sprintf(`module t memwords=16
+func @k nregs=6 nfregs=5 {
+e:
+  fconst f0, #2.0
+  fconst f1, #3.0
+  fconst f2, #4.0
+  fma f3, f0, f1, f2
+  const r0, #0
+  fst [r0], f3
+  ftoi r1, f3
+  st [r0+1], r1
+  itof f4, r1
+  fst [r0+2], f4
+  const r2, #1
+  const r3, #77
+  const r4, #88
+  select r5, r2, r3, r4
+  st [r0+3], r5
+  const r2, #0
+  select r5, r2, r3, r4
+  st [r0+4], r5
+  exit
+}
+`))
+	res := run(t, m, Config{Threads: 1, Strict: true})
+	if got := math.Float64frombits(res.Memory[0]); got != 10.0 {
+		t.Errorf("fma = %g, want 10", got)
+	}
+	if res.Memory[1] != 10 {
+		t.Errorf("ftoi = %d, want 10", res.Memory[1])
+	}
+	if got := math.Float64frombits(res.Memory[2]); got != 10.0 {
+		t.Errorf("itof = %g, want 10", got)
+	}
+	if res.Memory[3] != 77 || res.Memory[4] != 88 {
+		t.Errorf("select = %d/%d, want 77/88", res.Memory[3], res.Memory[4])
+	}
+}
+
+func TestFloatComparisons(t *testing.T) {
+	m := asm(t, `module t memwords=16
+func @k nregs=8 nfregs=2 {
+e:
+  fconst f0, #1.0
+  fconst f1, #2.0
+  const r7, #0
+  fsetlt r0, f0, f1
+  st [r7], r0
+  fsetle r1, f1, f1
+  st [r7+1], r1
+  fsetgt r2, f0, f1
+  st [r7+2], r2
+  fsetge r3, f1, f1
+  st [r7+3], r3
+  fseteq r4, f0, f0
+  st [r7+4], r4
+  fsetne r5, f0, #1.0
+  st [r7+5], r5
+  exit
+}
+`)
+	res := run(t, m, Config{Threads: 1, Strict: true})
+	want := []uint64{1, 1, 0, 1, 1, 0}
+	for i, w := range want {
+		if res.Memory[i] != w {
+			t.Errorf("float cmp %d = %d, want %d", i, res.Memory[i], w)
+		}
+	}
+}
+
+func TestNotNegMov(t *testing.T) {
+	m := asm(t, `module t memwords=16
+func @k nregs=4 nfregs=0 {
+e:
+  const r0, #5
+  not r1, r0
+  neg r2, r0
+  mov r3, r0
+  const r0, #0
+  st [r0], r1
+  st [r0+1], r2
+  st [r0+2], r3
+  exit
+}
+`)
+	res := run(t, m, Config{Threads: 1, Strict: true})
+	if int64(res.Memory[0]) != ^int64(5) {
+		t.Errorf("not = %d", int64(res.Memory[0]))
+	}
+	if int64(res.Memory[1]) != -5 {
+		t.Errorf("neg = %d", int64(res.Memory[1]))
+	}
+	if res.Memory[2] != 5 {
+		t.Errorf("mov = %d", res.Memory[2])
+	}
+}
+
+func TestLaneAndNumThreads(t *testing.T) {
+	m := asm(t, `module t memwords=256
+func @k nregs=3 nfregs=0 {
+e:
+  tid r0
+  lane r1
+  st [r0], r1
+  nthreads r2
+  st [r0+64], r2
+  exit
+}
+`)
+	res := run(t, m, Config{Threads: 48, Strict: true})
+	// Lane 40 is lane 8 of warp 1.
+	if res.Memory[40] != 8 {
+		t.Errorf("lane of tid 40 = %d, want 8", res.Memory[40])
+	}
+	if res.Memory[64] != 48 {
+		t.Errorf("nthreads = %d, want 48", res.Memory[64])
+	}
+}
+
+func TestAtomicsReturnOldValue(t *testing.T) {
+	m := asm(t, `module t memwords=128
+func @k nregs=4 nfregs=0 {
+e:
+  tid r0
+  const r1, #100
+  const r2, #1
+  atomadd r3, [r1], r2
+  st [r0], r3
+  exit
+}
+`)
+	res := run(t, m, Config{Strict: true})
+	// Each lane gets a distinct old value 0..31 (lockstep lanes execute
+	// in lane order within the instruction).
+	seen := make(map[uint64]bool)
+	for i := 0; i < 32; i++ {
+		seen[res.Memory[i]] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("atomadd old values not distinct: %d unique", len(seen))
+	}
+	if res.Memory[100] != 32 {
+		t.Errorf("final counter = %d, want 32", res.Memory[100])
+	}
+}
+
+func TestRandDistribution(t *testing.T) {
+	// frand values must be in [0,1) and differ per lane.
+	m := asm(t, `module t memwords=64
+func @k nregs=1 nfregs=1 {
+e:
+  tid r0
+  frand f0
+  fst [r0], f0
+  exit
+}
+`)
+	res := run(t, m, Config{Strict: true, Seed: 9})
+	seen := make(map[uint64]bool)
+	for i := 0; i < 32; i++ {
+		v := math.Float64frombits(res.Memory[i])
+		if v < 0 || v >= 1 {
+			t.Fatalf("frand out of range: %g", v)
+		}
+		seen[res.Memory[i]] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("per-lane rand streams look correlated: %d unique of 32", len(seen))
+	}
+}

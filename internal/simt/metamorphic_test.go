@@ -1,0 +1,126 @@
+package simt
+
+import (
+	"testing"
+
+	"specrecon/internal/ir"
+)
+
+// Metamorphic tests: program transformations with known-neutral effect
+// on semantics must leave results untouched.
+
+// TestNopInsertionNeutral: peppering a kernel with nops changes issue
+// counts but never results.
+func TestNopInsertionNeutral(t *testing.T) {
+	src := `module t memwords=128
+func @k nregs=4 nfregs=2 {
+e:
+  tid r0
+  const r1, #0
+  fconst f0, #0.0
+  br hdr
+hdr:
+  setlt r2, r1, #20
+  cbr r2, body, done
+body:
+  frand f1
+  fadd f0, f0, f1
+  fsetlt r3, f1, #0.5
+  cbr r3, extra, nxt
+extra:
+  fadd f0, f0, #1.0
+  br nxt
+nxt:
+  add r1, r1, #1
+  br hdr
+done:
+  fst [r0], f0
+  exit
+}
+`
+	ref := run(t, asm(t, src), Config{Seed: 7, Strict: true})
+
+	noppy := asm(t, src)
+	for _, b := range noppy.Funcs[0].Blocks {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			b.Instrs = append(b.Instrs, ir.Instr{})
+			copy(b.Instrs[i+1:], b.Instrs[i:])
+			b.Instrs[i] = ir.Instr{Op: ir.OpNop, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg}
+		}
+	}
+	got := run(t, noppy, Config{Seed: 7, Strict: true})
+	for i := range ref.Memory {
+		if ref.Memory[i] != got.Memory[i] {
+			t.Fatalf("nop insertion changed results at word %d", i)
+		}
+	}
+	if got.Metrics.Issues <= ref.Metrics.Issues {
+		t.Error("nops should add issues")
+	}
+	if got.Metrics.SIMTEfficiency() <= 0 {
+		t.Error("metrics degenerate")
+	}
+}
+
+// TestBlockSplittingNeutral: splitting a block in two with an
+// unconditional branch is semantically invisible.
+func TestBlockSplittingNeutral(t *testing.T) {
+	src := `module t memwords=128
+func @k nregs=4 nfregs=2 {
+e:
+  tid r0
+  frand f0
+  fsetlt r1, f0, #0.5
+  cbr r1, a, b
+a:
+  fadd f1, f0, #1.0
+  fmul f0, f1, #2.0
+  fst [r0], f0
+  exit
+b:
+  fst [r0], f0
+  exit
+}
+`
+	ref := run(t, asm(t, src), Config{Seed: 3, Strict: true})
+
+	split := asm(t, src)
+	f := split.Funcs[0]
+	blk := f.BlockByName("a")
+	tail := f.NewBlock("a_tail")
+	tail.Instrs = append(tail.Instrs, blk.Instrs[1:]...)
+	tail.Succs = blk.Succs
+	blk.Instrs = append(blk.Instrs[:1:1], ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg})
+	blk.Succs = []*ir.Block{tail}
+	f.Reindex()
+	if err := ir.VerifyModule(split); err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, split, Config{Seed: 3, Strict: true})
+	for i := range ref.Memory {
+		if ref.Memory[i] != got.Memory[i] {
+			t.Fatalf("block splitting changed results at word %d", i)
+		}
+	}
+}
+
+// TestSeedOnlyAffectsRandomKernels: a kernel without rand/frand is
+// seed-invariant.
+func TestSeedOnlyAffectsRandomKernels(t *testing.T) {
+	m := asm(t, `module t memwords=64
+func @k nregs=3 nfregs=0 {
+e:
+  tid r0
+  mul r1, r0, #3
+  st [r0], r1
+  exit
+}
+`)
+	a := run(t, m, Config{Seed: 1, Strict: true})
+	b := run(t, m, Config{Seed: 999, Strict: true})
+	for i := range a.Memory {
+		if a.Memory[i] != b.Memory[i] {
+			t.Fatal("deterministic kernel depends on the seed")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package simt
+
+import (
+	"fmt"
+
+	"specrecon/internal/ir"
+)
+
+// Metrics aggregates the launch-wide counters. SIMT efficiency follows
+// the paper's definition: the average percentage of active threads per
+// warp per issued instruction.
+type Metrics struct {
+	Threads int
+	Warps   int
+
+	// Issues is the number of warp instructions issued; ActiveLaneSum
+	// is the total of active lanes over those issues.
+	Issues        int64
+	ActiveLaneSum int64
+
+	// Cycles is the modeled runtime: the sum of per-issue costs
+	// (opcode latency plus memory transaction costs).
+	Cycles int64
+
+	MemTransactions int64
+	CacheHits       int64
+	CacheMisses     int64
+
+	// BarrierWaits counts lane-block events at wait instructions;
+	// BarrierReleases counts lane-release events.
+	BarrierWaits    int64
+	BarrierReleases int64
+
+	// OpClassIssues breaks issued instructions down by class: "alu",
+	// "mem", "barrier", "control", "special".
+	OpClassIssues map[string]int64
+
+	// blockVisits[fnIdx][blockIdx] accumulates active lanes entering
+	// each block; used as the execution profile for the profile-guided
+	// cost model and by tests.
+	blockVisits map[int][]int64
+}
+
+// addOpClass records one issue of the given opcode's class.
+func (m *Metrics) addOpClass(op ir.Opcode) {
+	if m.OpClassIssues == nil {
+		m.OpClassIssues = make(map[string]int64, 5)
+	}
+	m.OpClassIssues[OpClass(op)]++
+}
+
+// OpClass maps an opcode to its reporting class.
+func OpClass(op ir.Opcode) string {
+	switch {
+	case op.IsBarrierOp() || op == ir.OpWarpSync:
+		return "barrier"
+	case op.IsMemory():
+		return "mem"
+	case op == ir.OpBr || op == ir.OpCBr || op == ir.OpCall || op == ir.OpRet || op == ir.OpExit:
+		return "control"
+	case op.IsDivergenceSource() || op == ir.OpNumThreads:
+		return "special"
+	default:
+		return "alu"
+	}
+}
+
+// SIMTEfficiency returns mean active lanes per issue divided by the warp
+// width, in [0,1].
+func (m *Metrics) SIMTEfficiency() float64 {
+	if m.Issues == 0 {
+		return 0
+	}
+	return float64(m.ActiveLaneSum) / float64(m.Issues) / float64(ir.WarpWidth)
+}
+
+// IPC returns issued warp instructions per modeled cycle.
+func (m *Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Issues) / float64(m.Cycles)
+}
+
+// BlockVisits returns the accumulated active-lane count for the given
+// function and block index.
+func (m *Metrics) BlockVisits(fnIdx, blockIdx int) int64 {
+	v := m.blockVisits[fnIdx]
+	if blockIdx >= len(v) {
+		return 0
+	}
+	return v[blockIdx]
+}
+
+func (m *Metrics) addBlockVisit(fnIdx, blockIdx int, lanes int64) {
+	if m.blockVisits == nil {
+		m.blockVisits = make(map[int][]int64)
+	}
+	v := m.blockVisits[fnIdx]
+	for len(v) <= blockIdx {
+		v = append(v, 0)
+	}
+	v[blockIdx] += lanes
+	m.blockVisits[fnIdx] = v
+}
+
+// String renders the headline counters.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("issues=%d cycles=%d simt_eff=%.1f%% mem_tx=%d hit=%d miss=%d",
+		m.Issues, m.Cycles, 100*m.SIMTEfficiency(), m.MemTransactions, m.CacheHits, m.CacheMisses)
+}

@@ -1,0 +1,554 @@
+// Package simt simulates a SIMT processor executing the virtual ISA of
+// internal/ir with Volta-style independent thread scheduling and
+// convergence barriers.
+//
+// Execution model. Threads are grouped into warps of ir.WarpWidth lanes.
+// Every lane has its own program counter, register files, call stack and
+// RNG stream. Each issue slot, the scheduler groups runnable lanes by PC
+// and issues one instruction for one group — the lanes of the group
+// execute it in lockstep, which is exactly how a convergence-optimizer
+// GPU front end behaves. Conditional branches simply let lanes' PCs
+// diverge; the scheduler's grouping then serializes the paths, and SIMT
+// efficiency (mean active lanes per issue / warp width) drops.
+//
+// Convergence barriers. Each warp has a set of barrier registers, each a
+// participation bitmask over lanes:
+//
+//   - join b   (BSSY)  adds the executing lanes to mask(b);
+//   - wait b   (BSYNC) blocks a participating lane until every lane in
+//     mask(b) is blocked at a wait for b, then releases the whole cohort
+//     at once and clears the mask ("threads wait on all participating
+//     threads to arrive before clearing the barrier", paper Table 1);
+//     a non-participating lane falls through;
+//   - waitn b, T  is the soft barrier of paper section 4.6: the cohort
+//     releases as soon as min(T, |mask(b)|) lanes are waiting; only the
+//     released lanes' bits are cleared;
+//   - cancel b (BREAK) removes the executing lanes from mask(b), which
+//     may release waiting lanes.
+//
+// A lane that exits implicitly cancels all its participation (hardware
+// behaviour); in Strict mode leftover participation at exit is reported
+// as an error instead, which the compiler tests use to prove that
+// CancelBarrier placement (paper section 4.2) is complete. If no lane is
+// runnable and none can be released, the simulator reports deadlock with
+// a diagnostic of every barrier's mask and waiting set.
+package simt
+
+import (
+	"fmt"
+	"sort"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/rng"
+)
+
+// Policy selects how the scheduler picks among runnable PC groups.
+type Policy int
+
+const (
+	// PolicyMaxGroup issues the most-populated group (ties broken by
+	// lowest PC). This mimics a convergence optimizer that maximizes
+	// lanes per issue and is the default.
+	PolicyMaxGroup Policy = iota
+	// PolicyMinPC issues the group with the lowest PC, letting
+	// straggler lanes catch up first.
+	PolicyMinPC
+	// PolicyRoundRobin rotates across groups.
+	PolicyRoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyMaxGroup:
+		return "maxgroup"
+	case PolicyMinPC:
+		return "minpc"
+	case PolicyRoundRobin:
+		return "roundrobin"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// CacheConfig sizes the memory system's cache and transaction cost
+// model. A warp memory instruction is coalesced into one transaction per
+// distinct 128-byte line; transactions issued by one warp instruction
+// overlap in the memory system (memory-level parallelism), so the
+// instruction pays the worst single-transaction latency plus a
+// per-transaction throughput charge — which is what makes converged
+// divergent gathers cheaper than the same gathers issued serially by
+// diverged lanes. The zero value selects the defaults below.
+type CacheConfig struct {
+	Sets         int // number of sets (default 128)
+	Ways         int // associativity (default 4)
+	LineWords    int // words per line (default 16 = 128 bytes)
+	HitCost      int // latency of a hitting transaction (default 4)
+	MissCost     int // latency of a missing transaction (default 80)
+	TxThroughput int // extra cycles per additional transaction (default 6)
+}
+
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.Sets == 0 {
+		c.Sets = 128
+	}
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	if c.LineWords == 0 {
+		c.LineWords = 16
+	}
+	if c.HitCost == 0 {
+		c.HitCost = 4
+	}
+	if c.MissCost == 0 {
+		c.MissCost = 80
+	}
+	if c.TxThroughput == 0 {
+		c.TxThroughput = 6
+	}
+	return c
+}
+
+// TraceEvent describes one issued warp instruction, for visualization.
+type TraceEvent struct {
+	Warp  int
+	Issue int64
+	Fn    string
+	Block string
+	Instr int
+	Mask  uint32
+}
+
+// Config controls one kernel launch.
+type Config struct {
+	Kernel  string // entry function (default: first function)
+	Threads int    // total threads (default: one warp)
+	Seed    uint64
+	Policy  Policy
+	// Model selects the execution engine: Volta-style independent
+	// thread scheduling (default) or the pre-Volta reconvergence stack.
+	Model Model
+	// InterleaveWarps issues one instruction per live warp round-robin
+	// instead of running warps to completion sequentially, so
+	// concurrent warps contend for the cache as on a real SM. Results
+	// are unaffected (warps only interact through memory, and atomics
+	// remain atomic); cache statistics become more realistic.
+	// ITS engine only.
+	InterleaveWarps bool
+	// Strict makes leftover barrier participation at thread exit an
+	// error instead of an implicit cancel.
+	Strict bool
+	// MaxIssues bounds total issued warp instructions (default 1<<28).
+	MaxIssues int64
+	// Memory is the initial global memory image; it is copied, and the
+	// final memory is returned in Result.Memory.
+	Memory []uint64
+	// MemWords, if larger than len(Memory) and the module's MemWords,
+	// grows the memory.
+	MemWords int
+	Cache    CacheConfig
+	Trace    func(TraceEvent)
+}
+
+// Result is the outcome of a launch.
+type Result struct {
+	Metrics Metrics
+	Memory  []uint64
+}
+
+type laneStatus uint8
+
+const (
+	laneRunning laneStatus = iota
+	laneWaiting            // blocked at wait/waitn on waitBar
+	laneSyncing            // blocked at warpsync
+	laneDone
+)
+
+type pcT struct {
+	fn  int // function index in module
+	blk int
+	ins int
+}
+
+type frame struct {
+	ret pcT
+}
+
+type lane struct {
+	id      int // global thread id
+	pc      pcT
+	status  laneStatus
+	waitBar int
+	regs    []int64
+	fregs   []float64
+	stack   []frame
+	rng     *rng.Source
+}
+
+// warpState is the per-warp machine state.
+type warpState struct {
+	sim      *sim
+	index    int
+	lanes    [ir.WarpWidth]*lane
+	masks    []uint32 // barrier participation masks
+	waiting  []uint32 // lanes blocked at a wait per barrier
+	rrCursor int
+}
+
+// sim holds launch-wide state.
+type sim struct {
+	mod     *ir.Module
+	cfg     Config
+	fnIndex map[string]int
+	mem     []uint64
+	cache   *cache
+	metrics Metrics
+	issues  int64
+}
+
+// Run launches the module's kernel under cfg and simulates it to
+// completion. Warps are simulated one after another over the shared
+// global memory (the optimization under study is intra-warp, so
+// inter-warp timing interleaving is irrelevant; inter-warp data effects
+// via atomics are preserved).
+func Run(m *ir.Module, cfg Config) (*Result, error) {
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("simt: module invalid: %w", err)
+	}
+	if cfg.Kernel == "" {
+		cfg.Kernel = m.Funcs[0].Name
+	}
+	entry := m.FuncByName(cfg.Kernel)
+	if entry == nil {
+		return nil, fmt.Errorf("simt: kernel %q not found", cfg.Kernel)
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = ir.WarpWidth
+	}
+	if cfg.Threads < 0 {
+		return nil, fmt.Errorf("simt: negative thread count %d", cfg.Threads)
+	}
+	if cfg.MaxIssues == 0 {
+		cfg.MaxIssues = 1 << 28
+	}
+
+	memWords := m.MemWords
+	if cfg.MemWords > memWords {
+		memWords = cfg.MemWords
+	}
+	if len(cfg.Memory) > memWords {
+		memWords = len(cfg.Memory)
+	}
+	mem := make([]uint64, memWords)
+	copy(mem, cfg.Memory)
+
+	s := &sim{
+		mod:     m,
+		cfg:     cfg,
+		fnIndex: make(map[string]int, len(m.Funcs)),
+		mem:     mem,
+		cache:   newCache(cfg.Cache.withDefaults()),
+	}
+	for i, f := range m.Funcs {
+		s.fnIndex[f.Name] = i
+	}
+	entryIdx := s.fnIndex[cfg.Kernel]
+
+	nbar := 1
+	for _, f := range m.Funcs {
+		if n := f.MaxBarrier() + 1; n > nbar {
+			nbar = n
+		}
+	}
+
+	nregs, nfregs := m.MaxRegs()
+	if nregs < 1 {
+		nregs = 1
+	}
+	if nfregs < 1 {
+		nfregs = 1
+	}
+
+	if cfg.InterleaveWarps && cfg.Model == ModelStack {
+		return nil, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
+	}
+
+	nwarps := (cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
+	mkWarp := func(w int) *warpState {
+		var lanes [ir.WarpWidth]*lane
+		for l := 0; l < ir.WarpWidth; l++ {
+			tid := w*ir.WarpWidth + l
+			ln := &lane{
+				id:    tid,
+				pc:    pcT{fn: entryIdx},
+				regs:  make([]int64, nregs),
+				fregs: make([]float64, nfregs),
+				rng:   rng.Split(cfg.Seed, uint64(tid)),
+			}
+			if tid >= cfg.Threads {
+				ln.status = laneDone
+			}
+			lanes[l] = ln
+		}
+		return &warpState{
+			sim:     s,
+			index:   w,
+			lanes:   lanes,
+			masks:   make([]uint32, nbar),
+			waiting: make([]uint32, nbar),
+		}
+	}
+
+	if cfg.InterleaveWarps {
+		warps := make([]*warpState, nwarps)
+		for w := range warps {
+			warps[w] = mkWarp(w)
+		}
+		live := nwarps
+		for live > 0 {
+			live = 0
+			for _, ws := range warps {
+				done, err := ws.step()
+				if err != nil {
+					return nil, fmt.Errorf("simt: warp %d: %w", ws.index, err)
+				}
+				if !done {
+					live++
+				}
+			}
+		}
+	} else {
+		for w := 0; w < nwarps; w++ {
+			var err error
+			if cfg.Model == ModelStack {
+				ws := mkWarp(w)
+				err = s.runStackWarp(w, ws.lanes)
+			} else {
+				err = mkWarp(w).run()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("simt: warp %d: %w", w, err)
+			}
+		}
+	}
+	s.metrics.Threads = cfg.Threads
+	s.metrics.Warps = nwarps
+	return &Result{Metrics: s.metrics, Memory: s.mem}, nil
+}
+
+// run drives one warp to completion.
+func (ws *warpState) run() error {
+	for {
+		done, err := ws.step()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// step issues at most one instruction. It reports done=true once every
+// lane has exited, and errors on deadlock or budget exhaustion.
+func (ws *warpState) step() (bool, error) {
+	s := ws.sim
+	groups, anyLive := ws.groups()
+	if len(groups) == 0 {
+		if !anyLive {
+			return true, nil // all lanes done
+		}
+		return false, ws.deadlockError()
+	}
+	g := ws.pick(groups)
+	if s.issues >= s.cfg.MaxIssues {
+		return false, fmt.Errorf("issue budget exhausted (%d); likely livelock", s.cfg.MaxIssues)
+	}
+	if err := ws.issue(g); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// group is a set of runnable lanes sharing a PC.
+type group struct {
+	pc   pcT
+	mask uint32
+}
+
+// groups returns the runnable PC groups sorted by PC, plus whether any
+// lane is still live (running, waiting or syncing).
+func (ws *warpState) groups() ([]group, bool) {
+	m := make(map[pcT]uint32)
+	anyLive := false
+	for l, ln := range ws.lanes {
+		switch ln.status {
+		case laneRunning:
+			m[ln.pc] |= 1 << l
+			anyLive = true
+		case laneWaiting, laneSyncing:
+			anyLive = true
+		}
+	}
+	out := make([]group, 0, len(m))
+	for pc, mask := range m {
+		out = append(out, group{pc: pc, mask: mask})
+	}
+	sort.Slice(out, func(i, j int) bool { return pcLess(out[i].pc, out[j].pc) })
+	return out, anyLive
+}
+
+func pcLess(a, b pcT) bool {
+	if a.fn != b.fn {
+		return a.fn < b.fn
+	}
+	if a.blk != b.blk {
+		return a.blk < b.blk
+	}
+	return a.ins < b.ins
+}
+
+func (ws *warpState) pick(groups []group) group {
+	switch ws.sim.cfg.Policy {
+	case PolicyMinPC:
+		return groups[0]
+	case PolicyRoundRobin:
+		g := groups[ws.rrCursor%len(groups)]
+		ws.rrCursor++
+		return g
+	default: // PolicyMaxGroup
+		best := groups[0]
+		for _, g := range groups[1:] {
+			if popcount(g.mask) > popcount(best.mask) {
+				best = g
+			}
+		}
+		return best
+	}
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// deadlockError builds a diagnostic describing why no lane can proceed.
+func (ws *warpState) deadlockError() error {
+	msg := "deadlock: no runnable lanes;"
+	for b := range ws.masks {
+		if ws.masks[b] == 0 && ws.waiting[b] == 0 {
+			continue
+		}
+		msg += fmt.Sprintf(" b%d{mask=%08x waiting=%08x}", b, ws.masks[b], ws.waiting[b])
+	}
+	for l, ln := range ws.lanes {
+		if ln.status == laneWaiting {
+			f := ws.sim.mod.Funcs[ln.pc.fn]
+			msg += fmt.Sprintf(" lane%d@%s.%s#%d(wait b%d)", l, f.Name, f.Blocks[ln.pc.blk].Name, ln.pc.ins, ln.waitBar)
+		}
+		if ln.status == laneSyncing {
+			msg += fmt.Sprintf(" lane%d(warpsync)", l)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// liveMask returns the lanes that have not exited.
+func (ws *warpState) liveMask() uint32 {
+	var m uint32
+	for l, ln := range ws.lanes {
+		if ln.status != laneDone {
+			m |= 1 << l
+		}
+	}
+	return m
+}
+
+// releaseCheck releases the cohort waiting on barrier b if the release
+// condition holds: every participating lane is waiting (hard barrier).
+func (ws *warpState) releaseCheck(b int) {
+	m := ws.masks[b]
+	w := ws.waiting[b]
+	if m == 0 || w&m != m {
+		return
+	}
+	ws.release(b, w)
+	ws.masks[b] = 0
+}
+
+// releaseCheckSoft releases the waiting cohort once at least threshold
+// lanes wait, or once every participant is waiting. Only the released
+// lanes leave the participation mask.
+func (ws *warpState) releaseCheckSoft(b int, threshold int) {
+	m := ws.masks[b]
+	w := ws.waiting[b]
+	if w == 0 {
+		return
+	}
+	need := threshold
+	if pm := popcount(m); pm < need {
+		need = pm
+	}
+	if popcount(w) >= need || w&m == m {
+		ws.release(b, w)
+		ws.masks[b] &^= w
+	}
+}
+
+// release unblocks the given lanes past their wait instruction.
+func (ws *warpState) release(b int, cohort uint32) {
+	for l, ln := range ws.lanes {
+		if cohort&(1<<l) == 0 || ln.status != laneWaiting || ln.waitBar != b {
+			continue
+		}
+		ln.status = laneRunning
+		ln.pc.ins++ // step past the wait
+		ws.sim.metrics.BarrierReleases++
+	}
+	ws.waiting[b] &^= cohort
+}
+
+// syncCheck releases warpsync once every live lane is blocked on it.
+func (ws *warpState) syncCheck() {
+	live := ws.liveMask()
+	var syncing uint32
+	for l, ln := range ws.lanes {
+		if ln.status == laneSyncing {
+			syncing |= 1 << l
+		}
+	}
+	if live != 0 && syncing == live {
+		for _, ln := range ws.lanes {
+			if ln.status == laneSyncing {
+				ln.status = laneRunning
+				ln.pc.ins++
+			}
+		}
+	}
+}
+
+// exitLane marks a lane done and clears its barrier participation. In
+// strict mode leftover participation is an error (it means the compiler
+// failed to place a CancelBarrier on some region exit).
+func (ws *warpState) exitLane(l int) error {
+	ln := ws.lanes[l]
+	ln.status = laneDone
+	bit := uint32(1) << l
+	var leaked []int
+	for b := range ws.masks {
+		if ws.masks[b]&bit != 0 {
+			leaked = append(leaked, b)
+			ws.masks[b] &^= bit
+			ws.releaseCheck(b)
+		}
+	}
+	if ws.sim.cfg.Strict && len(leaked) > 0 {
+		return fmt.Errorf("lane %d exited while participating in barriers %v (missing CancelBarrier)", l, leaked)
+	}
+	ws.syncCheck()
+	return nil
+}

@@ -1,0 +1,290 @@
+package simt
+
+import (
+	"fmt"
+
+	"specrecon/internal/cfg"
+	"specrecon/internal/ir"
+)
+
+// Pre-Volta stack-based reconvergence (paper section 2: "pre-Volta GPUs
+// use a stack based mechanism to handle nested control divergence").
+//
+// In this execution model the warp has a single architectural PC plus a
+// divergence stack. A divergent branch pushes a reconvergence entry at
+// the branch's immediate post-dominator and one entry per side; the top
+// entry executes until its PC reaches its reconvergence point, then pops
+// and the masks merge. Convergence-barrier instructions do not exist on
+// this model and are executed as no-ops (they still occupy issue slots,
+// as the real SSY-token machinery did), which means speculative
+// reconvergence cannot be expressed — exactly the paper's motivation for
+// building on Volta's independent thread scheduling. The mode exists as
+// a baseline ablation: it produces the same results as the ITS model
+// (barriers never change semantics) with PDOM-shaped efficiency.
+//
+// Calls are uniform within a stack entry; a callee may diverge
+// internally and reconverges at its own post-dominators. Lanes that exit
+// are stripped from every stack entry.
+
+// Model selects the execution engine.
+type Model int
+
+const (
+	// ModelITS is Volta-style independent thread scheduling with
+	// convergence barriers (the default engine in this package).
+	ModelITS Model = iota
+	// ModelStack is the pre-Volta reconvergence-stack engine.
+	ModelStack
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelITS:
+		return "its"
+	case ModelStack:
+		return "stack"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// noRPC marks an entry with no reconvergence point (divergence that only
+// resolves at thread exit).
+var noRPC = pcT{fn: -1, blk: -1, ins: -1}
+
+// stackEntry is one divergence-stack record.
+type stackEntry struct {
+	pc    pcT
+	mask  uint32
+	rpc   pcT // reconvergence PC (block entry), or noRPC
+	calls []pcT
+}
+
+// stackWarp drives one warp under the reconvergence-stack model.
+type stackWarp struct {
+	sim   *sim
+	index int
+	lanes [ir.WarpWidth]*lane
+	stack []stackEntry
+	// ipdomOf[fnIdx][blockIdx] is the precomputed immediate
+	// post-dominator block index, or -1.
+	ipdomOf [][]int
+	// shim reuses the ITS engine's scalar evaluator.
+	shim warpState
+}
+
+// runStackWarp executes one warp to completion under ModelStack.
+func (s *sim) runStackWarp(index int, lanes [ir.WarpWidth]*lane) error {
+	ws := &stackWarp{sim: s, index: index, lanes: lanes}
+	ws.shim = warpState{sim: s, masks: make([]uint32, 1), waiting: make([]uint32, 1)}
+	ws.ipdomOf = make([][]int, len(s.mod.Funcs))
+	for fi, f := range s.mod.Funcs {
+		f.Reindex()
+		info := cfg.New(f)
+		rows := make([]int, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			if pd := info.Ipdom(b); pd != nil {
+				rows[bi] = pd.Index
+			} else {
+				rows[bi] = -1
+			}
+		}
+		ws.ipdomOf[fi] = rows
+	}
+
+	var initMask uint32
+	var entryPC pcT
+	for l, ln := range lanes {
+		if ln.status != laneDone {
+			initMask |= 1 << l
+			entryPC = ln.pc
+		}
+	}
+	if initMask == 0 {
+		return nil
+	}
+	ws.stack = []stackEntry{{pc: entryPC, mask: initMask, rpc: noRPC}}
+
+	for len(ws.stack) > 0 {
+		top := &ws.stack[len(ws.stack)-1]
+		if top.mask == 0 {
+			ws.stack = ws.stack[:len(ws.stack)-1]
+			continue
+		}
+		// Reached the reconvergence point: pop and merge into the
+		// entry below (which holds the union mask at the same PC).
+		if top.rpc != noRPC && top.pc.fn == top.rpc.fn && top.pc.blk == top.rpc.blk && top.pc.ins == 0 {
+			ws.stack = ws.stack[:len(ws.stack)-1]
+			continue
+		}
+		if s.issues >= s.cfg.MaxIssues {
+			return fmt.Errorf("issue budget exhausted (%d); likely livelock", s.cfg.MaxIssues)
+		}
+		if err := ws.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one instruction for the top-of-stack entry.
+func (ws *stackWarp) step() error {
+	s := ws.sim
+	topIdx := len(ws.stack) - 1
+	top := &ws.stack[topIdx]
+	f := s.mod.Funcs[top.pc.fn]
+	blk := f.Blocks[top.pc.blk]
+	in := &blk.Instrs[top.pc.ins]
+
+	active := popcount(top.mask)
+	s.issues++
+	s.metrics.Issues++
+	s.metrics.ActiveLaneSum += int64(active)
+	s.metrics.addOpClass(in.Op)
+	cost := int64(in.Op.Latency())
+	if top.pc.ins == 0 {
+		s.metrics.addBlockVisit(top.pc.fn, top.pc.blk, int64(active))
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(TraceEvent{
+			Warp: ws.index, Issue: s.metrics.Issues,
+			Fn: f.Name, Block: blk.Name, Instr: top.pc.ins, Mask: top.mask,
+		})
+	}
+	if in.Op.IsMemory() {
+		var addrs []int64
+		for l := 0; l < ir.WarpWidth; l++ {
+			if top.mask&(1<<l) != 0 {
+				addrs = append(addrs, ws.lanes[l].regs[in.A]+in.Imm)
+			}
+		}
+		cost += s.cache.access(addrs, &s.metrics)
+	}
+	s.metrics.Cycles += cost
+
+	switch in.Op {
+	case ir.OpJoin, ir.OpWait, ir.OpWaitN, ir.OpCancel, ir.OpWarpSync:
+		// Convergence barriers do not exist pre-Volta: no-ops.
+		top.pc.ins++
+	case ir.OpArrived:
+		// No barrier state to observe; reads as zero.
+		for l := 0; l < ir.WarpWidth; l++ {
+			if top.mask&(1<<l) != 0 {
+				ws.lanes[l].regs[in.Dst] = 0
+			}
+		}
+		top.pc.ins++
+	case ir.OpVoteAny, ir.OpVoteAll, ir.OpBallot:
+		v := voteValue(in.Op, top.mask, func(l int) bool { return ws.lanes[l].regs[in.A] != 0 })
+		for l := 0; l < ir.WarpWidth; l++ {
+			if top.mask&(1<<l) != 0 {
+				ws.lanes[l].regs[in.Dst] = v
+			}
+		}
+		top.pc.ins++
+	case ir.OpCall:
+		callee, ok := s.fnIndex[in.Callee]
+		if !ok {
+			return fmt.Errorf("call to unknown function %q", in.Callee)
+		}
+		if len(top.calls) >= 64 {
+			return fmt.Errorf("call stack overflow")
+		}
+		ret := top.pc
+		ret.ins++
+		top.calls = append(top.calls, ret)
+		top.pc = pcT{fn: callee}
+	case ir.OpBr:
+		top.pc = pcT{fn: top.pc.fn, blk: blk.Succs[0].Index}
+	case ir.OpCBr:
+		var taken, fallthru uint32
+		for l := 0; l < ir.WarpWidth; l++ {
+			if top.mask&(1<<l) == 0 {
+				continue
+			}
+			if ws.lanes[l].regs[in.A] != 0 {
+				taken |= 1 << l
+			} else {
+				fallthru |= 1 << l
+			}
+		}
+		switch {
+		case fallthru == 0:
+			top.pc = pcT{fn: top.pc.fn, blk: blk.Succs[0].Index}
+		case taken == 0:
+			top.pc = pcT{fn: top.pc.fn, blk: blk.Succs[1].Index}
+		default:
+			// Divergence: the current entry becomes the reconvergence
+			// record parked at the branch's immediate post-dominator;
+			// the two sides are pushed above it and run serially.
+			rpc := noRPC
+			if pd := ws.ipdomOf[top.pc.fn][top.pc.blk]; pd >= 0 {
+				rpc = pcT{fn: top.pc.fn, blk: pd}
+			}
+			thenPC := pcT{fn: top.pc.fn, blk: blk.Succs[0].Index}
+			elsePC := pcT{fn: top.pc.fn, blk: blk.Succs[1].Index}
+			calls := top.calls
+			if rpc == noRPC {
+				// No common reconvergence point: the sides replace the
+				// entry entirely.
+				ws.stack = ws.stack[:topIdx]
+			} else {
+				top.pc = rpc
+			}
+			ws.stack = append(ws.stack,
+				stackEntry{pc: elsePC, mask: fallthru, rpc: rpc, calls: copyCalls(calls)},
+				stackEntry{pc: thenPC, mask: taken, rpc: rpc, calls: copyCalls(calls)},
+			)
+		}
+	case ir.OpRet:
+		if len(top.calls) == 0 {
+			return ws.exitEntryLanes(topIdx)
+		}
+		top.pc = top.calls[len(top.calls)-1]
+		top.calls = top.calls[:len(top.calls)-1]
+	case ir.OpExit:
+		return ws.exitEntryLanes(topIdx)
+	default:
+		for l := 0; l < ir.WarpWidth; l++ {
+			if top.mask&(1<<l) == 0 {
+				continue
+			}
+			if err := ws.execScalarStack(ws.lanes[l], in); err != nil {
+				return fmt.Errorf("lane %d at %s.%s#%d: %w", l, f.Name, blk.Name, top.pc.ins, err)
+			}
+		}
+		top.pc.ins++
+	}
+	return nil
+}
+
+// exitEntryLanes terminates every lane of the top entry and strips the
+// lanes from all remaining stack entries.
+func (ws *stackWarp) exitEntryLanes(topIdx int) error {
+	mask := ws.stack[topIdx].mask
+	for l := 0; l < ir.WarpWidth; l++ {
+		if mask&(1<<l) != 0 {
+			ws.lanes[l].status = laneDone
+		}
+	}
+	ws.stack = ws.stack[:topIdx]
+	for i := range ws.stack {
+		ws.stack[i].mask &^= mask
+	}
+	return nil
+}
+
+func copyCalls(calls []pcT) []pcT {
+	if len(calls) == 0 {
+		return nil
+	}
+	out := make([]pcT, len(calls))
+	copy(out, calls)
+	return out
+}
+
+// execScalarStack evaluates a data instruction for one lane, reusing the
+// ITS engine's scalar evaluator (barrier introspection is unreachable
+// here — barrier opcodes are intercepted in step()).
+func (ws *stackWarp) execScalarStack(ln *lane, in *ir.Instr) error {
+	return ws.shim.execScalar(ln, in)
+}

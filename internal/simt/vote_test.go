@@ -1,0 +1,129 @@
+package simt
+
+import (
+	"testing"
+)
+
+// TestVoteSemantics: ballot/any/all over a full warp.
+func TestVoteSemantics(t *testing.T) {
+	m := asm(t, `module t memwords=256
+func @k nregs=6 nfregs=0 {
+e:
+  tid r0
+  and r1, r0, #1
+  voteany r2, r1
+  st [r0], r2
+  voteall r3, r1
+  st [r0+32], r3
+  ballot r4, r1
+  st [r0+64], r4
+  const r5, #1
+  voteall r2, r5
+  st [r0+96], r2
+  exit
+}
+`)
+	res := run(t, m, Config{Strict: true})
+	// Odd lanes have r1 = 1: any -> 1, all -> 0, ballot -> 0xaaaaaaaa.
+	if res.Memory[0] != 1 {
+		t.Errorf("voteany = %d, want 1", res.Memory[0])
+	}
+	if res.Memory[32] != 0 {
+		t.Errorf("voteall = %d, want 0", res.Memory[32])
+	}
+	if res.Memory[64] != 0xaaaaaaaa {
+		t.Errorf("ballot = %#x, want 0xaaaaaaaa", res.Memory[64])
+	}
+	if res.Memory[96] != 1 {
+		t.Errorf("voteall(1) = %d, want 1", res.Memory[96])
+	}
+}
+
+// TestVoteSeesOnlyItsGroup: after a divergent branch, a ballot on each
+// side sees only that side's lanes — the convergence-dependence that
+// makes warp-synchronous code off-limits for automatic reconvergence
+// changes (paper section 6).
+func TestVoteSeesOnlyItsGroup(t *testing.T) {
+	m := asm(t, `module t memwords=128
+func @k nregs=4 nfregs=0 {
+e:
+  tid r0
+  and r1, r0, #1
+  const r2, #1
+  cbr r1, odd, even
+odd:
+  ballot r3, r2
+  st [r0], r3
+  exit
+even:
+  ballot r3, r2
+  st [r0], r3
+  exit
+}
+`)
+	res := run(t, m, Config{Strict: true})
+	if res.Memory[1] != 0xaaaaaaaa {
+		t.Errorf("odd-side ballot = %#x, want 0xaaaaaaaa", res.Memory[1])
+	}
+	if res.Memory[0] != 0x55555555 {
+		t.Errorf("even-side ballot = %#x, want 0x55555555", res.Memory[0])
+	}
+}
+
+// TestVoteAfterWarpSyncIsStable: guarding the vote with warpsync makes
+// its result independent of how the warp got there, so baseline and
+// rearranged schedules agree — the CUDA 9 discipline the paper cites.
+func TestVoteAfterWarpSyncIsStable(t *testing.T) {
+	m := asm(t, `module t memwords=128
+func @k nregs=4 nfregs=0 {
+e:
+  tid r0
+  and r1, r0, #1
+  cbr r1, a, b
+a:
+  br meet
+b:
+  br meet
+meet:
+  warpsync
+  const r2, #1
+  ballot r3, r2
+  st [r0], r3
+  exit
+}
+`)
+	for _, pol := range []Policy{PolicyMaxGroup, PolicyMinPC, PolicyRoundRobin} {
+		res := run(t, m, Config{Strict: true, Policy: pol})
+		for i := 0; i < 32; i++ {
+			if res.Memory[i] != 0xffffffff {
+				t.Fatalf("policy %v: lane %d ballot = %#x, want full warp", pol, i, res.Memory[i])
+			}
+		}
+	}
+}
+
+// TestVoteOnStackEngine: the pre-Volta engine evaluates votes over its
+// active stack-entry mask.
+func TestVoteOnStackEngine(t *testing.T) {
+	m := asm(t, `module t memwords=128
+func @k nregs=4 nfregs=0 {
+e:
+  tid r0
+  and r1, r0, #1
+  const r2, #1
+  cbr r1, odd, even
+odd:
+  ballot r3, r2
+  st [r0], r3
+  exit
+even:
+  ballot r3, r2
+  st [r0], r3
+  exit
+}
+`)
+	res := run(t, m, Config{Model: ModelStack})
+	if res.Memory[1] != 0xaaaaaaaa || res.Memory[0] != 0x55555555 {
+		t.Errorf("stack-engine ballots = %#x / %#x", res.Memory[1], res.Memory[0])
+	}
+}

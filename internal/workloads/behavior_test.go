@@ -1,0 +1,260 @@
+package workloads
+
+import (
+	"testing"
+
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// Behavioural tests: each workload must actually exhibit the divergence
+// structure its doc comment (and the paper's Table 2) claims — trip
+// count spreads, cost balances, memory behaviour. These tests read
+// execution traces from the baseline build.
+
+// traceStats gathers per-block issue and lane counts for one baseline
+// run of a workload.
+func traceStats(t *testing.T, name string, cfg BuildConfig) (map[string]int64, map[string]int64, *simt.Metrics) {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(cfg)
+	comp, err := core.Compile(inst.Module, core.BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := map[string]int64{}
+	lanes := map[string]int64{}
+	res, err := simt.Run(comp.Module, simt.Config{
+		Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+		Memory: inst.Memory, Strict: true,
+		Trace: func(ev simt.TraceEvent) {
+			issues[ev.Block]++
+			n := int64(0)
+			for m := ev.Mask; m != 0; m &= m - 1 {
+				n++
+			}
+			lanes[ev.Block] += n
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return issues, lanes, &res.Metrics
+}
+
+// TestRSBenchTripImbalance: the inner loop's per-task trip counts span
+// the scaled 1..81 nuclide range, and inner-loop occupancy decays under
+// baseline sync (the serialization the paper's Figure 3(b)(i) shows).
+func TestRSBenchTripImbalance(t *testing.T) {
+	issues, lanes, _ := traceStats(t, "rsbench", BuildConfig{Tasks: 6})
+	if issues["inner_body"] == 0 {
+		t.Fatal("no inner body execution")
+	}
+	occ := float64(lanes["inner_body"]) / float64(issues["inner_body"]) / float64(ir.WarpWidth)
+	if occ > 0.6 {
+		t.Errorf("baseline inner-loop occupancy %.2f; trip imbalance should drag it below 0.6", occ)
+	}
+	prologOcc := float64(lanes["prolog"]) / float64(issues["prolog"]) / float64(ir.WarpWidth)
+	if prologOcc < 0.95 {
+		t.Errorf("baseline prolog occupancy %.2f; PDOM sync should keep it converged", prologOcc)
+	}
+}
+
+// TestXSBenchIsMemoryBound: most of XSBench's cycles come from memory
+// transactions, unlike rsbench.
+func TestXSBenchIsMemoryBound(t *testing.T) {
+	_, _, xs := traceStats(t, "xsbench", BuildConfig{Tasks: 6})
+	_, _, rs := traceStats(t, "rsbench", BuildConfig{Tasks: 6})
+	xsMissRate := float64(xs.CacheMisses) / float64(xs.MemTransactions)
+	rsMissRate := float64(rs.CacheMisses) / float64(rs.MemTransactions)
+	if xsMissRate < 2*rsMissRate {
+		t.Errorf("xsbench miss rate %.2f should be well above rsbench's %.2f", xsMissRate, rsMissRate)
+	}
+}
+
+// TestXSBenchEpilogIsExpensive: the paper calls XSBench's epilog
+// expensive; per execution it must rival the inner-loop body.
+func TestXSBenchEpilogIsExpensive(t *testing.T) {
+	w, err := Get("xsbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(BuildConfig{})
+	f := inst.Module.Funcs[0]
+	epilog := len(f.BlockByName("epilog").Instrs)
+	inner := len(f.BlockByName("inner_body").Instrs)
+	if epilog < 3*inner {
+		t.Errorf("xsbench epilog (%d instrs) should dwarf one inner iteration (%d)", epilog, inner)
+	}
+}
+
+// TestPathTracerRouletteTermination: bounce counts are geometric and
+// capped; the camera prolog is cheap relative to a bounce.
+func TestPathTracerRouletteTermination(t *testing.T) {
+	w, err := Get("pathtracer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(BuildConfig{})
+	f := inst.Module.Funcs[0]
+	camera := len(f.BlockByName("camera").Instrs)
+	bounce := len(f.BlockByName("bounce_body").Instrs)
+	if camera*2 > bounce {
+		t.Errorf("camera prolog (%d instrs) should be cheap next to a bounce (%d)", camera, bounce)
+	}
+	_, _, metrics := traceStats(t, "pathtracer", BuildConfig{Tasks: 8})
+	// Mean bounces per sample = bounce-body block entries / camera
+	// block entries (lane-weighted); survival 0.72 with a cap of 12
+	// implies a mean of (1-0.72^12)/0.28 ≈ 3.4.
+	fn := inst.Module.Funcs[0]
+	bounceIdx := fn.BlockByName("bounce_body").Index
+	cameraIdx := fn.BlockByName("camera").Index
+	mean := float64(metrics.BlockVisits(0, bounceIdx)) / float64(metrics.BlockVisits(0, cameraIdx))
+	if mean < 2.0 || mean > 5.0 {
+		t.Errorf("mean bounces per sample = %.2f, outside the roulette's plausible band", mean)
+	}
+}
+
+// TestMeiyaMD5Imbalance: the round loop is integer-only and imbalanced.
+func TestMeiyaMD5Imbalance(t *testing.T) {
+	w, err := Get("meiyamd5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(BuildConfig{})
+	for _, b := range inst.Module.Funcs[0].Blocks {
+		for i := range b.Instrs {
+			sig := ir.OperandFiles(b.Instrs[i].Op)
+			if sig.Dst == ir.FileFloat {
+				t.Fatalf("meiyamd5 should be integer-only, found %v in %s", b.Instrs[i].Op, b.Name)
+			}
+		}
+	}
+	issues, lanes, _ := traceStats(t, "meiyamd5", BuildConfig{Tasks: 8})
+	occ := float64(lanes["round_body"]) / float64(issues["round_body"]) / float64(ir.WarpWidth)
+	if occ > 0.55 {
+		t.Errorf("round-loop occupancy %.2f; the imbalanced candidate lengths should drag it down", occ)
+	}
+}
+
+// TestCallMicroBothSidesCall: the callmicro kernel calls shade from two
+// distinct blocks, and under baseline the callee runs at roughly half
+// occupancy.
+func TestCallMicroBothSidesCall(t *testing.T) {
+	w, err := Get("callmicro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(BuildConfig{})
+	f := inst.Module.FuncByName(inst.Kernel)
+	sites := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if in := &b.Instrs[i]; in.Op == ir.OpCall && in.Callee == "shade" {
+				sites++
+			}
+		}
+	}
+	if sites != 2 {
+		t.Fatalf("callmicro has %d shade call sites, want 2", sites)
+	}
+	issues, lanes, _ := traceStats(t, "callmicro", BuildConfig{Tasks: 8})
+	occ := float64(lanes["shade_entry"]) / float64(issues["shade_entry"]) / float64(ir.WarpWidth)
+	if occ < 0.3 || occ > 0.7 {
+		t.Errorf("baseline shade occupancy %.2f; a ~50/50 divergent branch should pin it near 0.5", occ)
+	}
+}
+
+// TestWorkloadsDeterministicBuilds: building twice with the same config
+// yields byte-identical modules and memory images.
+func TestWorkloadsDeterministicBuilds(t *testing.T) {
+	for _, w := range All() {
+		a := w.Build(BuildConfig{})
+		b := w.Build(BuildConfig{})
+		if ir.Print(a.Module) != ir.Print(b.Module) {
+			t.Errorf("%s: module text differs across builds", w.Name)
+		}
+		if len(a.Memory) != len(b.Memory) {
+			t.Errorf("%s: memory sizes differ", w.Name)
+			continue
+		}
+		for i := range a.Memory {
+			if a.Memory[i] != b.Memory[i] {
+				t.Errorf("%s: memory image differs at %d", w.Name, i)
+				break
+			}
+		}
+	}
+}
+
+// TestWorkloadScaling: thread and task overrides take effect.
+func TestWorkloadScaling(t *testing.T) {
+	w, err := Get("mcb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := w.Build(BuildConfig{Threads: 32, Tasks: 2})
+	big := w.Build(BuildConfig{Threads: 96, Tasks: 8})
+	if small.Threads != 32 || big.Threads != 96 {
+		t.Fatal("thread override ignored")
+	}
+	runIssues := func(inst *Instance) int64 {
+		comp, err := core.Compile(inst.Module, core.BaselineOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simt.Run(comp.Module, simt.Config{
+			Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+			Memory: inst.Memory, Strict: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.Issues
+	}
+	if runIssues(big) < 4*runIssues(small) {
+		t.Error("scaling threads and tasks up did not scale work accordingly")
+	}
+}
+
+// TestRSBenchFullScale runs RSBench at the paper's unscaled 4..321
+// nuclide counts. It is slow (tens of millions of simulated lane-ops),
+// so it only runs outside -short; the scaled default must preserve the
+// full-scale result's shape.
+func TestRSBenchFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale rsbench is slow")
+	}
+	w, err := Get("rsbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(BuildConfig{Tasks: 4, FullScale: true})
+	measure := func(opts core.Options) *simt.Metrics {
+		comp, err := core.Compile(inst.Module, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simt.Run(comp.Module, simt.Config{
+			Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+			Memory: inst.Memory, Strict: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &res.Metrics
+	}
+	base := measure(core.BaselineOptions())
+	spec := measure(core.SpecReconOptions())
+	speedup := float64(base.Cycles) / float64(spec.Cycles)
+	t.Logf("full-scale rsbench: eff %.1f%% -> %.1f%%, speedup %.2fx",
+		100*base.SIMTEfficiency(), 100*spec.SIMTEfficiency(), speedup)
+	if spec.SIMTEfficiency() <= base.SIMTEfficiency() || speedup < 1.05 {
+		t.Errorf("full-scale rsbench lost the win: eff %.3f->%.3f speedup %.2f",
+			base.SIMTEfficiency(), spec.SIMTEfficiency(), speedup)
+	}
+}

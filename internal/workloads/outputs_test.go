@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"specrecon/internal/core"
+	"specrecon/internal/simt"
+)
+
+// Output validation: each workload's per-thread results must be sane —
+// finite, in plausible ranges, and non-degenerate (not all zero, not all
+// identical). Guards against kernels that silently compute garbage while
+// still showing nice efficiency numbers.
+func TestWorkloadOutputsAreSane(t *testing.T) {
+	intOutputs := map[string]bool{"mummer": true, "meiyamd5": true}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(BuildConfig{})
+			comp, err := core.Compile(inst.Module, core.BaselineOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := simt.Run(comp.Module, simt.Config{
+				Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+				Memory: inst.Memory, Strict: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			distinct := map[uint64]bool{}
+			nonzero := 0
+			for i := 0; i < inst.Threads; i++ {
+				word := res.Memory[i]
+				distinct[word] = true
+				if word != 0 {
+					nonzero++
+				}
+				if intOutputs[w.Name] {
+					// meiyamd5 packs a 48-bit digest fold; mummer is a
+					// small match-length sum. Both must be non-negative
+					// as signed integers.
+					if v := int64(word); v < 0 {
+						t.Fatalf("thread %d output %d negative", i, v)
+					}
+					continue
+				}
+				f := math.Float64frombits(word)
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("thread %d output is %v", i, f)
+				}
+				if math.Abs(f) > 1e12 {
+					t.Fatalf("thread %d output %g is implausibly large", i, f)
+				}
+			}
+			if nonzero < inst.Threads/2 {
+				t.Errorf("only %d of %d outputs are nonzero", nonzero, inst.Threads)
+			}
+			if len(distinct) < inst.Threads/4 {
+				t.Errorf("outputs suspiciously uniform: %d distinct of %d", len(distinct), inst.Threads)
+			}
+		})
+	}
+}

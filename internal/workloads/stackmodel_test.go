@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"testing"
+
+	"specrecon/internal/core"
+	"specrecon/internal/simt"
+)
+
+// TestStackModelMatchesITSOnWorkloads runs every workload under both
+// execution engines and demands equal results: the pre-Volta stack model
+// ignores convergence barriers entirely, so agreement proves barriers
+// are pure performance hints across the whole suite.
+func TestStackModelMatchesITSOnWorkloads(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(BuildConfig{Tasks: 4})
+			comp, err := core.Compile(inst.Module, core.SpecReconOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(model simt.Model) []uint64 {
+				res, err := simt.Run(comp.Module, simt.Config{
+					Kernel: inst.Kernel, Threads: inst.Threads,
+					Seed: inst.Seed, Memory: inst.Memory, Model: model,
+				})
+				if err != nil {
+					t.Fatalf("%v: %v", model, err)
+				}
+				return res.Memory
+			}
+			its := run(simt.ModelITS)
+			stack := run(simt.ModelStack)
+			for i := range its {
+				if !sameWord(its[i], stack[i]) {
+					t.Fatalf("engines disagree at word %d: %#x vs %#x", i, its[i], stack[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStackModelShowsNoSpecReconBenefit: under the pre-Volta engine the
+// speculative build performs like the baseline (barriers are no-ops),
+// which is the paper's argument for building on Volta's independent
+// thread scheduling.
+func TestStackModelShowsNoSpecReconBenefit(t *testing.T) {
+	w, err := Get("mcb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(BuildConfig{})
+
+	effOf := func(opts core.Options, model simt.Model) float64 {
+		comp, err := core.Compile(inst.Module, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simt.Run(comp.Module, simt.Config{
+			Kernel: inst.Kernel, Threads: inst.Threads,
+			Seed: inst.Seed, Memory: inst.Memory, Model: model,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.SIMTEfficiency()
+	}
+
+	stackBase := effOf(core.BaselineOptions(), simt.ModelStack)
+	stackSpec := effOf(core.SpecReconOptions(), simt.ModelStack)
+	itsSpec := effOf(core.SpecReconOptions(), simt.ModelITS)
+
+	// On the stack engine the speculative build is within noise of the
+	// baseline (only the no-op barrier issues differ)...
+	ratio := stackSpec / stackBase
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("stack engine should neutralize the transform: baseline %.3f vs spec %.3f", stackBase, stackSpec)
+	}
+	// ...while the ITS engine realizes the win.
+	if itsSpec <= stackSpec*1.2 {
+		t.Errorf("ITS engine should clearly beat the stack engine on the spec build: %.3f vs %.3f", itsSpec, stackSpec)
+	}
+}

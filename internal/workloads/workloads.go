@@ -1,0 +1,181 @@
+// Package workloads builds the paper's benchmark suite (Table 2) as
+// kernels of the virtual ISA. Each workload reproduces the divergence
+// structure the paper describes for the original CUDA application — trip
+// count distributions, the relative weight of inner-loop versus
+// prolog/epilog code, memory behaviour — because those are exactly the
+// properties that decide whether speculative reconvergence is profitable.
+// Absolute instruction mixes differ from the originals (our substrate is
+// a virtual ISA, see DESIGN.md), but the shape of the results carries.
+//
+// Workloads that the paper optimizes through programmer annotation carry
+// ir.Prediction annotations built in; the baseline compile simply ignores
+// them. MeiyaMD5 and the OptiX trace kernels are left un-annotated: the
+// paper discovers those automatically (section 5.4 / Figure 10).
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/rng"
+)
+
+// floatBits stores a float64 into a memory word.
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+// BuildConfig scales a workload. The zero value selects per-workload
+// defaults tuned so the whole figure suite runs in seconds.
+type BuildConfig struct {
+	// Threads launched; default 64 (two warps).
+	Threads int
+	// Tasks per thread after thread coarsening; 0 selects the default.
+	Tasks int
+	// Seed for both table generation and the simulated RNG streams.
+	Seed uint64
+	// FullScale disables the runtime-friendly down-scaling some
+	// workloads apply (e.g. RSBench's 4..321 nuclide counts are divided
+	// by 4 at default scale). Full-scale runs take minutes; see
+	// TestRSBenchFullScale.
+	FullScale bool
+}
+
+func (c BuildConfig) withDefaults(tasks int) BuildConfig {
+	if c.Threads == 0 {
+		c.Threads = 2 * ir.WarpWidth
+	}
+	if c.Tasks == 0 {
+		c.Tasks = tasks
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Instance is a ready-to-run workload build.
+type Instance struct {
+	Module  *ir.Module
+	Kernel  string
+	Threads int
+	Memory  []uint64
+	Seed    uint64
+}
+
+// Workload describes one benchmark.
+type Workload struct {
+	Name        string
+	Description string // the Table 2 description
+	Pattern     string // divergence pattern exploited
+	// Annotated reports whether the build carries manual predictions
+	// (section 5.2) or is a target of automatic detection (section 5.4).
+	Annotated bool
+	Build     func(BuildConfig) *Instance
+}
+
+var registry []*Workload
+
+func register(w *Workload) { registry = append(registry, w) }
+
+// All returns every workload, sorted by name.
+func All() []*Workload {
+	out := append([]*Workload(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Annotated returns the programmer-annotated benchmarks of Figure 7/8.
+func Annotated() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.Annotated {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Get returns the named workload or an error listing what exists.
+func Get(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	names := make([]string, 0, len(registry))
+	for _, w := range registry {
+		names = append(names, w.Name)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, names)
+}
+
+// ---- shared emission helpers ----
+
+// heavyFlops emits n rounds of dependent fma/fsqrt work on x, seasoned
+// with p, and returns the result register. This stands in for "Expensive()"
+// compute such as cross-section math or ray-primitive intersection.
+func heavyFlops(b *ir.Builder, x, p ir.Reg, n int) ir.Reg {
+	for k := 0; k < n; k++ {
+		x = b.FMA(x, x, p)
+		x = b.FSqrt(b.FAbs(x))
+	}
+	return x
+}
+
+// emitCalleeFlops emits an fma/fsqrt chain of n rounds over the calling
+// convention's argument register f0, keeping every temporary inside the
+// f1/f2 scratch window (unlike heavyFlops, which allocates fresh
+// registers and therefore must not be used inside callees — a callee
+// trampling high registers would corrupt its caller's live state).
+func emitCalleeFlops(b *ir.Builder, n int) {
+	if b.Fn.NFRegs < 3 {
+		b.Fn.NFRegs = 3
+	}
+	const x, y, s = ir.Reg(0), ir.Reg(1), ir.Reg(2)
+	b.FMovTo(y, x)
+	for k := 0; k < n; k++ {
+		b.Emit(ir.Instr{Op: ir.OpFMA, Dst: s, A: y, B: y, C: x})
+		b.Emit(ir.Instr{Op: ir.OpFAbs, Dst: s, A: s, B: ir.NoReg, C: ir.NoReg})
+		b.Emit(ir.Instr{Op: ir.OpFSqrt, Dst: y, A: s, B: ir.NoReg, C: ir.NoReg})
+	}
+	b.FMovTo(x, y)
+}
+
+// heavyTrig emits n rounds of trig-flavoured work (photon spin and
+// scatter math in the Monte Carlo transport codes).
+func heavyTrig(b *ir.Builder, x ir.Reg, n int) ir.Reg {
+	for k := 0; k < n; k++ {
+		s := b.FSin(x)
+		c := b.FCos(x)
+		x = b.FAdd(b.FMul(s, s), b.FMul(c, c))
+		x = b.FAddI(b.FMul(x, b.FAddI(x, 0.125)), 0.5)
+	}
+	return x
+}
+
+// heavyInt emits n rounds of integer mixing (the MD5-style round
+// function of MeiyaMD5).
+func heavyInt(b *ir.Builder, x, y ir.Reg, n int) ir.Reg {
+	for k := 0; k < n; k++ {
+		t := b.Xor(x, y)
+		t = b.Add(b.ShlI(t, 7), b.ShrI(t, 3))
+		t = b.XorI(t, 0x5bd1e995)
+		x, y = t, b.Add(x, t)
+	}
+	return b.Add(x, y)
+}
+
+// tableRand fills words [base, base+n) of mem with values drawn by gen.
+func tableRand(mem []uint64, base, n int, gen func(i int) uint64) {
+	for i := 0; i < n; i++ {
+		mem[base+i] = gen(i)
+	}
+}
+
+// newTableRNG returns a deterministic RNG for building lookup tables,
+// decorrelated from the simulated per-thread streams.
+func newTableRNG(seed uint64) *rng.Source {
+	return rng.Split(seed, 0x7ab1e)
+}

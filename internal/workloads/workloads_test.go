@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// sameWord accepts bitwise equality or float closeness: kernels with
+// floating-point atomics (gpu-mcml) accumulate in lane order, and
+// convergence barriers legitimately reorder lanes, changing rounding.
+func sameWord(a, b uint64) bool {
+	if a == b {
+		return true
+	}
+	fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+	if math.IsNaN(fa) && math.IsNaN(fb) {
+		return true
+	}
+	diff := math.Abs(fa - fb)
+	scale := math.Max(math.Abs(fa), math.Abs(fb))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// TestAllWorkloadsRunBaseline builds every workload, compiles it with
+// baseline PDOM synchronization, and runs it in strict mode.
+func TestAllWorkloadsRunBaseline(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(BuildConfig{})
+			if err := ir.VerifyModule(inst.Module); err != nil {
+				t.Fatalf("module invalid: %v", err)
+			}
+			comp, err := core.Compile(inst.Module, core.BaselineOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := simt.Run(comp.Module, simt.Config{
+				Kernel: inst.Kernel, Threads: inst.Threads,
+				Seed: inst.Seed, Memory: inst.Memory, Strict: true,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			eff := res.Metrics.SIMTEfficiency()
+			t.Logf("%s baseline: %s", w.Name, res.Metrics.String())
+			if eff <= 0 || eff > 1 {
+				t.Errorf("nonsensical SIMT efficiency %f", eff)
+			}
+		})
+	}
+}
+
+// TestAnnotatedWorkloadsImprove compiles each annotated workload with
+// speculative reconvergence and checks semantics are preserved and
+// SIMT efficiency improves.
+func TestAnnotatedWorkloadsImprove(t *testing.T) {
+	for _, w := range Annotated() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			inst := w.Build(BuildConfig{})
+			base, err := core.Compile(inst.Module, core.BaselineOptions())
+			if err != nil {
+				t.Fatalf("baseline compile: %v", err)
+			}
+			spec, err := core.Compile(inst.Module, core.SpecReconOptions())
+			if err != nil {
+				t.Fatalf("spec compile: %v", err)
+			}
+			runCfg := simt.Config{Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed, Memory: inst.Memory, Strict: true}
+			rb, err := simt.Run(base.Module, runCfg)
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			rs, err := simt.Run(spec.Module, runCfg)
+			if err != nil {
+				t.Fatalf("spec run: %v", err)
+			}
+			for i := range rb.Memory {
+				if !sameWord(rb.Memory[i], rs.Memory[i]) {
+					t.Fatalf("memory word %d differs: baseline %x spec %x", i, rb.Memory[i], rs.Memory[i])
+				}
+			}
+			be, se := rb.Metrics.SIMTEfficiency(), rs.Metrics.SIMTEfficiency()
+			speedup := float64(rb.Metrics.Cycles) / float64(rs.Metrics.Cycles)
+			t.Logf("%s: eff %.1f%% -> %.1f%%, speedup %.2fx (issues %d -> %d)",
+				w.Name, 100*be, 100*se, speedup, rb.Metrics.Issues, rs.Metrics.Issues)
+			if se <= be {
+				t.Errorf("SIMT efficiency did not improve: %.3f -> %.3f", be, se)
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package specrecon_test
+
+import (
+	"os"
+	"testing"
+
+	"specrecon"
+)
+
+// TestSasmFileWorkflow drives the textual-IR workflow end to end: read a
+// .sasm kernel from testdata, parse it, compile both variants, and
+// verify the annotation in the file produces the expected win — the same
+// path cmd/specrecon uses for user-written kernels.
+func TestSasmFileWorkflow(t *testing.T) {
+	src, err := os.ReadFile("testdata/iterdelay.sasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := specrecon.ParseModule(string(src))
+	if err != nil {
+		t.Fatalf("ParseModule: %v", err)
+	}
+	fn := mod.FuncByName("kernel")
+	if fn == nil || len(fn.Predictions) != 1 {
+		t.Fatalf("expected one prediction from the .predict directive")
+	}
+	if fn.Predictions[0].Label.Name != "hot" {
+		t.Fatalf("prediction label = %q", fn.Predictions[0].Label.Name)
+	}
+
+	run := func(opts specrecon.CompileOptions) *specrecon.RunResult {
+		comp, err := specrecon.Compile(mod, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := specrecon.Run(comp.Module, specrecon.RunConfig{Kernel: "kernel", Seed: 12, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(specrecon.BaselineOptions())
+	spec := run(specrecon.SpecReconOptions())
+	if spec.Metrics.SIMTEfficiency() <= base.Metrics.SIMTEfficiency() {
+		t.Errorf("sasm kernel: efficiency %.3f -> %.3f", base.Metrics.SIMTEfficiency(), spec.Metrics.SIMTEfficiency())
+	}
+	if spec.Metrics.Cycles >= base.Metrics.Cycles {
+		t.Errorf("sasm kernel: no speedup (%d -> %d cycles)", base.Metrics.Cycles, spec.Metrics.Cycles)
+	}
+	for i := range base.Memory {
+		if base.Memory[i] != spec.Memory[i] {
+			t.Fatalf("results differ at word %d", i)
+		}
+	}
+}
+
+// TestInlineOutlineFacade exercises the section-6 transforms through the
+// public API.
+func TestInlineOutlineFacade(t *testing.T) {
+	w, err := specrecon.WorkloadByName("callmicro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(specrecon.WorkloadConfig{Tasks: 8})
+	mod := inst.Module.Clone()
+	sites, dropped, err := specrecon.Inline(mod, "callmicro_kernel", "shade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites != 2 || dropped != 1 {
+		t.Fatalf("inline: sites=%d dropped=%d, want 2/1", sites, dropped)
+	}
+	if err := specrecon.VerifyModule(mod); err != nil {
+		t.Fatalf("inlined module invalid: %v", err)
+	}
+}
+
+// TestStackEngineFacade runs a workload under the pre-Volta engine via
+// the facade.
+func TestStackEngineFacade(t *testing.T) {
+	w, err := specrecon.WorkloadByName("mcb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := w.Build(specrecon.WorkloadConfig{Tasks: 4})
+	comp, err := specrecon.Compile(inst.Module, specrecon.BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := specrecon.Run(comp.Module, specrecon.RunConfig{
+		Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+		Memory: inst.Memory, Model: specrecon.ModelStack,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Issues == 0 {
+		t.Fatal("stack engine executed nothing")
+	}
+}
+
+// TestLoopMergeSasm exercises the Figure 2(b) sample kernel with its
+// soft-barrier annotation.
+func TestLoopMergeSasm(t *testing.T) {
+	src, err := os.ReadFile("testdata/loopmerge.sasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := specrecon.ParseModule(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mod.FuncByName("kernel").Predictions[0]
+	if p.Threshold != 24 || p.Label.Name != "inner_body" {
+		t.Fatalf("prediction = %+v", p)
+	}
+	run := func(opts specrecon.CompileOptions) *specrecon.RunResult {
+		comp, err := specrecon.Compile(mod, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := specrecon.Run(comp.Module, specrecon.RunConfig{Kernel: "kernel", Seed: 77, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(specrecon.BaselineOptions())
+	spec := run(specrecon.SpecReconOptions())
+	if spec.Metrics.SIMTEfficiency() <= base.Metrics.SIMTEfficiency() {
+		t.Errorf("loopmerge.sasm: eff %.3f -> %.3f", base.Metrics.SIMTEfficiency(), spec.Metrics.SIMTEfficiency())
+	}
+	for i := range base.Memory {
+		if base.Memory[i] != spec.Memory[i] {
+			t.Fatalf("results differ at word %d", i)
+		}
+	}
+}

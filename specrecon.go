@@ -1,0 +1,203 @@
+// Package specrecon is the public facade of this repository: a
+// reproduction of "Speculative Reconvergence for Improved SIMT
+// Efficiency" (Damani et al., CGO 2020) as a Go library.
+//
+// The library bundles three layers:
+//
+//   - a SIMT virtual ISA and compiler infrastructure (internal/ir,
+//     internal/cfg, internal/dataflow, internal/divergence);
+//   - the paper's contribution — prediction-guided synchronization
+//     insertion, deconfliction, soft barriers, interprocedural
+//     reconvergence and automatic detection (internal/core);
+//   - a Volta-style warp simulator with convergence barriers and a
+//     coalescing memory model (internal/simt), plus the paper's
+//     benchmark suite (internal/workloads) and experiment drivers
+//     (internal/harness).
+//
+// This package re-exports the types and entry points a downstream user
+// needs: build or parse a kernel, annotate reconvergence points, compile
+// baseline or speculative variants, run them, and read the metrics.
+// See examples/ for complete programs.
+package specrecon
+
+import (
+	"specrecon/internal/core"
+	"specrecon/internal/harness"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+	"specrecon/internal/workloads"
+)
+
+// Re-exported IR types. Construct kernels with NewModule/NewBuilder or
+// parse the textual format with ParseModule.
+type (
+	Module     = ir.Module
+	Function   = ir.Function
+	Block      = ir.Block
+	Instr      = ir.Instr
+	Builder    = ir.Builder
+	Prediction = ir.Prediction
+)
+
+// WarpWidth is the simulated warp width (32 lanes, as on NVIDIA parts).
+const WarpWidth = ir.WarpWidth
+
+// NewModule returns an empty module named name.
+func NewModule(name string) *Module { return ir.NewModule(name) }
+
+// NewBuilder returns a cursor-based builder over f.
+func NewBuilder(f *Function) *Builder { return ir.NewBuilder(f) }
+
+// ParseModule reads the textual assembly format (see PrintModule).
+func ParseModule(src string) (*Module, error) { return ir.Parse(src) }
+
+// PrintModule renders a module in the textual assembly format.
+func PrintModule(m *Module) string { return ir.Print(m) }
+
+// VerifyModule checks structural well-formedness.
+func VerifyModule(m *Module) error { return ir.VerifyModule(m) }
+
+// Compilation options and results (see internal/core for details).
+type (
+	CompileOptions = core.Options
+	Compilation    = core.Compilation
+	Candidate      = core.Candidate
+)
+
+// Deconfliction strategies (paper section 4.3).
+const (
+	DeconflictDynamic = core.DeconflictDynamic
+	DeconflictStatic  = core.DeconflictStatic
+	DeconflictNone    = core.DeconflictNone
+)
+
+// BaselineOptions compiles with standard post-dominator synchronization
+// only — what a stock GPU compiler emits.
+func BaselineOptions() CompileOptions { return core.BaselineOptions() }
+
+// SpecReconOptions compiles with speculative reconvergence applied on
+// top of the baseline, using dynamic deconfliction as in the paper's
+// evaluation.
+func SpecReconOptions() CompileOptions { return core.SpecReconOptions() }
+
+// Compile clones m and runs the configured pass pipeline over it.
+func Compile(m *Module, opts CompileOptions) (*Compilation, error) {
+	return core.Compile(m, opts)
+}
+
+// AutoDetect scores speculative-reconvergence opportunities in m without
+// modifying it (paper section 4.5).
+func AutoDetect(m *Module) []Candidate {
+	return core.DetectOpportunities(m, core.DefaultAutoDetectOptions())
+}
+
+// AutoAnnotate applies the automatic detector's profitable candidates as
+// predictions on m, in place, and returns them.
+func AutoAnnotate(m *Module) []Candidate {
+	return core.AutoAnnotate(m, core.DefaultAutoDetectOptions())
+}
+
+// Simulator types.
+type (
+	RunConfig  = simt.Config
+	RunResult  = simt.Result
+	Metrics    = simt.Metrics
+	TraceEvent = simt.TraceEvent
+)
+
+// Scheduler policies for the warp scheduler.
+const (
+	PolicyMaxGroup   = simt.PolicyMaxGroup
+	PolicyMinPC      = simt.PolicyMinPC
+	PolicyRoundRobin = simt.PolicyRoundRobin
+)
+
+// Execution engines: Volta-style independent thread scheduling with
+// convergence barriers (the model the paper builds on), or the pre-Volta
+// reconvergence stack where barriers do not exist (a baseline ablation).
+const (
+	ModelITS   = simt.ModelITS
+	ModelStack = simt.ModelStack
+)
+
+// Inline expands every call to callee inside caller. Per the paper's
+// section 6, inlining a common call removes the shared PC and drops any
+// interprocedural prediction naming the callee.
+func Inline(m *Module, caller, callee string) (sites, droppedPredictions int, err error) {
+	return core.Inline(m, caller, callee)
+}
+
+// Outline extracts a block's body into a new function and replaces it
+// with a call — the refactoring that *creates* a common-call
+// reconvergence opportunity (section 6).
+func Outline(m *Module, fn, block, newFunc string) error {
+	return core.Outline(m, fn, block, newFunc)
+}
+
+// UnrollLoop partially unrolls a simple loop; per section 6, Loop Merge
+// still applies afterwards and synchronizes once per unrolled group.
+func UnrollLoop(m *Module, fn, header string, factor int) ([]string, error) {
+	return core.UnrollLoop(m, fn, header, factor)
+}
+
+// Coarsen applies thread coarsening (section 3): each thread of the
+// rewritten kernel executes `factor` consecutive tasks, creating the
+// nested-loop shape Loop Merge needs. Launch with threads/factor threads.
+func Coarsen(m *Module, fn string, factor int) error {
+	return core.Coarsen(m, fn, factor)
+}
+
+// LintWarning is a diagnostic from Lint.
+type LintWarning = core.LintWarning
+
+// Lint runs static diagnostics (uninitialized reads, unreachable blocks,
+// barrier hygiene) over the module.
+func Lint(m *Module) []LintWarning { return core.Lint(m) }
+
+// DOT renders a function's CFG in Graphviz dot syntax, with prediction
+// annotations drawn as dashed edges.
+func DOT(f *Function) string { return ir.DOT(f) }
+
+// Run launches a compiled module on the SIMT simulator.
+func Run(m *Module, cfg RunConfig) (*RunResult, error) { return simt.Run(m, cfg) }
+
+// Workload access: the paper's benchmark suite (Table 2).
+type (
+	Workload         = workloads.Workload
+	WorkloadInstance = workloads.Instance
+	WorkloadConfig   = workloads.BuildConfig
+)
+
+// Workloads returns every bundled benchmark.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName returns one bundled benchmark by name.
+func WorkloadByName(name string) (*Workload, error) { return workloads.Get(name) }
+
+// Experiment drivers: each reproduces one figure of the paper.
+type (
+	Comparison     = harness.Comparison
+	ThresholdPoint = harness.ThresholdPoint
+	FunnelResult   = harness.FunnelResult
+)
+
+// Figure7 measures SIMT efficiency before/after for the annotated suite.
+func Figure7(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure7(cfg) }
+
+// Figure8 is the Figure 7 experiment viewed as efficiency improvement
+// versus speedup.
+func Figure8(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure8(cfg) }
+
+// Figure9 sweeps the soft-barrier threshold for one workload.
+func Figure9(name string, cfg WorkloadConfig, thresholds []int) ([]ThresholdPoint, error) {
+	return harness.Figure9(name, cfg, thresholds)
+}
+
+// Figure10 measures automatic speculative reconvergence on the
+// auto-detected kernels.
+func Figure10(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure10(cfg) }
+
+// RunFunnel reproduces the section 5.4 application-population study.
+func RunFunnel(apps int, seed uint64) (*FunnelResult, error) {
+	return harness.RunFunnel(apps, seed)
+}
