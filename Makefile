@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench fmt figures
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-commit gate: everything must build, vet clean, and
+# pass the full suite under the race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -l -w .
+
+figures:
+	$(GO) run ./cmd/figures -fig all

@@ -375,18 +375,38 @@ func BenchmarkAblation(b *testing.B) {
 }
 
 // BenchmarkCompile measures the compiler pipeline itself — the pass
-// machinery of Figures 4-6 — on each workload module.
+// machinery of Figures 4-6 — on each workload module, one sub-benchmark
+// per pipeline so compile-time regressions are attributable to a pass.
+// The verify-each variant prices the debug-mode inter-pass verifier.
 func BenchmarkCompile(b *testing.B) {
+	pipelines := []struct {
+		name       string
+		spec       string
+		verifyEach bool
+	}{
+		{name: "baseline", spec: "pdom,alloc"},
+		{name: "specrecon", spec: "pdom,predict,deconflict=dynamic,alloc"},
+		{name: "specrecon-static", spec: "pdom,predict,deconflict=static,alloc"},
+		{name: "specrecon-verify-each", spec: "pdom,predict,deconflict=dynamic,alloc", verifyEach: true},
+	}
 	for _, name := range annotatedSuite {
 		name := name
-		b.Run(name, func(b *testing.B) {
-			inst := buildNamed(b, name)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := specrecon.Compile(inst.Module, specrecon.SpecReconOptions()); err != nil {
+		for _, pl := range pipelines {
+			pl := pl
+			b.Run(name+"/"+pl.name, func(b *testing.B) {
+				inst := buildNamed(b, name)
+				pipe, err := specrecon.ParsePipeline(pl.spec)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				pipe.VerifyEach = pl.verifyEach
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := specrecon.CompilePipeline(inst.Module, specrecon.SpecReconOptions(), pipe); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"specrecon/internal/core"
 	"specrecon/internal/ir"
@@ -42,12 +43,29 @@ func main() {
 		lint       = flag.Bool("lint", false, "run static diagnostics on the input module")
 		sweep      = flag.Bool("sweep", false, "sweep the soft-barrier threshold 1..32 and report eff/speedup")
 		list       = flag.Bool("list", false, "list bundled workloads")
+
+		passes     = flag.String("passes", "", "override the pass pipeline with a spec string (e.g. \"pdom,predict,deconflict=dynamic,alloc\")")
+		dumpAfter  = flag.String("dump-ir-after", "", "print the IR after the named pass")
+		passStats  = flag.Bool("print-pass-stats", false, "print per-pass wall time, instruction deltas and barrier counts")
+		verifyEach = flag.Bool("verify-each", false, "verify the module after every pass, attributing breakage to the pass")
+		remarks    = flag.Bool("remarks", false, "print the optimization remarks stream")
+		listPasses = flag.Bool("list-passes", false, "list registered compiler passes")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-14s %-16s %s\n", w.Name, w.Pattern, w.Description)
+		}
+		return
+	}
+	if *listPasses {
+		for _, info := range core.RegisteredPasses() {
+			kind := "transform"
+			if info.Analysis {
+				kind = "analysis"
+			}
+			fmt.Printf("%-11s %-9s %s\n", info.Name, kind, info.Description)
 		}
 		return
 	}
@@ -62,12 +80,21 @@ func main() {
 	}
 
 	if *lint {
-		warnings := core.Lint(inst.Module)
-		if len(warnings) == 0 {
+		// Lint runs as a read-only analysis pass over a single-pass
+		// pipeline; its warnings surface through the remarks stream.
+		lintPipe, err := core.ParsePipeline("lint")
+		if err != nil {
+			fail(err)
+		}
+		lcomp, err := core.CompilePipeline(inst.Module, core.Options{SkipAllocation: true}, lintPipe)
+		if err != nil {
+			fail(err)
+		}
+		if len(lcomp.Remarks) == 0 {
 			fmt.Println("lint: clean")
 		}
-		for _, w := range warnings {
-			fmt.Println("lint:", w)
+		for _, r := range lcomp.Remarks {
+			fmt.Println(r)
 		}
 	}
 
@@ -96,14 +123,39 @@ func main() {
 		modes = []string{"baseline", "spec"}
 	}
 	var baseCycles int64
+	dumped := false
 	for _, mo := range modes {
 		opts, mod, err := optionsFor(mo, inst, dec, *threshold)
 		if err != nil {
 			fail(err)
 		}
-		comp, err := core.Compile(mod, opts)
+		pipe := core.PipelineFor(opts)
+		if *passes != "" {
+			if pipe, err = core.ParsePipeline(*passes); err != nil {
+				fail(err)
+			}
+		}
+		pipe.VerifyEach = *verifyEach
+		if *dumpAfter != "" {
+			mode := mo
+			pipe.Observer = func(pass string, m *ir.Module) {
+				if pass == *dumpAfter {
+					dumped = true
+					fmt.Printf("; %s: IR after pass %q\n%s", mode, pass, ir.Print(m))
+				}
+			}
+		}
+		comp, err := core.CompilePipeline(mod, opts, pipe)
 		if err != nil {
 			fail(err)
+		}
+		if *passStats {
+			printPassStats(mo, comp)
+		}
+		if *remarks {
+			for _, r := range comp.Remarks {
+				fmt.Println(r)
+			}
 		}
 		if *printIR {
 			fmt.Println(ir.Print(comp.Module))
@@ -132,6 +184,20 @@ func main() {
 		} else if baseCycles > 0 {
 			fmt.Printf("          speedup over baseline: %.2fx\n", float64(baseCycles)/float64(m.Cycles))
 		}
+	}
+	if *dumpAfter != "" && !dumped {
+		fmt.Fprintf(os.Stderr, "specrecon: -dump-ir-after=%q never fired (pass not in pipeline; see -list-passes)\n", *dumpAfter)
+	}
+}
+
+// printPassStats renders the per-pass instrumentation table behind
+// -print-pass-stats.
+func printPassStats(mode string, comp *core.Compilation) {
+	fmt.Printf("%s pipeline: %s (compile %s)\n", mode, comp.Pipeline, comp.CompileTime.Round(time.Microsecond))
+	fmt.Printf("  %-11s %10s %8s %8s %8s %7s %8s\n", "pass", "time", "instrs", "Δinstrs", "bar-ops", "minted", "remarks")
+	for _, s := range comp.PassStats {
+		fmt.Printf("  %-11s %10s %8d %+8d %8d %7d %8d\n",
+			s.Pass, s.Wall.Round(time.Microsecond), s.InstrsAfter, s.InstrDelta(), s.BarrierOpsAfter, s.BarriersMinted, s.Remarks)
 	}
 }
 

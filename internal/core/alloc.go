@@ -16,7 +16,14 @@ import (
 // the other (barrier masks are warp state shared across the whole call
 // graph). Allocation is greedy graph coloring over that interference
 // relation; running out of colors is a compile error, as on hardware.
-func (c *compiler) allocateBarriers() error {
+func init() {
+	registerSimplePass("alloc",
+		"color virtual barriers onto the physical barrier registers",
+		false,
+		func(c *PassContext) error { return c.allocateBarriers() })
+}
+
+func (c *PassContext) allocateBarriers() error {
 	n := c.nextBar
 	if n == 0 {
 		return nil
@@ -36,8 +43,8 @@ func (c *compiler) allocateBarriers() error {
 		interf[b][a] = true
 	}
 
-	used := make(map[string]map[int]bool, len(c.mod.Funcs))
-	for _, f := range c.mod.Funcs {
+	used := make(map[string]map[int]bool, len(c.Mod.Funcs))
+	for _, f := range c.Mod.Funcs {
 		s := make(map[int]bool)
 		for _, b := range f.Blocks {
 			for i := range b.Instrs {
@@ -56,7 +63,7 @@ func (c *compiler) allocateBarriers() error {
 			return out
 		}
 		seen[name] = true
-		f := c.mod.FuncByName(name)
+		f := c.Mod.FuncByName(name)
 		if f == nil {
 			return out
 		}
@@ -75,7 +82,7 @@ func (c *compiler) allocateBarriers() error {
 		return out
 	}
 
-	for _, f := range c.mod.Funcs {
+	for _, f := range c.Mod.Funcs {
 		f.Reindex()
 		info := cfg.New(f)
 		intervals, fp := joinedIntervals(f, info)
@@ -170,7 +177,7 @@ func (c *compiler) allocateBarriers() error {
 		assignment[b] = phys
 	}
 
-	for _, f := range c.mod.Funcs {
+	for _, f := range c.Mod.Funcs {
 		for _, blk := range f.Blocks {
 			for i := range blk.Instrs {
 				if in := &blk.Instrs[i]; in.Op.IsBarrierOp() {

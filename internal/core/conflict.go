@@ -1,10 +1,40 @@
 package core
 
 import (
+	"fmt"
+
 	"specrecon/internal/cfg"
 	"specrecon/internal/dataflow"
 	"specrecon/internal/ir"
 )
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:        "deconflict",
+		Description: "resolve non-inclusive barrier live-range conflicts (arg: dynamic|static)",
+		Build: func(arg string) (Pass, error) {
+			var mode DeconflictMode
+			switch arg {
+			case "", "dynamic":
+				mode = DeconflictDynamic
+			case "static":
+				mode = DeconflictStatic
+			default:
+				return nil, fmt.Errorf("pass \"deconflict\": unknown mode %q (want dynamic or static)", arg)
+			}
+			return &pass{
+				name: "deconflict",
+				spec: "deconflict=" + mode.String(),
+				run: func(c *PassContext) error {
+					for _, fw := range c.specWaits {
+						c.deconflict(fw.f, fw.waits, mode)
+					}
+					return nil
+				},
+			}, nil
+		},
+	})
+}
 
 // Conflict analysis, paper section 4.3. "A barrier live range extends
 // from the moment threads join the barrier until the barrier is cleared
@@ -203,8 +233,8 @@ func overlapNonInclusive(a, b dataflow.Bits) bool {
 }
 
 // deconflict finds conflicts against the speculative (and region-exit)
-// barriers of f and resolves them per the configured strategy.
-func (c *compiler) deconflict(f *ir.Function, waits []specWait) {
+// barriers of f and resolves them per the given strategy.
+func (c *PassContext) deconflict(f *ir.Function, waits []specWait, mode DeconflictMode) {
 	specBars := make(map[int]bool)
 	waitOf := make(map[int]specWait)
 	for _, sw := range waits {
@@ -238,12 +268,14 @@ func (c *compiler) deconflict(f *ir.Function, waits []specWait) {
 			if other < len(c.barriers) {
 				kind = c.barriers[other].Kind
 			}
-			if c.opts.Deconflict == DeconflictStatic && kind == KindPDOM {
+			if mode == DeconflictStatic && kind == KindPDOM {
+				c.Remarkf(f.Name, sw.waitBlock.Name, "barrier b%d conflicts with %s barrier b%d: removed its operations statically", spec, kind, other)
 				removeBarrierOps(f, other)
 				continue
 			}
 			// Dynamic deconfliction: cancel the conflicting barrier
 			// immediately before the speculative wait (Figure 5(c)).
+			c.Remarkf(f.Name, sw.waitBlock.Name, "barrier b%d conflicts with %s barrier b%d: cancelled before the speculative wait", spec, kind, other)
 			insertCancelBeforeWait(sw.waitBlock, spec, other)
 		}
 	}

@@ -31,11 +31,24 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"specrecon/internal/cfg"
 	"specrecon/internal/divergence"
 	"specrecon/internal/ir"
 )
+
+func init() {
+	registerSimplePass("pdom",
+		"insert baseline post-dominator convergence barriers at divergent branches",
+		false,
+		func(c *PassContext) error {
+			for _, f := range c.Mod.Funcs {
+				c.insertPDOM(f)
+			}
+			return nil
+		})
+}
 
 // DeconflictMode selects the section-4.3 strategy.
 type DeconflictMode int
@@ -158,6 +171,15 @@ type Compilation struct {
 	BarrierAssignment map[int]int
 	// Stats summarizes what the pipeline emitted.
 	Stats CompileStats
+	// Pipeline is the spec string of the pass sequence that ran.
+	Pipeline string
+	// PassStats holds per-pass instrumentation, in execution order.
+	PassStats []PassStat
+	// Remarks is the optimization-remarks stream every pass wrote to.
+	Remarks []Remark
+	// CompileTime is the total wall time of the compilation, including
+	// verification and cloning around the pass pipeline.
+	CompileTime time.Duration
 }
 
 // CompileStats counts the synchronization the pipeline inserted — the
@@ -203,25 +225,32 @@ type ConflictPair struct {
 	A, B int // virtual barrier ids; A is the spec/exit barrier
 }
 
-// compiler carries the pipeline's working state.
-type compiler struct {
-	mod      *ir.Module
-	opts     Options
-	barriers []BarrierInfo
-	nextBar  int
-	result   *Compilation
+// Compile clones m, runs the pass pipeline derived from opts over it,
+// and returns the transformed module with its compilation report. The
+// input module is not modified.
+func Compile(m *ir.Module, opts Options) (*Compilation, error) {
+	return CompilePipeline(m, opts, PipelineFor(opts))
 }
 
-// Compile clones m, runs the configured pipeline over every function, and
-// returns the transformed module with its compilation report. The input
-// module is not modified.
-func Compile(m *ir.Module, opts Options) (*Compilation, error) {
+// CompilePipeline clones m and runs an explicit pass pipeline over it.
+// opts still supplies pass-independent knobs (soft-barrier threshold
+// override, deconfliction default); pipe decides which passes run and in
+// what order. The manager verifies the input module before the first
+// pass and the output module after the last one regardless of
+// pipe.VerifyEach.
+func CompilePipeline(m *ir.Module, opts Options, pipe *Pipeline) (*Compilation, error) {
+	start := time.Now()
 	if err := ir.VerifyModule(m); err != nil {
 		return nil, fmt.Errorf("core: input module invalid: %w", err)
 	}
 	mod := m.Clone()
-	c := &compiler{mod: mod, opts: opts}
-	c.result = &Compilation{Module: mod, Options: opts, BarrierAssignment: map[int]int{}}
+	c := &PassContext{Mod: mod, Opts: opts}
+	c.result = &Compilation{
+		Module:            mod,
+		Options:           opts,
+		BarrierAssignment: map[int]int{},
+		Pipeline:          pipe.Spec(),
+	}
 
 	// Virtual barrier ids are module-wide unique so that interprocedural
 	// barriers can span functions.
@@ -234,23 +263,10 @@ func Compile(m *ir.Module, opts Options) (*Compilation, error) {
 		c.barriers = append(c.barriers, BarrierInfo{ID: b, Kind: KindUser})
 	}
 
-	if opts.InsertPDOM {
-		for _, f := range mod.Funcs {
-			c.insertPDOM(f)
-		}
+	if err := pipe.run(c); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	if opts.ApplyPredictions {
-		for _, f := range mod.Funcs {
-			if err := c.applyPredictions(f); err != nil {
-				return nil, fmt.Errorf("core: func %q: %w", f.Name, err)
-			}
-		}
-	}
-	if !opts.SkipAllocation {
-		if err := c.allocateBarriers(); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-	}
+
 	if err := ir.VerifyModule(mod); err != nil {
 		return nil, fmt.Errorf("core: output module invalid (compiler bug): %w", err)
 	}
@@ -260,11 +276,12 @@ func Compile(m *ir.Module, opts Options) (*Compilation, error) {
 		inputInstrs += f.NumInstrs()
 	}
 	c.result.Stats = gatherStats(mod, inputInstrs)
+	c.result.CompileTime = time.Since(start)
 	return c.result, nil
 }
 
 // newBarrier mints a fresh virtual barrier.
-func (c *compiler) newBarrier(kind BarrierKind, f *ir.Function, callee string) int {
+func (c *PassContext) newBarrier(kind BarrierKind, f *ir.Function, callee string) int {
 	id := c.nextBar
 	c.nextBar++
 	c.barriers = append(c.barriers, BarrierInfo{ID: id, Kind: kind, Fn: f, Callee: callee})
@@ -275,9 +292,9 @@ func (c *compiler) newBarrier(kind BarrierKind, f *ir.Function, callee string) i
 // conditional branch, JoinBarrier in the branch block and WaitBarrier at
 // the branch's immediate post-dominator ("GPU compilers currently attempt
 // reconvergence at the post-dominator", paper section 1).
-func (c *compiler) insertPDOM(f *ir.Function) {
+func (c *PassContext) insertPDOM(f *ir.Function) {
 	info := cfg.New(f)
-	div := divergence.Analyze(c.mod, f, info)
+	div := divergence.Analyze(c.Mod, f, info)
 
 	type placement struct {
 		branch *ir.Block
@@ -296,6 +313,9 @@ func (c *compiler) insertPDOM(f *ir.Function) {
 			continue
 		}
 		places = append(places, placement{branch: b, pdom: pd, bar: c.newBarrier(KindPDOM, f, "")})
+	}
+	for _, p := range places {
+		c.Remarkf(f.Name, p.branch.Name, "barrier b%d: join at divergent branch, wait at post-dominator %q", p.bar, p.pdom.Name)
 	}
 	// Insert joins, then waits. Waits are inserted at block tops in RPO
 	// order of their branches, so inner (later-discovered) barriers end

@@ -7,15 +7,30 @@ import (
 	"specrecon/internal/ir"
 )
 
+func init() {
+	registerSimplePass("predict",
+		"lower Predict annotations into speculative join/wait/rejoin/cancel barriers",
+		false,
+		func(c *PassContext) error {
+			for _, f := range c.Mod.Funcs {
+				if err := c.applyPredictions(f); err != nil {
+					return fmt.Errorf("func %q: %w", f.Name, err)
+				}
+			}
+			return nil
+		})
+}
+
 // applyPredictions lowers every Prediction of f (paper section 4.2) and
-// then runs conflict analysis plus deconfliction (section 4.3) over the
-// function as a whole, so that conflicts between speculative barriers and
-// both PDOM barriers and other speculative barriers are handled.
-func (c *compiler) applyPredictions(f *ir.Function) error {
+// records the speculative waits it placed so that a later deconflict
+// pass can run conflict analysis (section 4.3) over the function as a
+// whole — conflicts between speculative barriers and both PDOM barriers
+// and other speculative barriers are handled there.
+func (c *PassContext) applyPredictions(f *ir.Function) error {
 	if len(f.Predictions) == 0 {
 		return nil
 	}
-	var specWaits []specWait
+	var waits []specWait
 	for i := range f.Predictions {
 		p := f.Predictions[i]
 		var (
@@ -30,11 +45,9 @@ func (c *compiler) applyPredictions(f *ir.Function) error {
 		if err != nil {
 			return err
 		}
-		specWaits = append(specWaits, sw)
+		waits = append(waits, sw)
 	}
-	if c.opts.Deconflict != DeconflictNone {
-		c.deconflict(f, specWaits)
-	}
+	c.specWaits = append(c.specWaits, funcWaits{f: f, waits: waits})
 	return nil
 }
 
@@ -51,9 +64,9 @@ type specWait struct {
 }
 
 // threshold resolves the effective soft-barrier threshold for p.
-func (c *compiler) threshold(p ir.Prediction) int {
-	if c.opts.ThresholdOverride >= 0 {
-		return c.opts.ThresholdOverride
+func (c *PassContext) threshold(p ir.Prediction) int {
+	if c.Opts.ThresholdOverride >= 0 {
+		return c.Opts.ThresholdOverride
 	}
 	return p.Threshold
 }
@@ -84,7 +97,7 @@ func barInstr(op ir.Opcode, bar int) ir.Instr {
 //   - an orthogonal pair JoinBarrier(b1)/WaitBarrier(b1) at the region
 //     start and the region's post-dominator collects all threads at the
 //     region exit.
-func (c *compiler) applyLabelPrediction(f *ir.Function, p ir.Prediction) (specWait, error) {
+func (c *PassContext) applyLabelPrediction(f *ir.Function, p ir.Prediction) (specWait, error) {
 	f.Reindex()
 	info := cfg.New(f)
 	if !info.Reachable(p.At) || !info.Reachable(p.Label) {
@@ -149,6 +162,11 @@ func (c *compiler) applyLabelPrediction(f *ir.Function, p ir.Prediction) (specWa
 		}
 	}
 
+	if exitBar >= 0 {
+		c.Remarkf(f.Name, p.At.Name, "label prediction %q: speculative barrier b%d (threshold %d), region-exit barrier b%d", p.Label.Name, bSpec, c.threshold(p), exitBar)
+	} else {
+		c.Remarkf(f.Name, p.At.Name, "label prediction %q: speculative barrier b%d (threshold %d), no region-exit barrier", p.Label.Name, bSpec, c.threshold(p))
+	}
 	return specWait{bar: bSpec, exitBar: exitBar, waitFn: f, waitBlock: p.Label}, nil
 }
 
@@ -161,8 +179,8 @@ func (c *compiler) applyLabelPrediction(f *ir.Function, p ir.Prediction) (specWa
 // with the compiler inserted reconvergence point at the post-dominator,
 // nor does it affect convergence properties of the code outside the
 // function body".
-func (c *compiler) applyCallPrediction(f *ir.Function, p ir.Prediction) (specWait, error) {
-	callee := c.mod.FuncByName(p.Callee)
+func (c *PassContext) applyCallPrediction(f *ir.Function, p ir.Prediction) (specWait, error) {
+	callee := c.Mod.FuncByName(p.Callee)
 	if callee == nil {
 		return specWait{}, fmt.Errorf("prediction callee %q not found", p.Callee)
 	}
@@ -231,6 +249,7 @@ func (c *compiler) applyCallPrediction(f *ir.Function, p ir.Prediction) (specWai
 		}
 	}
 
+	c.Remarkf(f.Name, p.At.Name, "call prediction %q: interprocedural barrier b%d (threshold %d), %d call sites", p.Callee, bSpec, c.threshold(p), len(callBlocks))
 	return specWait{bar: bSpec, exitBar: -1, waitFn: callee, waitBlock: callee.Entry(), interproc: true}, nil
 }
 

@@ -9,6 +9,18 @@ import (
 	"specrecon/internal/ir"
 )
 
+func init() {
+	registerSimplePass("lint",
+		"static diagnostics: uninitialized reads, unreachable blocks, barrier hygiene (read-only)",
+		true,
+		func(c *PassContext) error {
+			for _, w := range Lint(c.Mod) {
+				c.Remarkf(w.Fn, w.Block, "%s", w.Msg)
+			}
+			return nil
+		})
+}
+
 // LintWarning is one diagnostic from the lint passes.
 type LintWarning struct {
 	Fn    string

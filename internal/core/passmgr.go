@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"specrecon/internal/ir"
+)
+
+// The pass manager. Every transform and analysis of this package is a
+// registered, named Pass; Compile assembles them into a Pipeline (either
+// derived from Options or parsed from a spec string such as
+// "pdom,predict,deconflict=dynamic,alloc") and the manager runs them in
+// order over a shared PassContext, instrumenting each pass with wall
+// time, instruction and barrier-operation deltas, and an LLVM-style
+// remarks stream. Debug builds can additionally verify the module after
+// every pass, attributing the first structural breakage to the pass that
+// caused it.
+
+// Remark is one structured diagnostic emitted by a pass — the pipeline's
+// optimization-remarks stream. Fn and Block are empty for module-level
+// remarks.
+type Remark struct {
+	Pass  string
+	Fn    string
+	Block string
+	Msg   string
+}
+
+func (r Remark) String() string {
+	loc := r.Fn
+	if r.Block != "" {
+		loc += "." + r.Block
+	}
+	if loc == "" {
+		return fmt.Sprintf("%s: %s", r.Pass, r.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", r.Pass, loc, r.Msg)
+}
+
+// PassStat is the instrumentation record for one executed pass.
+type PassStat struct {
+	Pass string
+	Wall time.Duration
+	// InstrsBefore/After are total module instruction counts around the
+	// pass; the delta is the pass's static code-size cost.
+	InstrsBefore int
+	InstrsAfter  int
+	// BarrierOpsBefore/After count barrier operations (join, wait,
+	// cancel, arrived) around the pass.
+	BarrierOpsBefore int
+	BarrierOpsAfter  int
+	// BarriersMinted counts virtual barriers the pass created.
+	BarriersMinted int
+	// Remarks counts remarks the pass emitted.
+	Remarks int
+}
+
+// InstrDelta returns the pass's net instruction-count change.
+func (s PassStat) InstrDelta() int { return s.InstrsAfter - s.InstrsBefore }
+
+// BarrierOpDelta returns the pass's net barrier-operation change.
+func (s PassStat) BarrierOpDelta() int { return s.BarrierOpsAfter - s.BarrierOpsBefore }
+
+// Changed reports whether the pass altered the module's size or
+// synchronization (a cheap dirtiness signal; passes rewriting in place
+// without growing the module may still have changed it).
+func (s PassStat) Changed() bool {
+	return s.InstrDelta() != 0 || s.BarrierOpDelta() != 0 || s.BarriersMinted != 0
+}
+
+// PassContext carries the pipeline's shared working state into every
+// pass: the module under transformation, the compile options, the
+// virtual-barrier table, the per-function speculative waits recorded by
+// the predict pass for the deconflict pass, and the remarks sink.
+type PassContext struct {
+	Mod  *ir.Module
+	Opts Options
+
+	barriers []BarrierInfo
+	nextBar  int
+	result   *Compilation
+
+	// specWaits records, in function order, the speculative waits the
+	// predict pass placed; the deconflict pass consumes them.
+	specWaits []funcWaits
+
+	// current is the running pass's name, stamped onto remarks.
+	current string
+}
+
+// funcWaits pairs a function with the speculative waits lowered into it.
+type funcWaits struct {
+	f     *ir.Function
+	waits []specWait
+}
+
+// Remarkf appends a remark attributed to the running pass. fn and block
+// may be empty for module-level remarks.
+func (c *PassContext) Remarkf(fn, block, format string, args ...any) {
+	c.result.Remarks = append(c.result.Remarks, Remark{
+		Pass:  c.current,
+		Fn:    fn,
+		Block: block,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Pass is one unit of the compilation pipeline.
+type Pass interface {
+	// Name is the pass's registry name, without any argument.
+	Name() string
+	// Spec is the pass as it appears in a pipeline spec string: the
+	// name, plus "=arg" when the pass was built with an argument.
+	Spec() string
+	// Analysis reports whether the pass only reads the module (it may
+	// still emit remarks).
+	Analysis() bool
+	Run(c *PassContext) error
+}
+
+// pass is the concrete Pass used by every registration.
+type pass struct {
+	name     string
+	spec     string
+	analysis bool
+	run      func(c *PassContext) error
+}
+
+func (p *pass) Name() string             { return p.name }
+func (p *pass) Spec() string             { return p.spec }
+func (p *pass) Analysis() bool           { return p.analysis }
+func (p *pass) Run(c *PassContext) error { return p.run(c) }
+
+// PassInfo describes one registered pass factory.
+type PassInfo struct {
+	Name        string
+	Description string
+	// Analysis marks read-only passes.
+	Analysis bool
+	// Build constructs a pass instance. arg is the text after "=" in
+	// the pipeline spec ("" when absent); factories reject arguments
+	// they do not accept.
+	Build func(arg string) (Pass, error)
+}
+
+var passRegistry = map[string]PassInfo{}
+
+// RegisterPass adds a pass factory to the registry. Transform files call
+// it from init; registering the same name twice is a programming error.
+func RegisterPass(info PassInfo) {
+	if info.Name == "" || info.Build == nil {
+		panic("core: RegisterPass: name and build function are required")
+	}
+	if _, dup := passRegistry[info.Name]; dup {
+		panic(fmt.Sprintf("core: RegisterPass: duplicate pass %q", info.Name))
+	}
+	passRegistry[info.Name] = info
+}
+
+// RegisteredPasses lists every registered pass, sorted by name.
+func RegisteredPasses() []PassInfo {
+	out := make([]PassInfo, 0, len(passRegistry))
+	for _, info := range passRegistry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// registerSimplePass registers an argument-free pass.
+func registerSimplePass(name, description string, analysis bool, run func(c *PassContext) error) {
+	RegisterPass(PassInfo{
+		Name:        name,
+		Description: description,
+		Analysis:    analysis,
+		Build: func(arg string) (Pass, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("pass %q takes no argument (got %q)", name, arg)
+			}
+			return &pass{name: name, spec: name, analysis: analysis, run: run}, nil
+		},
+	})
+}
+
+// Pipeline is an ordered list of pass instances plus the manager's debug
+// hooks.
+type Pipeline struct {
+	passes []Pass
+
+	// VerifyEach runs ir.VerifyModule after every pass; the first
+	// failure is reported against the pass that introduced it.
+	VerifyEach bool
+	// Observer, when set, is called with the module after each pass
+	// (before verification) — the hook behind -dump-ir-after.
+	Observer func(pass string, m *ir.Module)
+}
+
+// NewPipeline builds a pipeline directly from pass instances. Most
+// callers use ParsePipeline or PipelineFor; this exists for tests and
+// programmatic construction of unregistered passes.
+func NewPipeline(passes ...Pass) *Pipeline {
+	return &Pipeline{passes: passes}
+}
+
+// Passes returns the pipeline's pass names in order.
+func (p *Pipeline) Passes() []string {
+	out := make([]string, len(p.passes))
+	for i, ps := range p.passes {
+		out[i] = ps.Name()
+	}
+	return out
+}
+
+// Spec renders the pipeline back to its spec string; ParsePipeline and
+// Spec round-trip.
+func (p *Pipeline) Spec() string {
+	specs := make([]string, len(p.passes))
+	for i, ps := range p.passes {
+		specs[i] = ps.Spec()
+	}
+	return strings.Join(specs, ",")
+}
+
+// ParsePipeline parses a spec string like
+// "pdom,predict,deconflict=dynamic,alloc" into a pipeline. Every element
+// is a registered pass name with an optional "=arg"; unknown and
+// duplicate passes are errors.
+func ParsePipeline(spec string) (*Pipeline, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("core: empty pipeline spec")
+	}
+	p := &Pipeline{}
+	seen := map[string]bool{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("core: pipeline spec %q has an empty element", spec)
+		}
+		name, arg := item, ""
+		if i := strings.IndexByte(item, '='); i >= 0 {
+			name, arg = item[:i], item[i+1:]
+		}
+		info, ok := passRegistry[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown pass %q (known: %s)", name, strings.Join(passNames(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("core: duplicate pass %q in pipeline %q", name, spec)
+		}
+		seen[name] = true
+		ps, err := info.Build(arg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		p.passes = append(p.passes, ps)
+	}
+	return p, nil
+}
+
+func passNames() []string {
+	names := make([]string, 0, len(passRegistry))
+	for n := range passRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PipelineFor derives the default pipeline from compile options — the
+// exact sequence the pre-pass-manager Compile hard-coded:
+//
+//	baseline:  pdom,alloc
+//	specrecon: pdom,predict,deconflict=<mode>,alloc
+func PipelineFor(opts Options) *Pipeline {
+	var specs []string
+	if opts.InsertPDOM {
+		specs = append(specs, "pdom")
+	}
+	if opts.ApplyPredictions {
+		specs = append(specs, "predict")
+		if opts.Deconflict != DeconflictNone {
+			specs = append(specs, "deconflict="+opts.Deconflict.String())
+		}
+	}
+	if !opts.SkipAllocation {
+		specs = append(specs, "alloc")
+	}
+	if len(specs) == 0 {
+		return &Pipeline{}
+	}
+	p, err := ParsePipeline(strings.Join(specs, ","))
+	if err != nil {
+		// The registry is populated at init; default specs cannot fail.
+		panic(fmt.Sprintf("core: PipelineFor: %v", err))
+	}
+	return p
+}
+
+// run executes the pipeline over the context, instrumenting each pass.
+func (p *Pipeline) run(c *PassContext) error {
+	for _, ps := range p.passes {
+		name := ps.Name()
+		instrsBefore := c.Mod.NumInstrs()
+		barOpsBefore := c.Mod.NumBarrierOps()
+		mintedBefore := len(c.barriers)
+		remarksBefore := len(c.result.Remarks)
+
+		c.current = name
+		start := time.Now()
+		err := ps.Run(c)
+		wall := time.Since(start)
+		c.current = ""
+		if err != nil {
+			return fmt.Errorf("pass %q: %w", name, err)
+		}
+
+		c.result.PassStats = append(c.result.PassStats, PassStat{
+			Pass:             name,
+			Wall:             wall,
+			InstrsBefore:     instrsBefore,
+			InstrsAfter:      c.Mod.NumInstrs(),
+			BarrierOpsBefore: barOpsBefore,
+			BarrierOpsAfter:  c.Mod.NumBarrierOps(),
+			BarriersMinted:   len(c.barriers) - mintedBefore,
+			Remarks:          len(c.result.Remarks) - remarksBefore,
+		})
+
+		if p.Observer != nil {
+			p.Observer(name, c.Mod)
+		}
+		if p.VerifyEach {
+			if err := ir.VerifyModule(c.Mod); err != nil {
+				return fmt.Errorf("module invalid after pass %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -125,7 +125,7 @@ func AutoComparison(w *workloads.Workload, cfg workloads.BuildConfig) (Compariso
 	}
 	applied := core.AutoAnnotate(stripped, core.DefaultAutoDetectOptions())
 
-	_, base, err := Run(inst, core.BaselineOptions())
+	baseComp, base, err := Run(inst, core.BaselineOptions())
 	if err != nil {
 		return Comparison{}, nil, err
 	}
@@ -138,15 +138,18 @@ func AutoComparison(w *workloads.Workload, cfg workloads.BuildConfig) (Compariso
 		return Comparison{}, nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	return Comparison{
-		Name:       w.Name,
-		Pattern:    w.Pattern,
-		BaseEff:    base.Metrics.SIMTEfficiency(),
-		SpecEff:    spec.Metrics.SIMTEfficiency(),
-		BaseCycles: base.Metrics.Cycles,
-		SpecCycles: spec.Metrics.Cycles,
-		BaseIssues: base.Metrics.Issues,
-		SpecIssues: spec.Metrics.Issues,
-		Conflicts:  len(comp.Conflicts),
+		Name:         w.Name,
+		Pattern:      w.Pattern,
+		BaseEff:      base.Metrics.SIMTEfficiency(),
+		SpecEff:      spec.Metrics.SIMTEfficiency(),
+		BaseCycles:   base.Metrics.Cycles,
+		SpecCycles:   spec.Metrics.Cycles,
+		BaseIssues:   base.Metrics.Issues,
+		SpecIssues:   spec.Metrics.Issues,
+		Conflicts:    len(comp.Conflicts),
+		BaseCompile:  baseComp.CompileTime,
+		SpecCompile:  comp.CompileTime,
+		SpecPipeline: comp.Pipeline,
 	}, applied, nil
 }
 

@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"specrecon/internal/core"
 	"specrecon/internal/ir"
@@ -46,6 +47,11 @@ type Comparison struct {
 	SpecIssues int64
 	Conflicts  int
 	Threshold  int // effective soft-barrier threshold (0 = hard barrier)
+	// BaseCompile/SpecCompile are the compiler pipeline wall times for
+	// each build; SpecPipeline is the pass spec the optimized build ran.
+	BaseCompile  time.Duration
+	SpecCompile  time.Duration
+	SpecPipeline string
 }
 
 // EffImprovement returns SpecEff / BaseEff (Figure 8's first series).
@@ -70,7 +76,7 @@ func (c Comparison) Speedup() float64 {
 // prediction's own (tuned) threshold.
 func Compare(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride int) (Comparison, error) {
 	inst := w.Build(cfg)
-	_, base, err := Run(inst, core.BaselineOptions())
+	baseComp, base, err := Run(inst, core.BaselineOptions())
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -88,16 +94,19 @@ func Compare(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride
 		threshold = firstThreshold(inst.Module)
 	}
 	return Comparison{
-		Name:       w.Name,
-		Pattern:    w.Pattern,
-		BaseEff:    base.Metrics.SIMTEfficiency(),
-		SpecEff:    spec.Metrics.SIMTEfficiency(),
-		BaseCycles: base.Metrics.Cycles,
-		SpecCycles: spec.Metrics.Cycles,
-		BaseIssues: base.Metrics.Issues,
-		SpecIssues: spec.Metrics.Issues,
-		Conflicts:  len(comp.Conflicts),
-		Threshold:  threshold,
+		Name:         w.Name,
+		Pattern:      w.Pattern,
+		BaseEff:      base.Metrics.SIMTEfficiency(),
+		SpecEff:      spec.Metrics.SIMTEfficiency(),
+		BaseCycles:   base.Metrics.Cycles,
+		SpecCycles:   spec.Metrics.Cycles,
+		BaseIssues:   base.Metrics.Issues,
+		SpecIssues:   spec.Metrics.Issues,
+		Conflicts:    len(comp.Conflicts),
+		Threshold:    threshold,
+		BaseCompile:  baseComp.CompileTime,
+		SpecCompile:  comp.CompileTime,
+		SpecPipeline: comp.Pipeline,
 	}, nil
 }
 

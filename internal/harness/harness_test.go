@@ -48,6 +48,12 @@ func TestFigure7Shape(t *testing.T) {
 		if r.BaseEff <= 0 || r.SpecEff > 1 {
 			t.Errorf("%s: nonsensical efficiencies %.3f/%.3f", r.Name, r.BaseEff, r.SpecEff)
 		}
+		if r.BaseCompile <= 0 || r.SpecCompile <= 0 {
+			t.Errorf("%s: compile times not recorded (%v base, %v spec)", r.Name, r.BaseCompile, r.SpecCompile)
+		}
+		if r.SpecPipeline != "pdom,predict,deconflict=dynamic,alloc" {
+			t.Errorf("%s: unexpected spec pipeline %q", r.Name, r.SpecPipeline)
+		}
 	}
 }
 

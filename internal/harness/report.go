@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"specrecon/internal/workloads"
 )
@@ -27,6 +28,16 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps in
 		}
 		fmt.Fprintf(out, "| %s | %s | %.1f%% | %.1f%% | %s |\n",
 			r.Name, r.Pattern, 100*r.BaseEff, 100*r.SpecEff, threshold)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## Compile time — pass-pipeline cost per benchmark")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| benchmark | base compile | spec compile | spec pipeline |")
+	fmt.Fprintln(out, "|-----------|-------------:|-------------:|---------------|")
+	for _, r := range rows {
+		fmt.Fprintf(out, "| %s | %s | %s | `%s` |\n",
+			r.Name, r.BaseCompile.Round(time.Microsecond), r.SpecCompile.Round(time.Microsecond), r.SpecPipeline)
 	}
 	fmt.Fprintln(out)
 

@@ -17,6 +17,7 @@ func TestWriteMarkdownReport(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"## Figure 7", "## Figure 8", "## Figure 9", "## Figure 10",
+		"## Compile time", "`pdom,predict,deconflict=dynamic,alloc`",
 		"## Section 5.4",
 		"| rsbench |", "| xsbench |", "| pathtracer |",
 		"| optix-ao |", "| meiyamd5 |",

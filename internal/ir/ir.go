@@ -203,6 +203,31 @@ func (m *Module) FuncByName(name string) *Function {
 	return nil
 }
 
+// NumInstrs returns the total instruction count across all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// NumBarrierOps returns the number of barrier operations (join, wait,
+// thresholded wait, cancel, arrived) across all functions.
+func (m *Module) NumBarrierOps() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op.IsBarrierOp() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
 // MaxRegs returns the largest integer and float register file sizes
 // required by any function in the module.
 func (m *Module) MaxRegs() (nregs, nfregs int) {

@@ -85,6 +85,32 @@ func Compile(m *Module, opts CompileOptions) (*Compilation, error) {
 	return core.Compile(m, opts)
 }
 
+// Pass-manager types: a compilation is an ordered Pipeline of registered
+// passes, each instrumented with wall time, instruction deltas and an
+// optimization-remarks stream (Compilation.PassStats / .Remarks).
+type (
+	Pipeline = core.Pipeline
+	PassStat = core.PassStat
+	Remark   = core.Remark
+	PassInfo = core.PassInfo
+)
+
+// ParsePipeline parses a pass spec string such as
+// "pdom,predict,deconflict=dynamic,alloc" into a Pipeline.
+func ParsePipeline(spec string) (*Pipeline, error) { return core.ParsePipeline(spec) }
+
+// PipelineFor derives the default pipeline the given options would run.
+func PipelineFor(opts CompileOptions) *Pipeline { return core.PipelineFor(opts) }
+
+// CompilePipeline clones m and runs an explicit pass pipeline over it;
+// set Pipeline.VerifyEach to verify the module between passes.
+func CompilePipeline(m *Module, opts CompileOptions, pipe *Pipeline) (*Compilation, error) {
+	return core.CompilePipeline(m, opts, pipe)
+}
+
+// RegisteredPasses lists every registered compiler pass, sorted by name.
+func RegisteredPasses() []PassInfo { return core.RegisteredPasses() }
+
 // AutoDetect scores speculative-reconvergence opportunities in m without
 // modifying it (paper section 4.5).
 func AutoDetect(m *Module) []Candidate {
