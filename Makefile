@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench fmt figures
+.PHONY: all build test vet race check bench bench-baseline fmt figures
 
 all: build
 
@@ -17,14 +17,30 @@ race:
 	$(GO) test -race ./...
 
 # check is the pre-commit gate: everything must build, vet clean, and
-# pass the full suite under the race detector.
+# pass the full suite under the race detector. The harness package runs
+# a second time with fresh counters so the worker-pool determinism and
+# race coverage never ride a cached result.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/harness
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-baseline refreshes BENCH_2.json: a smoke pass first (every
+# figure benchmark must still run to completion at -benchtime=1x), then
+# a timed pass whose output is converted to JSON against the committed
+# pre-optimization capture in testdata/bench_baseline_pre.txt.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchmem . | tee bench_baseline_post.txt
+	$(GO) run ./cmd/benchjson -in bench_baseline_post.txt \
+		-pre testdata/bench_baseline_pre.txt \
+		-note "pre = commit before the allocation-free issue loop; post = after. Single-core container: speedup_vs_pre comes from the zero-allocation hot path, not the worker pool." \
+		-out BENCH_2.json
+	rm -f bench_baseline_post.txt
 
 fmt:
 	gofmt -l -w .

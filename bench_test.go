@@ -20,6 +20,7 @@
 package specrecon_test
 
 import (
+	"flag"
 	"testing"
 
 	"specrecon"
@@ -409,4 +410,42 @@ func BenchmarkCompile(b *testing.B) {
 			})
 		}
 	}
+}
+
+// harnessJ bounds the worker pool of BenchmarkHarness
+// (0 = GOMAXPROCS, 1 = serial):
+//
+//	go test -bench Harness -harness.j 8
+var harnessJ = flag.Int("harness.j", 0, "worker-pool size for BenchmarkHarness (0 = GOMAXPROCS)")
+
+// BenchmarkHarness measures the experiment drivers end to end — the
+// paths `figures` and `make figures` spend their time in — under the
+// worker pool. Parallel speedup only shows on multi-core machines; the
+// results themselves are identical at any -harness.j.
+func BenchmarkHarness(b *testing.B) {
+	b.Run("figure7", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := specrecon.Figure7P(specrecon.WorkloadConfig{}, *harnessJ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("figure9/pathtracer", func(b *testing.B) {
+		thresholds := []int{1, 4, 8, 12, 16, 20, 24, 28, 32}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := specrecon.Figure9P("pathtracer", specrecon.WorkloadConfig{}, thresholds, *harnessJ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("funnel60", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := specrecon.RunFunnelP(60, 42, *harnessJ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,208 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark baseline. It parses the standard benchmark line format
+// (name, iteration count, then value/unit pairs, including -benchmem
+// columns and testing.B custom metrics such as sim_cycles and
+// simt_eff_%) and emits one record per benchmark.
+//
+// With -pre, a second benchmark text file is parsed as the pre-change
+// baseline and each record gains the old numbers plus the wall-time and
+// allocation ratios — the form `make bench-baseline` uses to produce
+// BENCH_2.json.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | benchjson -out BENCH.json
+//	benchjson -in post.txt -pre pre.txt -note "..." -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark's measurements.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+
+	// Pre-change numbers and ratios, present when -pre is given and the
+	// baseline file has a benchmark of the same name.
+	Pre          *PreRecord `json:"pre,omitempty"`
+	SpeedupVsPre float64    `json:"speedup_vs_pre,omitempty"`
+	AllocRatio   float64    `json:"allocs_vs_pre,omitempty"`
+}
+
+// PreRecord carries the pre-change measurements for one benchmark.
+type PreRecord struct {
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the emitted document.
+type Baseline struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Note    string   `json:"note,omitempty"`
+	Records []Record `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName[-procs]   N   pairs...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (*Baseline, error) {
+	out := &Baseline{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		rec := Record{Name: strings.TrimPrefix(m[1], "Benchmark"), Iterations: iters}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit pairs in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = val
+			case "B/op":
+				rec.BytesPerOp = val
+			case "allocs/op":
+				rec.AllocsOp = val
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = map[string]float64{}
+				}
+				rec.Metrics[unit] = val
+			}
+		}
+		out.Records = append(out.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func main() {
+	var (
+		in   = flag.String("in", "", "benchmark text to convert (default: stdin)")
+		pre  = flag.String("pre", "", "pre-change benchmark text; adds old numbers and ratios per benchmark")
+		out  = flag.String("out", "", "output JSON file (default: stdout)")
+		note = flag.String("note", "", "free-text note recorded in the baseline")
+	)
+	flag.Parse()
+
+	var cur *Baseline
+	var err error
+	if *in != "" {
+		cur, err = parseFile(*in)
+	} else {
+		cur, err = parse(os.Stdin)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if len(cur.Records) == 0 {
+		fail(fmt.Errorf("no benchmark lines found in input"))
+	}
+	cur.Note = *note
+
+	if *pre != "" {
+		base, err := parseFile(*pre)
+		if err != nil {
+			fail(err)
+		}
+		old := make(map[string]Record, len(base.Records))
+		for _, r := range base.Records {
+			old[r.Name] = r
+		}
+		for i := range cur.Records {
+			p, ok := old[cur.Records[i].Name]
+			if !ok {
+				continue
+			}
+			cur.Records[i].Pre = &PreRecord{NsPerOp: p.NsPerOp, BytesPerOp: p.BytesPerOp, AllocsOp: p.AllocsOp}
+			if cur.Records[i].NsPerOp > 0 {
+				cur.Records[i].SpeedupVsPre = round3(p.NsPerOp / cur.Records[i].NsPerOp)
+			}
+			if p.AllocsOp > 0 {
+				cur.Records[i].AllocRatio = round3(cur.Records[i].AllocsOp / p.AllocsOp)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

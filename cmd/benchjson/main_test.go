@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: specrecon
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7/rsbench/baseline         	       2	  52460427 ns/op	        22.74 simt_eff_%	12019744 B/op	  303669 allocs/op
+BenchmarkFig1/pdom-8         	       3	   6239838 ns/op	     52096 sim_cycles	        32.00 simt_eff_%	  758492 B/op	   25522 allocs/op
+PASS
+ok  	specrecon	12.3s
+`
+
+func TestParse(t *testing.T) {
+	b, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Goos != "linux" || b.Goarch != "amd64" || b.Pkg != "specrecon" {
+		t.Fatalf("header misparsed: %+v", b)
+	}
+	if len(b.Records) != 2 {
+		t.Fatalf("want 2 records, got %d: %+v", len(b.Records), b.Records)
+	}
+	r := b.Records[0]
+	if r.Name != "Fig7/rsbench/baseline" || r.Iterations != 2 {
+		t.Fatalf("record 0 misparsed: %+v", r)
+	}
+	if r.NsPerOp != 52460427 || r.BytesPerOp != 12019744 || r.AllocsOp != 303669 {
+		t.Fatalf("standard units misparsed: %+v", r)
+	}
+	if r.Metrics["simt_eff_%"] != 22.74 {
+		t.Fatalf("custom metric misparsed: %+v", r.Metrics)
+	}
+	// The -procs suffix must be stripped so pre/post runs on machines
+	// with different GOMAXPROCS still match by name.
+	if got := b.Records[1].Name; got != "Fig1/pdom" {
+		t.Fatalf("procs suffix not stripped: %q", got)
+	}
+	if b.Records[1].Metrics["sim_cycles"] != 52096 {
+		t.Fatalf("sim_cycles misparsed: %+v", b.Records[1].Metrics)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"specrecon/internal/harness"
+	"specrecon/internal/prof"
 	"specrecon/internal/workloads"
 )
 
@@ -26,12 +27,23 @@ func main() {
 		apps     = flag.Int("apps", 520, "corpus size for the section 5.4 funnel")
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		markdown = flag.Bool("markdown", false, "emit the full suite as markdown tables (EXPERIMENTS.md style)")
+		jobs     = flag.Int("j", 0, "worker-pool size for the experiment drivers (0 = GOMAXPROCS, 1 = serial)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	cfg := workloads.BuildConfig{Threads: *threads, Seed: *seed}
 
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	if *markdown {
-		if err := harness.WriteMarkdownReport(os.Stdout, cfg, *apps); err != nil {
+		if err := harness.WriteMarkdownReport(os.Stdout, cfg, *apps, *jobs); err != nil {
+			stopProf()
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
@@ -43,19 +55,20 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
+			stopProf()
 			fmt.Fprintf(os.Stderr, "figures: figure %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 
-	run("7", func() error { return figure7(cfg) })
-	run("8", func() error { return figure8(cfg) })
-	run("9", func() error { return figure9(cfg) })
-	run("10", func() error { return figure10(cfg, *apps) })
+	run("7", func() error { return figure7(cfg, *jobs) })
+	run("8", func() error { return figure8(cfg, *jobs) })
+	run("9", func() error { return figure9(cfg, *jobs) })
+	run("10", func() error { return figure10(cfg, *apps, *jobs) })
 }
 
-func figure7(cfg workloads.BuildConfig) error {
-	rows, err := harness.Figure7(cfg)
+func figure7(cfg workloads.BuildConfig, jobs int) error {
+	rows, err := harness.Figure7(cfg, jobs)
 	if err != nil {
 		return err
 	}
@@ -70,8 +83,8 @@ func figure7(cfg workloads.BuildConfig) error {
 	return nil
 }
 
-func figure8(cfg workloads.BuildConfig) error {
-	rows, err := harness.Figure8(cfg)
+func figure8(cfg workloads.BuildConfig, jobs int) error {
+	rows, err := harness.Figure8(cfg, jobs)
 	if err != nil {
 		return err
 	}
@@ -85,12 +98,12 @@ func figure8(cfg workloads.BuildConfig) error {
 	return nil
 }
 
-func figure9(cfg workloads.BuildConfig) error {
+func figure9(cfg workloads.BuildConfig, jobs int) error {
 	thresholds := []int{1, 4, 8, 12, 16, 20, 24, 28, 30, 32}
 	fmt.Println("Figure 9: SIMT efficiency and speedup with soft barrier")
 	fmt.Println("  threshold = lanes that must collect before the cohort proceeds")
 	for _, name := range []string{"pathtracer", "xsbench"} {
-		pts, err := harness.Figure9(name, cfg, thresholds)
+		pts, err := harness.Figure9(name, cfg, thresholds, jobs)
 		if err != nil {
 			return err
 		}
@@ -104,8 +117,8 @@ func figure9(cfg workloads.BuildConfig) error {
 	return nil
 }
 
-func figure10(cfg workloads.BuildConfig, apps int) error {
-	rows, err := harness.Figure10(cfg)
+func figure10(cfg workloads.BuildConfig, apps, jobs int) error {
+	rows, err := harness.Figure10(cfg, jobs)
 	if err != nil {
 		return err
 	}
@@ -115,7 +128,7 @@ func figure10(cfg workloads.BuildConfig, apps int) error {
 		fmt.Printf("  %-13s %9.1f%% %9.1f%% %9.2fx\n", r.Name, 100*r.BaseEff, 100*r.SpecEff, r.Speedup())
 	}
 
-	funnel, err := harness.RunFunnel(apps, 42)
+	funnel, err := harness.RunFunnel(apps, 42, jobs)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 
 	"specrecon/internal/core"
 	"specrecon/internal/ir"
+	"specrecon/internal/prof"
 	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
 )
@@ -50,8 +51,18 @@ func main() {
 		verifyEach = flag.Bool("verify-each", false, "verify the module after every pass, attributing breakage to the pass")
 		remarks    = flag.Bool("remarks", false, "print the optimization remarks stream")
 		listPasses = flag.Bool("list-passes", false, "list registered compiler passes")
+
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
+	profStop = stopProf
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -325,7 +336,12 @@ func parseDeconflict(s string) (core.DeconflictMode, error) {
 	return 0, fmt.Errorf("unknown deconfliction mode %q", s)
 }
 
+// profStop finishes any active profiles before fail's os.Exit, which
+// would otherwise skip the deferred stop in main.
+var profStop = func() {}
+
 func fail(err error) {
+	profStop()
 	fmt.Fprintln(os.Stderr, "specrecon:", err)
 	os.Exit(1)
 }

@@ -96,6 +96,11 @@ type Options struct {
 	// SkipAllocation keeps virtual barrier ids (tests only; the
 	// simulator accepts any number of barriers, real hardware has 16).
 	SkipAllocation bool
+	// AssumeVerified skips the input VerifyModule check. Sweeps that
+	// compile one already-verified module many times (the Figure 9
+	// threshold sweep) set it to avoid paying verification per variant;
+	// the output module is still verified after the pipeline runs.
+	AssumeVerified bool
 }
 
 // BaselineOptions compiles with standard PDOM synchronization only.
@@ -240,8 +245,10 @@ func Compile(m *ir.Module, opts Options) (*Compilation, error) {
 // pipe.VerifyEach.
 func CompilePipeline(m *ir.Module, opts Options, pipe *Pipeline) (*Compilation, error) {
 	start := time.Now()
-	if err := ir.VerifyModule(m); err != nil {
-		return nil, fmt.Errorf("core: input module invalid: %w", err)
+	if !opts.AssumeVerified {
+		if err := ir.VerifyModule(m); err != nil {
+			return nil, fmt.Errorf("core: input module invalid: %w", err)
+		}
 	}
 	mod := m.Clone()
 	c := &PassContext{Mod: mod, Opts: opts}

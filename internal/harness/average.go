@@ -23,17 +23,28 @@ type AveragedComparison struct {
 	StdevSpeed float64
 }
 
-// CompareAveraged measures a workload across the given seeds.
-func CompareAveraged(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride int, seeds []uint64) (AveragedComparison, error) {
+// CompareAveraged measures a workload across the given seeds. The
+// per-seed runs are independent jobs on the worker pool; aggregation
+// happens afterwards in seed order, so the result is identical to a
+// serial run.
+func CompareAveraged(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride int, seeds []uint64, parallelism int) (AveragedComparison, error) {
 	out := AveragedComparison{Name: w.Name, Seeds: len(seeds), MinSpeed: math.Inf(1), MaxSpeed: math.Inf(-1)}
-	var speeds []float64
-	for _, seed := range seeds {
+	cmps := make([]Comparison, len(seeds))
+	err := forEach(parallelism, len(seeds), func(i int) error {
 		c := cfg
-		c.Seed = seed
+		c.Seed = seeds[i]
 		cmp, err := Compare(w, c, thresholdOverride)
 		if err != nil {
-			return out, err
+			return err
 		}
+		cmps[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	var speeds []float64
+	for _, cmp := range cmps {
 		s := cmp.Speedup()
 		speeds = append(speeds, s)
 		out.MeanBase += cmp.BaseEff

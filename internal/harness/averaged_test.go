@@ -18,7 +18,7 @@ func TestAveragedComparisonsStable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		avg, err := CompareAveraged(w, workloads.BuildConfig{}, -1, DefaultSeeds)
+		avg, err := CompareAveraged(w, workloads.BuildConfig{}, -1, DefaultSeeds, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

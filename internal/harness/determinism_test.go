@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"specrecon/internal/workloads"
+)
+
+// The worker pool must be an implementation detail: running the
+// experiment drivers with many workers has to produce byte-for-byte the
+// same results as a serial run. These tests pin that contract for the
+// two driver shapes — a flat job list (Figure7) and a flattened grid
+// reassembled into a map (Sensitivity).
+
+// stripCompileTimes zeroes the wall-clock fields, the only
+// legitimately nondeterministic part of a Comparison.
+func stripCompileTimes(rows []Comparison) {
+	for i := range rows {
+		rows[i].BaseCompile = 0
+		rows[i].SpecCompile = 0
+	}
+}
+
+func TestFigure7ParallelMatchesSerial(t *testing.T) {
+	cfg := workloads.BuildConfig{Tasks: 4}
+	serial, err := Figure7(cfg, 1)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Figure7(cfg, 8)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	stripCompileTimes(serial)
+	stripCompileTimes(parallel)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Figure7 with 8 workers differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestSensitivityParallelMatchesSerial(t *testing.T) {
+	names := []string{"rsbench", "pathtracer"}
+	cfg := workloads.BuildConfig{Tasks: 4}
+	serial, err := Sensitivity(names, cfg, 1)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Sensitivity(names, cfg, 8)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("variant count differs: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for variant, srows := range serial {
+		prows := parallel[variant]
+		stripCompileTimes(srows)
+		stripCompileTimes(prows)
+		if !reflect.DeepEqual(srows, prows) {
+			t.Fatalf("Sensitivity variant %q with 8 workers differs from serial:\nserial:   %+v\nparallel: %+v", variant, srows, prows)
+		}
+	}
+}

@@ -49,64 +49,85 @@ const (
 	lowEffScreen            = 0.80
 )
 
+// funnelOutcome is the per-application result of the funnel, produced
+// by independent worker-pool jobs and folded in corpus order so the
+// aggregate counts and PerApp rows match a serial run exactly.
+type funnelOutcome struct {
+	lowEff   bool
+	detected bool
+	row      FunnelRow
+}
+
 // RunFunnel generates a corpus of n synthetic applications and pushes
-// them through the detector and the simulator.
-func RunFunnel(n int, seed uint64) (*FunnelResult, error) {
+// them through the detector and the simulator. Each application is an
+// independent compile+simulate job on the worker pool.
+func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 	apps := corpus.Generate(n, seed)
 	res := &FunnelResult{Studied: len(apps)}
-	for _, app := range apps {
+	outcomes := make([]funnelOutcome, len(apps))
+	err := forEach(parallelism, len(apps), func(i int) error {
+		app := apps[i]
 		baseComp, err := core.Compile(app.Module, core.BaselineOptions())
 		if err != nil {
-			return nil, fmt.Errorf("%s: baseline compile: %w", app.Name, err)
+			return fmt.Errorf("%s: baseline compile: %w", app.Name, err)
 		}
 		runCfg := simt.Config{Kernel: app.Kernel, Threads: app.Threads, Seed: app.Seed, Memory: app.Memory, Strict: true}
 		base, err := simt.Run(baseComp.Module, runCfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: baseline run: %w", app.Name, err)
+			return fmt.Errorf("%s: baseline run: %w", app.Name, err)
 		}
 		baseEff := base.Metrics.SIMTEfficiency()
-		if baseEff < lowEffScreen {
-			res.LowEff++
-		}
+		outcomes[i].lowEff = baseEff < lowEffScreen
 
 		// The detector only considers applications below the screen,
 		// mirroring the paper's triage.
 		if baseEff >= lowEffScreen {
-			continue
+			return nil
 		}
 		annotated := app.Module.Clone()
 		applied := core.AutoAnnotate(annotated, core.DefaultAutoDetectOptions())
 		if len(applied) == 0 {
-			continue
+			return nil
 		}
-		res.Detected++
+		outcomes[i].detected = true
 
 		specComp, err := core.Compile(annotated, core.SpecReconOptions())
 		if err != nil {
-			return nil, fmt.Errorf("%s: auto compile: %w", app.Name, err)
+			return fmt.Errorf("%s: auto compile: %w", app.Name, err)
 		}
 		spec, err := simt.Run(specComp.Module, runCfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: auto run: %w", app.Name, err)
+			return fmt.Errorf("%s: auto run: %w", app.Name, err)
 		}
 		if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
-			return nil, fmt.Errorf("%s: %w", app.Name, err)
+			return fmt.Errorf("%s: %w", app.Name, err)
 		}
-		autoEff := spec.Metrics.SIMTEfficiency()
-		speedup := float64(base.Metrics.Cycles) / float64(spec.Metrics.Cycles)
-		row := FunnelRow{
+		outcomes[i].row = FunnelRow{
 			Name:    app.Name,
 			Kind:    app.Kind.String(),
 			BaseEff: baseEff,
-			AutoEff: autoEff,
-			Speedup: speedup,
+			AutoEff: spec.Metrics.SIMTEfficiency(),
+			Speedup: float64(base.Metrics.Cycles) / float64(spec.Metrics.Cycles),
 			Score:   applied[0].Score(),
 		}
-		res.PerApp = append(res.PerApp, row)
-		if speedup >= significantSpeedup && autoEff >= significantEffRetention*baseEff {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		if o.lowEff {
+			res.LowEff++
+		}
+		if !o.detected {
+			continue
+		}
+		res.Detected++
+		res.PerApp = append(res.PerApp, o.row)
+		if o.row.Speedup >= significantSpeedup && o.row.AutoEff >= significantEffRetention*o.row.BaseEff {
 			res.Significant++
 		}
-		if speedup < 1.0 {
+		if o.row.Speedup < 1.0 {
 			res.Regressed++
 		}
 	}
@@ -154,19 +175,25 @@ func AutoComparison(w *workloads.Workload, cfg workloads.BuildConfig) (Compariso
 }
 
 // Figure10 runs automatic speculative reconvergence over the kernels the
-// paper reports upside for: the OptiX trace kernels and MeiyaMD5.
-func Figure10(cfg workloads.BuildConfig) ([]Comparison, error) {
-	var out []Comparison
-	for _, name := range []string{"optix-ao", "optix-path", "optix-shadow", "meiyamd5"} {
-		w, err := workloads.Get(name)
+// paper reports upside for: the OptiX trace kernels and MeiyaMD5. The
+// per-kernel jobs run on the worker pool.
+func Figure10(cfg workloads.BuildConfig, parallelism int) ([]Comparison, error) {
+	names := []string{"optix-ao", "optix-path", "optix-shadow", "meiyamd5"}
+	out := make([]Comparison, len(names))
+	err := forEach(parallelism, len(names), func(i int) error {
+		w, err := workloads.Get(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, _, err := AutoComparison(w, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, c)
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -158,15 +158,22 @@ func closeEnough(a, b float64) bool {
 
 // Figure7 measures SIMT efficiency before and after speculative
 // reconvergence for every programmer-annotated benchmark (paper section
-// 5.2). Each workload runs at its tuned per-prediction threshold.
-func Figure7(cfg workloads.BuildConfig) ([]Comparison, error) {
-	var out []Comparison
-	for _, w := range workloads.Annotated() {
-		c, err := Compare(w, cfg, -1)
+// 5.2). Each workload runs at its tuned per-prediction threshold. The
+// per-workload jobs are independent and run on the worker pool (see
+// pool.go); parallelism 0 selects GOMAXPROCS, 1 runs serially.
+func Figure7(cfg workloads.BuildConfig, parallelism int) ([]Comparison, error) {
+	ws := workloads.Annotated()
+	out := make([]Comparison, len(ws))
+	err := forEach(parallelism, len(ws), func(i int) error {
+		c, err := Compare(ws[i], cfg, -1)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, c)
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -174,8 +181,8 @@ func Figure7(cfg workloads.BuildConfig) ([]Comparison, error) {
 // Figure8 is the same experiment viewed as relative SIMT-efficiency
 // improvement versus speedup; the paper observes the former roughly
 // upper-bounds the latter.
-func Figure8(cfg workloads.BuildConfig) ([]Comparison, error) {
-	return Figure7(cfg)
+func Figure8(cfg workloads.BuildConfig, parallelism int) ([]Comparison, error) {
+	return Figure7(cfg, parallelism)
 }
 
 // ThresholdPoint is one x-position of Figure 9.
@@ -190,7 +197,14 @@ type ThresholdPoint struct {
 // shows PathTracer and XSBench). Threshold t means the waiting cohort
 // proceeds once t lanes have collected; t=0 never waits, t=32 waits for
 // every possible participant.
-func Figure9(name string, cfg workloads.BuildConfig, thresholds []int) ([]ThresholdPoint, error) {
+//
+// The baseline is compiled and simulated exactly once and shared by
+// every point, and the workload's IR is verified once up front: each
+// threshold job then compiles the shared verified module with
+// AssumeVerified (Compile clones before transforming, so concurrent
+// jobs never touch shared mutable state) instead of re-verifying the
+// same input per point.
+func Figure9(name string, cfg workloads.BuildConfig, thresholds []int, parallelism int) ([]ThresholdPoint, error) {
 	w, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
@@ -200,23 +214,42 @@ func Figure9(name string, cfg workloads.BuildConfig, thresholds []int) ([]Thresh
 	if err != nil {
 		return nil, err
 	}
-	var out []ThresholdPoint
-	for _, t := range thresholds {
+	if err := ir.VerifyModule(inst.Module); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	out := make([]ThresholdPoint, len(thresholds))
+	err = forEach(parallelism, len(thresholds), func(i int) error {
+		t := thresholds[i]
 		specOpts := core.SpecReconOptions()
 		specOpts.ThresholdOverride = t
-		_, spec, err := Run(inst, specOpts)
+		specOpts.AssumeVerified = true
+		comp, err := core.Compile(inst.Module, specOpts)
 		if err != nil {
-			return nil, fmt.Errorf("threshold %d: %w", t, err)
+			return fmt.Errorf("threshold %d: %w", t, err)
+		}
+		spec, err := simt.Run(comp.Module, simt.Config{
+			Kernel:  inst.Kernel,
+			Threads: inst.Threads,
+			Seed:    inst.Seed,
+			Memory:  inst.Memory,
+			Strict:  true,
+		})
+		if err != nil {
+			return fmt.Errorf("threshold %d: %w", t, err)
 		}
 		if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
-			return nil, fmt.Errorf("threshold %d: %w", t, err)
+			return fmt.Errorf("threshold %d: %w", t, err)
 		}
-		out = append(out, ThresholdPoint{
+		out[i] = ThresholdPoint{
 			Threshold: t,
 			Eff:       spec.Metrics.SIMTEfficiency(),
 			Speedup:   float64(base.Metrics.Cycles) / float64(spec.Metrics.Cycles),
 			Cycles:    spec.Metrics.Cycles,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

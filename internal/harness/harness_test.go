@@ -34,7 +34,7 @@ func TestVerifySameResults(t *testing.T) {
 // TestFigure7Shape: every annotated benchmark improves SIMT efficiency,
 // and the headline numbers sit in the paper's reported band.
 func TestFigure7Shape(t *testing.T) {
-	rows, err := Figure7(workloads.BuildConfig{})
+	rows, err := Figure7(workloads.BuildConfig{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestFigure7Shape(t *testing.T) {
 // TestFigure8Band: the paper reports improvements "ranging from 10% to
 // 3x in both SIMT efficiency and in performance".
 func TestFigure8Band(t *testing.T) {
-	rows, err := Figure8(workloads.BuildConfig{})
+	rows, err := Figure8(workloads.BuildConfig{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestFigure8Band(t *testing.T) {
 // TestFigure9PathTracerShape: PathTracer wants (near-)full
 // reconvergence — high thresholds beat the no-wait end.
 func TestFigure9PathTracerShape(t *testing.T) {
-	pts, err := Figure9("pathtracer", workloads.BuildConfig{}, []int{1, 16, 32})
+	pts, err := Figure9("pathtracer", workloads.BuildConfig{}, []int{1, 16, 32}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestFigure9PathTracerShape(t *testing.T) {
 // TestFigure9XSBenchShape: XSBench peaks at a partial threshold and the
 // full barrier is distinctly worse (section 5.3).
 func TestFigure9XSBenchShape(t *testing.T) {
-	pts, err := Figure9("xsbench", workloads.BuildConfig{}, []int{1, 20, 32})
+	pts, err := Figure9("xsbench", workloads.BuildConfig{}, []int{1, 20, 32}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestFigure9XSBenchShape(t *testing.T) {
 
 // TestFigure10Upside: the auto-detected kernels all improve.
 func TestFigure10Upside(t *testing.T) {
-	rows, err := Figure10(workloads.BuildConfig{})
+	rows, err := Figure10(workloads.BuildConfig{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestFigure10Upside(t *testing.T) {
 
 // TestFunnelShape reproduces the section 5.4 funnel proportions.
 func TestFunnelShape(t *testing.T) {
-	fr, err := RunFunnel(520, 42)
+	fr, err := RunFunnel(520, 42, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harness fans its independent compile+simulate jobs out
+// across a bounded worker pool. Every entry point takes a parallelism
+// argument: 0 (or negative) selects runtime.GOMAXPROCS workers, 1 forces
+// the fully serial path, and larger values bound the pool explicitly.
+// Jobs write results into caller-owned slots keyed by job index, so the
+// emitted rows are in the same deterministic order as a serial run
+// regardless of scheduling; simulation itself is seeded and
+// order-independent across jobs (jobs share no mutable state — each
+// builds, compiles and runs its own module).
+
+// effectiveParallelism resolves a requested parallelism to a concrete
+// worker count.
+func effectiveParallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// forEach runs fn(i) for every i in [0, n) on at most parallelism
+// workers and returns the lowest-index error, matching what the serial
+// loop would have reported. After an error is recorded, workers stop
+// picking up new jobs; in-flight jobs still complete.
+func forEach(parallelism, n int, fn func(i int) error) error {
+	workers := effectiveParallelism(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed() {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

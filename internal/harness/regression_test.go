@@ -29,7 +29,7 @@ func TestReferenceNumbersPinned(t *testing.T) {
 		{"rsbench", 22.7, 46.3, 1.74},
 		{"xsbench", 41.0, 54.4, 1.19},
 	}
-	rows, err := Figure7(workloads.BuildConfig{})
+	rows, err := Figure7(workloads.BuildConfig{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,9 +11,10 @@ import (
 // WriteMarkdownReport runs the full experiment suite and writes the
 // results as the markdown tables EXPERIMENTS.md is built from:
 // Figures 7, 8, 9, 10 and the section 5.4 funnel. cmd/figures exposes it
-// behind -markdown.
-func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps int) error {
-	rows, err := Figure7(cfg)
+// behind -markdown. parallelism bounds each experiment's worker pool
+// (0 = GOMAXPROCS); the emitted tables are identical at any setting.
+func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, parallelism int) error {
+	rows, err := Figure7(cfg, parallelism)
 	if err != nil {
 		return fmt.Errorf("figure 7: %w", err)
 	}
@@ -55,7 +56,7 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps in
 	thresholds := []int{1, 4, 8, 12, 16, 20, 24, 28, 32}
 	sweeps := map[string][]ThresholdPoint{}
 	for _, name := range []string{"pathtracer", "xsbench"} {
-		pts, err := Figure9(name, cfg, thresholds)
+		pts, err := Figure9(name, cfg, thresholds, parallelism)
 		if err != nil {
 			return fmt.Errorf("figure 9 (%s): %w", name, err)
 		}
@@ -70,7 +71,7 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps in
 	}
 	fmt.Fprintln(out)
 
-	auto, err := Figure10(cfg)
+	auto, err := Figure10(cfg, parallelism)
 	if err != nil {
 		return fmt.Errorf("figure 10: %w", err)
 	}
@@ -83,7 +84,7 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps in
 	}
 	fmt.Fprintln(out)
 
-	funnel, err := RunFunnel(funnelApps, 42)
+	funnel, err := RunFunnel(funnelApps, 42, parallelism)
 	if err != nil {
 		return fmt.Errorf("funnel: %w", err)
 	}

@@ -11,7 +11,7 @@ func TestWriteMarkdownReport(t *testing.T) {
 	var sb strings.Builder
 	// Small funnel keeps the test quick; the full 520 runs in the
 	// figures command and the funnel-shape test.
-	if err := WriteMarkdownReport(&sb, workloads.BuildConfig{}, 60); err != nil {
+	if err := WriteMarkdownReport(&sb, workloads.BuildConfig{}, 60, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

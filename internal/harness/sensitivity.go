@@ -85,21 +85,33 @@ func CompareWithCache(w *workloads.Workload, cfg workloads.BuildConfig, cache si
 }
 
 // Sensitivity measures every named workload under every model variant.
-// The result maps variant name to per-workload comparisons.
-func Sensitivity(names []string, cfg workloads.BuildConfig) (map[string][]Comparison, error) {
-	out := make(map[string][]Comparison)
-	for _, v := range ModelVariants() {
-		for _, name := range names {
-			w, err := workloads.Get(name)
-			if err != nil {
-				return nil, err
-			}
-			c, err := CompareWithCache(w, cfg, v.Cache)
-			if err != nil {
-				return nil, fmt.Errorf("variant %s: %w", v.Name, err)
-			}
-			out[v.Name] = append(out[v.Name], c)
+// The result maps variant name to per-workload comparisons. The
+// variant×workload grid is flattened into independent jobs for the
+// worker pool and reassembled in grid order, so the map contents match
+// a serial run exactly.
+func Sensitivity(names []string, cfg workloads.BuildConfig, parallelism int) (map[string][]Comparison, error) {
+	variants := ModelVariants()
+	results := make([]Comparison, len(variants)*len(names))
+	err := forEach(parallelism, len(results), func(i int) error {
+		v := variants[i/len(names)]
+		name := names[i%len(names)]
+		w, err := workloads.Get(name)
+		if err != nil {
+			return err
 		}
+		c, err := CompareWithCache(w, cfg, v.Cache)
+		if err != nil {
+			return fmt.Errorf("variant %s: %w", v.Name, err)
+		}
+		results[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Comparison, len(variants))
+	for vi, v := range variants {
+		out[v.Name] = results[vi*len(names) : (vi+1)*len(names) : (vi+1)*len(names)]
 	}
 	return out, nil
 }

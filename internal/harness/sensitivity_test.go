@@ -19,7 +19,7 @@ func TestModelSensitivity(t *testing.T) {
 		t.Skip("sensitivity grid is slow")
 	}
 	names := []string{"mcb", "pathtracer", "xsbench", "rsbench"}
-	grid, err := Sensitivity(names, workloads.BuildConfig{})
+	grid, err := Sensitivity(names, workloads.BuildConfig{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,51 @@
+// Package prof wires the standard runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags of the command-line tools. It exists so
+// cmd/figures and cmd/specrecon share one implementation and identical
+// semantics: the CPU profile covers the whole run, and the heap profile
+// is written after a final GC so it reflects live steady-state memory.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the given file names (empty = disabled) and
+// returns a stop function that must run before the process exits —
+// typically via defer in main. The stop function finishes the CPU
+// profile and writes the heap profile.
+func Start(cpuFile, memFile string) (func(), error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpu = f
+	}
+	stop := func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize accurate live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}

@@ -14,13 +14,14 @@ func (ws *warpState) issue(g group) error {
 	f := s.mod.Funcs[g.pc.fn]
 	blk := f.Blocks[g.pc.blk]
 	in := &blk.Instrs[g.pc.ins]
+	im := &s.meta[g.pc.fn][g.pc.blk][g.pc.ins]
 
 	active := popcount(g.mask)
 	s.issues++
 	s.metrics.Issues++
 	s.metrics.ActiveLaneSum += int64(active)
-	s.metrics.addOpClass(in.Op)
-	cost := int64(in.Op.Latency())
+	s.metrics.opClassCounts[im.class]++
+	cost := im.latency
 
 	if g.pc.ins == 0 {
 		s.metrics.addBlockVisit(g.pc.fn, g.pc.blk, int64(active))
@@ -38,8 +39,8 @@ func (ws *warpState) issue(g group) error {
 
 	// Memory instructions compute per-warp transaction costs from the
 	// coalescing of the active lanes' addresses.
-	if in.Op.IsMemory() {
-		var addrs []int64
+	if im.isMem {
+		addrs := ws.addrBuf[:0]
 		for l := 0; l < ir.WarpWidth; l++ {
 			if g.mask&(1<<l) == 0 {
 				continue
@@ -95,8 +96,8 @@ func (ws *warpState) issue(g group) error {
 		}
 		ws.advance(g)
 	case ir.OpCall:
-		callee, ok := s.fnIndex[in.Callee]
-		if !ok {
+		callee := int(im.callee)
+		if callee < 0 {
 			return fmt.Errorf("call to unknown function %q", in.Callee)
 		}
 		ret := g.pc

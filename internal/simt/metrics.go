@@ -32,8 +32,14 @@ type Metrics struct {
 	BarrierReleases int64
 
 	// OpClassIssues breaks issued instructions down by class: "alu",
-	// "mem", "barrier", "control", "special".
+	// "mem", "barrier", "control", "special". It is materialized from
+	// opClassCounts once at the end of a run.
 	OpClassIssues map[string]int64
+
+	// opClassCounts is the hot-path accumulator behind OpClassIssues: a
+	// fixed array indexed by the decode-time OpClassID, so the issue
+	// loop pays an array increment instead of a string-keyed map update.
+	opClassCounts [numOpClasses]int64
 
 	// blockVisits[fnIdx][blockIdx] accumulates active lanes entering
 	// each block; used as the execution profile for the profile-guided
@@ -41,27 +47,52 @@ type Metrics struct {
 	blockVisits map[int][]int64
 }
 
-// addOpClass records one issue of the given opcode's class.
-func (m *Metrics) addOpClass(op ir.Opcode) {
-	if m.OpClassIssues == nil {
-		m.OpClassIssues = make(map[string]int64, 5)
-	}
-	m.OpClassIssues[OpClass(op)]++
-}
+// OpClassID is the dense index of an instruction's reporting class,
+// precomputed at decode time so the issue loop increments a fixed array.
+type OpClassID uint8
 
-// OpClass maps an opcode to its reporting class.
-func OpClass(op ir.Opcode) string {
+const (
+	opClassALU OpClassID = iota
+	opClassMem
+	opClassBarrier
+	opClassControl
+	opClassSpecial
+	numOpClasses
+)
+
+var opClassNames = [numOpClasses]string{"alu", "mem", "barrier", "control", "special"}
+
+// OpClassOf maps an opcode to its reporting class index.
+func OpClassOf(op ir.Opcode) OpClassID {
 	switch {
 	case op.IsBarrierOp() || op == ir.OpWarpSync:
-		return "barrier"
+		return opClassBarrier
 	case op.IsMemory():
-		return "mem"
+		return opClassMem
 	case op == ir.OpBr || op == ir.OpCBr || op == ir.OpCall || op == ir.OpRet || op == ir.OpExit:
-		return "control"
+		return opClassControl
 	case op.IsDivergenceSource() || op == ir.OpNumThreads:
-		return "special"
+		return opClassSpecial
 	default:
-		return "alu"
+		return opClassALU
+	}
+}
+
+// OpClass maps an opcode to its reporting class name.
+func OpClass(op ir.Opcode) string {
+	return opClassNames[OpClassOf(op)]
+}
+
+// finalize materializes the exported views of the hot-path accumulators.
+// Run calls it once after the last warp retires.
+func (m *Metrics) finalize() {
+	if m.OpClassIssues == nil {
+		m.OpClassIssues = make(map[string]int64, numOpClasses)
+	}
+	for c, n := range m.opClassCounts {
+		if n != 0 {
+			m.OpClassIssues[opClassNames[c]] += n
+		}
 	}
 }
 

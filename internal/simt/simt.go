@@ -36,7 +36,6 @@ package simt
 
 import (
 	"fmt"
-	"sort"
 
 	"specrecon/internal/ir"
 	"specrecon/internal/rng"
@@ -193,6 +192,11 @@ type warpState struct {
 	masks    []uint32 // barrier participation masks
 	waiting  []uint32 // lanes blocked at a wait per barrier
 	rrCursor int
+	// groupBuf and addrBuf are scratch reused on every issue slot so the
+	// steady-state scheduler loop performs no heap allocations: a warp
+	// has at most WarpWidth PC groups and WarpWidth lane addresses.
+	groupBuf [ir.WarpWidth]group
+	addrBuf  [ir.WarpWidth]int64
 }
 
 // sim holds launch-wide state.
@@ -200,18 +204,23 @@ type sim struct {
 	mod     *ir.Module
 	cfg     Config
 	fnIndex map[string]int
-	mem     []uint64
-	cache   *cache
-	metrics Metrics
-	issues  int64
+	// meta is the decode-time side table, indexed [fn][blk][ins].
+	meta     [][][]instrMeta
+	mem      []uint64
+	cache    *cache
+	metrics  Metrics
+	issues   int64
+	entryIdx int
+	nbar     int
+	nregs    int
+	nfregs   int
 }
 
-// Run launches the module's kernel under cfg and simulates it to
-// completion. Warps are simulated one after another over the shared
-// global memory (the optimization under study is intra-warp, so
-// inter-warp timing interleaving is irrelevant; inter-warp data effects
-// via atomics are preserved).
-func Run(m *ir.Module, cfg Config) (*Result, error) {
+// newSim validates the module and configuration and builds the
+// launch-wide state, including the decode-time side tables the issue
+// loop runs on. Run drives it; the allocation-guard test constructs sims
+// directly to step warps by hand.
+func newSim(m *ir.Module, cfg Config) (*sim, error) {
 	if err := ir.VerifyModule(m); err != nil {
 		return nil, fmt.Errorf("simt: module invalid: %w", err)
 	}
@@ -230,6 +239,9 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	}
 	if cfg.MaxIssues == 0 {
 		cfg.MaxIssues = 1 << 28
+	}
+	if cfg.InterleaveWarps && cfg.Model == ModelStack {
+		return nil, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
 	}
 
 	memWords := m.MemWords
@@ -252,57 +264,68 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	for i, f := range m.Funcs {
 		s.fnIndex[f.Name] = i
 	}
-	entryIdx := s.fnIndex[cfg.Kernel]
+	s.meta = buildMeta(m, s.fnIndex)
+	s.entryIdx = s.fnIndex[cfg.Kernel]
 
-	nbar := 1
+	s.nbar = 1
 	for _, f := range m.Funcs {
-		if n := f.MaxBarrier() + 1; n > nbar {
-			nbar = n
+		if n := f.MaxBarrier() + 1; n > s.nbar {
+			s.nbar = n
 		}
 	}
-
-	nregs, nfregs := m.MaxRegs()
-	if nregs < 1 {
-		nregs = 1
+	s.nregs, s.nfregs = m.MaxRegs()
+	if s.nregs < 1 {
+		s.nregs = 1
 	}
-	if nfregs < 1 {
-		nfregs = 1
+	if s.nfregs < 1 {
+		s.nfregs = 1
 	}
+	return s, nil
+}
 
-	if cfg.InterleaveWarps && cfg.Model == ModelStack {
-		return nil, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
+// newWarp builds warp w's initial machine state.
+func (s *sim) newWarp(w int) *warpState {
+	var lanes [ir.WarpWidth]*lane
+	for l := 0; l < ir.WarpWidth; l++ {
+		tid := w*ir.WarpWidth + l
+		ln := &lane{
+			id:    tid,
+			pc:    pcT{fn: s.entryIdx},
+			regs:  make([]int64, s.nregs),
+			fregs: make([]float64, s.nfregs),
+			rng:   rng.Split(s.cfg.Seed, uint64(tid)),
+		}
+		if tid >= s.cfg.Threads {
+			ln.status = laneDone
+		}
+		lanes[l] = ln
 	}
+	return &warpState{
+		sim:     s,
+		index:   w,
+		lanes:   lanes,
+		masks:   make([]uint32, s.nbar),
+		waiting: make([]uint32, s.nbar),
+	}
+}
 
+// Run launches the module's kernel under cfg and simulates it to
+// completion. Warps are simulated one after another over the shared
+// global memory (the optimization under study is intra-warp, so
+// inter-warp timing interleaving is irrelevant; inter-warp data effects
+// via atomics are preserved).
+func Run(m *ir.Module, cfg Config) (*Result, error) {
+	s, err := newSim(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.cfg
 	nwarps := (cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
-	mkWarp := func(w int) *warpState {
-		var lanes [ir.WarpWidth]*lane
-		for l := 0; l < ir.WarpWidth; l++ {
-			tid := w*ir.WarpWidth + l
-			ln := &lane{
-				id:    tid,
-				pc:    pcT{fn: entryIdx},
-				regs:  make([]int64, nregs),
-				fregs: make([]float64, nfregs),
-				rng:   rng.Split(cfg.Seed, uint64(tid)),
-			}
-			if tid >= cfg.Threads {
-				ln.status = laneDone
-			}
-			lanes[l] = ln
-		}
-		return &warpState{
-			sim:     s,
-			index:   w,
-			lanes:   lanes,
-			masks:   make([]uint32, nbar),
-			waiting: make([]uint32, nbar),
-		}
-	}
 
 	if cfg.InterleaveWarps {
 		warps := make([]*warpState, nwarps)
 		for w := range warps {
-			warps[w] = mkWarp(w)
+			warps[w] = s.newWarp(w)
 		}
 		live := nwarps
 		for live > 0 {
@@ -321,10 +344,10 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 		for w := 0; w < nwarps; w++ {
 			var err error
 			if cfg.Model == ModelStack {
-				ws := mkWarp(w)
+				ws := s.newWarp(w)
 				err = s.runStackWarp(w, ws.lanes)
 			} else {
-				err = mkWarp(w).run()
+				err = s.newWarp(w).run()
 			}
 			if err != nil {
 				return nil, fmt.Errorf("simt: warp %d: %w", w, err)
@@ -333,6 +356,7 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	}
 	s.metrics.Threads = cfg.Threads
 	s.metrics.Warps = nwarps
+	s.metrics.finalize()
 	return &Result{Metrics: s.metrics, Memory: s.mem}, nil
 }
 
@@ -377,24 +401,40 @@ type group struct {
 }
 
 // groups returns the runnable PC groups sorted by PC, plus whether any
-// lane is still live (running, waiting or syncing).
+// lane is still live (running, waiting or syncing). The returned slice
+// aliases the warp's scratch buffer and is only valid until the next
+// call: a warp has at most WarpWidth groups, so grouping is an insertion
+// into a small sorted array rather than a map-and-sort — zero heap
+// allocations per issue slot.
 func (ws *warpState) groups() ([]group, bool) {
-	m := make(map[pcT]uint32)
+	out := ws.groupBuf[:0]
 	anyLive := false
 	for l, ln := range ws.lanes {
 		switch ln.status {
-		case laneRunning:
-			m[ln.pc] |= 1 << l
-			anyLive = true
 		case laneWaiting, laneSyncing:
 			anyLive = true
+		case laneRunning:
+			anyLive = true
+			pc := ln.pc
+			// Find the insertion point keeping out sorted by PC; lanes
+			// at the same PC merge into one group's mask.
+			i := len(out)
+			for i > 0 && !pcLess(out[i-1].pc, pc) {
+				if out[i-1].pc == pc {
+					out[i-1].mask |= 1 << l
+					i = -1
+					break
+				}
+				i--
+			}
+			if i < 0 {
+				continue
+			}
+			out = append(out, group{})
+			copy(out[i+1:], out[i:])
+			out[i] = group{pc: pc, mask: 1 << l}
 		}
 	}
-	out := make([]group, 0, len(m))
-	for pc, mask := range m {
-		out = append(out, group{pc: pc, mask: mask})
-	}
-	sort.Slice(out, func(i, j int) bool { return pcLess(out[i].pc, out[j].pc) })
 	return out, anyLive
 }
 

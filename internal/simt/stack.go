@@ -134,13 +134,14 @@ func (ws *stackWarp) step() error {
 	f := s.mod.Funcs[top.pc.fn]
 	blk := f.Blocks[top.pc.blk]
 	in := &blk.Instrs[top.pc.ins]
+	im := &s.meta[top.pc.fn][top.pc.blk][top.pc.ins]
 
 	active := popcount(top.mask)
 	s.issues++
 	s.metrics.Issues++
 	s.metrics.ActiveLaneSum += int64(active)
-	s.metrics.addOpClass(in.Op)
-	cost := int64(in.Op.Latency())
+	s.metrics.opClassCounts[im.class]++
+	cost := im.latency
 	if top.pc.ins == 0 {
 		s.metrics.addBlockVisit(top.pc.fn, top.pc.blk, int64(active))
 	}
@@ -150,8 +151,8 @@ func (ws *stackWarp) step() error {
 			Fn: f.Name, Block: blk.Name, Instr: top.pc.ins, Mask: top.mask,
 		})
 	}
-	if in.Op.IsMemory() {
-		var addrs []int64
+	if im.isMem {
+		addrs := ws.shim.addrBuf[:0]
 		for l := 0; l < ir.WarpWidth; l++ {
 			if top.mask&(1<<l) != 0 {
 				addrs = append(addrs, ws.lanes[l].regs[in.A]+in.Imm)
@@ -182,8 +183,8 @@ func (ws *stackWarp) step() error {
 		}
 		top.pc.ins++
 	case ir.OpCall:
-		callee, ok := s.fnIndex[in.Callee]
-		if !ok {
+		callee := int(im.callee)
+		if callee < 0 {
 			return fmt.Errorf("call to unknown function %q", in.Callee)
 		}
 		if len(top.calls) >= 64 {

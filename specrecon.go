@@ -207,23 +207,48 @@ type (
 	FunnelResult   = harness.FunnelResult
 )
 
+// The experiment drivers fan their independent compile+simulate jobs
+// out across a worker pool sized to GOMAXPROCS; results are identical
+// to a serial run (see internal/harness). Use the FigureNP variants to
+// bound the pool explicitly (1 forces serial execution).
+
 // Figure7 measures SIMT efficiency before/after for the annotated suite.
-func Figure7(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure7(cfg) }
+func Figure7(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure7(cfg, 0) }
+
+// Figure7P is Figure7 with an explicit worker-pool bound.
+func Figure7P(cfg WorkloadConfig, parallelism int) ([]Comparison, error) {
+	return harness.Figure7(cfg, parallelism)
+}
 
 // Figure8 is the Figure 7 experiment viewed as efficiency improvement
 // versus speedup.
-func Figure8(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure8(cfg) }
+func Figure8(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure8(cfg, 0) }
 
 // Figure9 sweeps the soft-barrier threshold for one workload.
 func Figure9(name string, cfg WorkloadConfig, thresholds []int) ([]ThresholdPoint, error) {
-	return harness.Figure9(name, cfg, thresholds)
+	return harness.Figure9(name, cfg, thresholds, 0)
+}
+
+// Figure9P is Figure9 with an explicit worker-pool bound.
+func Figure9P(name string, cfg WorkloadConfig, thresholds []int, parallelism int) ([]ThresholdPoint, error) {
+	return harness.Figure9(name, cfg, thresholds, parallelism)
 }
 
 // Figure10 measures automatic speculative reconvergence on the
 // auto-detected kernels.
-func Figure10(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure10(cfg) }
+func Figure10(cfg WorkloadConfig) ([]Comparison, error) { return harness.Figure10(cfg, 0) }
+
+// Figure10P is Figure10 with an explicit worker-pool bound.
+func Figure10P(cfg WorkloadConfig, parallelism int) ([]Comparison, error) {
+	return harness.Figure10(cfg, parallelism)
+}
 
 // RunFunnel reproduces the section 5.4 application-population study.
 func RunFunnel(apps int, seed uint64) (*FunnelResult, error) {
-	return harness.RunFunnel(apps, seed)
+	return harness.RunFunnel(apps, seed, 0)
+}
+
+// RunFunnelP is RunFunnel with an explicit worker-pool bound.
+func RunFunnelP(apps int, seed uint64, parallelism int) (*FunnelResult, error) {
+	return harness.RunFunnel(apps, seed, parallelism)
 }
