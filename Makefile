@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline fmt figures
+.PHONY: all build test vet race check bench bench-baseline fmt figures profile-smoke
 
 all: build
 
@@ -23,8 +23,10 @@ race:
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) vet ./internal/obs
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/harness
+	$(GO) test -race -count=1 ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -47,3 +49,19 @@ fmt:
 
 figures:
 	$(GO) run ./cmd/figures -fig all
+
+# profile-smoke runs one workload end to end with the profiler and the
+# trace exporter attached, then validates every emitted artifact is
+# non-empty well-formed JSON.
+profile-smoke:
+	rm -rf /tmp/specrecon-profile-smoke
+	mkdir -p /tmp/specrecon-profile-smoke
+	$(GO) run ./cmd/specrecon -kernel rsbench -mode both -profile \
+		-profile-json /tmp/specrecon-profile-smoke/profile.json \
+		-trace-out /tmp/specrecon-profile-smoke/trace.json
+	$(GO) run ./cmd/jsoncheck \
+		/tmp/specrecon-profile-smoke/profile-baseline.json \
+		/tmp/specrecon-profile-smoke/profile-spec.json \
+		/tmp/specrecon-profile-smoke/trace-baseline.json \
+		/tmp/specrecon-profile-smoke/trace-spec.json
+	rm -rf /tmp/specrecon-profile-smoke

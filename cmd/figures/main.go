@@ -27,6 +27,7 @@ func main() {
 		apps     = flag.Int("apps", 520, "corpus size for the section 5.4 funnel")
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		markdown = flag.Bool("markdown", false, "emit the full suite as markdown tables (EXPERIMENTS.md style)")
+		traceDir = flag.String("trace-dir", "", "also dump per-workload Perfetto traces (baseline and spec) into this directory")
 		jobs     = flag.Int("j", 0, "worker-pool size for the experiment drivers (0 = GOMAXPROCS, 1 = serial)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -41,12 +42,26 @@ func main() {
 	}
 	defer stopProf()
 
+	dumpTraces := func() {
+		if *traceDir == "" {
+			return
+		}
+		paths, err := harness.DumpTraces(*traceDir, cfg, *jobs)
+		if err != nil {
+			stopProf()
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d traces to %s (open in ui.perfetto.dev)\n", len(paths), *traceDir)
+	}
+
 	if *markdown {
 		if err := harness.WriteMarkdownReport(os.Stdout, cfg, *apps, *jobs); err != nil {
 			stopProf()
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
+		dumpTraces()
 		return
 	}
 
@@ -65,6 +80,7 @@ func main() {
 	run("8", func() error { return figure8(cfg, *jobs) })
 	run("9", func() error { return figure9(cfg, *jobs) })
 	run("10", func() error { return figure10(cfg, *apps, *jobs) })
+	dumpTraces()
 }
 
 func figure7(cfg workloads.BuildConfig, jobs int) error {

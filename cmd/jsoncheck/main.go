@@ -1,0 +1,36 @@
+// Command jsoncheck validates that each argument is a non-empty,
+// well-formed JSON file. The profile-smoke make target uses it to gate
+// the -profile-json and -trace-out artifacts without a jq dependency.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck file.json...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err.Error())
+		}
+		if len(raw) == 0 {
+			fail(path + ": empty file")
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			fail(fmt.Sprintf("%s: %v", path, err))
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(raw))
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "jsoncheck:", msg)
+	os.Exit(1)
+}

@@ -50,7 +50,7 @@ func main() {
 		Seed:    inst.Seed,
 		Memory:  inst.Memory,
 		Strict:  true,
-		Trace:   tl.Record,
+		Events:  tl,
 	})
 	if err != nil {
 		fail(err)

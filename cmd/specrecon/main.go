@@ -11,17 +11,21 @@
 //	specrecon -kernel rsbench
 //	specrecon -kernel rsbench -mode spec -threshold 24 -print
 //	specrecon -kernel mykernel.sasm -mode auto
+//	specrecon -kernel pathtracer -mode spec -profile -trace-out pt.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"specrecon/internal/core"
 	"specrecon/internal/ir"
+	"specrecon/internal/obs"
 	"specrecon/internal/prof"
 	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
@@ -51,6 +55,11 @@ func main() {
 		verifyEach = flag.Bool("verify-each", false, "verify the module after every pass, attributing breakage to the pass")
 		remarks    = flag.Bool("remarks", false, "print the optimization remarks stream")
 		listPasses = flag.Bool("list-passes", false, "list registered compiler passes")
+
+		profile     = flag.Bool("profile", false, "print the nvprof-style per-PC profile after each run")
+		profileTop  = flag.Int("profile-top", 10, "rows in the -profile hot-spot table")
+		profileJSON = flag.String("profile-json", "", "write the machine-readable profile dump to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in ui.perfetto.dev) to this file")
 
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file")
@@ -174,6 +183,20 @@ func main() {
 		if *dot {
 			fmt.Println(ir.DOT(comp.Module.FuncByName(inst.Kernel)))
 		}
+		// Observability sinks: the profiler indexes counters by the
+		// compiled module's PC numbering, so both attach per mode, after
+		// compilation.
+		var sinks []simt.EventSink
+		var pcProf *obs.Profile
+		var rec *obs.TraceRecorder
+		if *profile || *profileJSON != "" {
+			pcProf = obs.NewProfile(comp.Module)
+			sinks = append(sinks, pcProf)
+		}
+		if *traceOut != "" {
+			rec = obs.NewTraceRecorder()
+			sinks = append(sinks, rec)
+		}
 		res, err := simt.Run(comp.Module, simt.Config{
 			Kernel:          inst.Kernel,
 			Threads:         inst.Threads,
@@ -183,6 +206,7 @@ func main() {
 			Model:           eng,
 			InterleaveWarps: *interleave,
 			Strict:          eng == simt.ModelITS,
+			Events:          simt.TeeSinks(sinks...),
 		})
 		if err != nil {
 			fail(err)
@@ -195,10 +219,49 @@ func main() {
 		} else if baseCycles > 0 {
 			fmt.Printf("          speedup over baseline: %.2fx\n", float64(baseCycles)/float64(m.Cycles))
 		}
+		if *profile {
+			fmt.Printf("\n%s profile:\n\n", mo)
+			if err := pcProf.WriteMarkdown(os.Stdout, *profileTop); err != nil {
+				fail(err)
+			}
+		}
+		if *profileJSON != "" {
+			if err := writeTo(modeSuffixed(*profileJSON, mo, len(modes) > 1), pcProf.WriteJSON); err != nil {
+				fail(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTo(modeSuffixed(*traceOut, mo, len(modes) > 1), rec.WriteTrace); err != nil {
+				fail(err)
+			}
+		}
 	}
 	if *dumpAfter != "" && !dumped {
 		fmt.Fprintf(os.Stderr, "specrecon: -dump-ir-after=%q never fired (pass not in pipeline; see -list-passes)\n", *dumpAfter)
 	}
+}
+
+// modeSuffixed inserts "-<mode>" before path's extension when a run
+// covers several modes, so -mode both writes distinct artifacts.
+func modeSuffixed(path, mode string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + mode + ext
+}
+
+// writeTo streams render into a freshly created file.
+func writeTo(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printPassStats renders the per-pass instrumentation table behind

@@ -169,14 +169,14 @@ func TestInterprocConvergesCallee(t *testing.T) {
 			var lanes int64
 			res, err := simt.Run(comp.Module, simt.Config{
 				Kernel: "main", Seed: 11, Strict: true,
-				Trace: func(ev simt.TraceEvent) {
-					if ev.Fn == "foo" {
+				Events: simt.SinkFunc(func(ev simt.Event) {
+					if ev.Kind == simt.EvIssue && ev.FnName == "foo" {
 						issues++
 						for msk := ev.Mask; msk != 0; msk &= msk - 1 {
 							lanes++
 						}
 					}
-				},
+				}),
 			})
 			if err != nil {
 				t.Fatalf("run: %v", err)

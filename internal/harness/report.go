@@ -97,5 +97,11 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	fmt.Fprintf(out, "| non-trivial opportunity | 16 | %d |\n", funnel.Detected)
 	fmt.Fprintf(out, "| significant improvement | 5 | %d |\n", funnel.Significant)
 	fmt.Fprintf(out, "| regressions among detected | — | %d |\n", funnel.Regressed)
-	return nil
+	fmt.Fprintln(out)
+
+	profiles, err := CollectProfiles(cfg, parallelism)
+	if err != nil {
+		return fmt.Errorf("profiles: %w", err)
+	}
+	return WriteProfileSection(out, profiles, 5)
 }

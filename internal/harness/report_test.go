@@ -22,6 +22,11 @@ func TestWriteMarkdownReport(t *testing.T) {
 		"| rsbench |", "| xsbench |", "| pathtracer |",
 		"| optix-ao |", "| meiyamd5 |",
 		"| studied | 520 | 60 |",
+		"## Per-workload profiles",
+		"### rsbench",
+		"| build | issues | cycles | simt eff | branch eff | mem stall | barrier stall |",
+		"block-level movers",
+		"| block | base cycles | spec cycles | Δcycles | base lanes | spec lanes |",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

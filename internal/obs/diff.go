@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Before/after-transform profile diffing. The speculative-reconvergence
+// passes insert and clone instructions, so dense PC indices do not line
+// up between a baseline and an optimized build; blocks, however, keep
+// their names (passes insert into existing blocks, and minted blocks are
+// new on one side only). The diff therefore aggregates both profiles to
+// (function, block) granularity and matches rows by name.
+
+// BlockDelta compares one (function, block) between two profiles. A side
+// that lacks the block entirely reports zeros for it.
+type BlockDelta struct {
+	Fn, Block          string
+	BaseCycles, Cycles int64   // attributed cycles incl. barrier stall
+	BaseLanes, Lanes   float64 // mean active lanes per issue
+	BaseStall, Stall   int64   // mem + barrier stall
+	BaseIssues, Issues int64
+}
+
+// Delta is the attributed-cycle change (after minus before): negative
+// means the transform made the block cheaper.
+func (d BlockDelta) Delta() int64 { return d.Cycles - d.BaseCycles }
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+type blockAgg struct {
+	issues, lanes, cycles, stall int64
+}
+
+// aggregate folds a profile's PC rows into (fn, block) rows.
+func aggregate(p *Profile) map[[2]string]blockAgg {
+	out := make(map[[2]string]blockAgg)
+	for i := range p.counters {
+		c := &p.counters[i]
+		if c.issues == 0 && c.barStall == 0 {
+			continue
+		}
+		ref := p.pcs[i]
+		key := [2]string{p.mod.Funcs[ref.Fn].Name, p.mod.Funcs[ref.Fn].Blocks[ref.Blk].Name}
+		a := out[key]
+		a.issues += c.issues
+		a.lanes += c.activeLanes
+		a.cycles += c.cycles + c.barStall
+		a.stall += c.memStall + c.barStall
+		out[key] = a
+	}
+	return out
+}
+
+// Diff compares two profiles of the same workload (typically baseline
+// versus the transformed build) at block granularity, largest absolute
+// attributed-cycle change first.
+func Diff(base, after *Profile) []BlockDelta {
+	ba := aggregate(base)
+	aa := aggregate(after)
+	keys := make(map[[2]string]bool, len(ba)+len(aa))
+	for k := range ba {
+		keys[k] = true
+	}
+	for k := range aa {
+		keys[k] = true
+	}
+	out := make([]BlockDelta, 0, len(keys))
+	for k := range keys {
+		b, a := ba[k], aa[k]
+		d := BlockDelta{
+			Fn: k[0], Block: k[1],
+			BaseCycles: b.cycles, Cycles: a.cycles,
+			BaseStall: b.stall, Stall: a.stall,
+			BaseIssues: b.issues, Issues: a.issues,
+		}
+		if b.issues > 0 {
+			d.BaseLanes = float64(b.lanes) / float64(b.issues)
+		}
+		if a.issues > 0 {
+			d.Lanes = float64(a.lanes) / float64(a.issues)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs64(out[i].Delta()), abs64(out[j].Delta())
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// WriteDiffMarkdown renders the n largest block-level movers between two
+// profiles as a markdown table.
+func WriteDiffMarkdown(w io.Writer, base, after *Profile, n int) error {
+	deltas := Diff(base, after)
+	if n > 0 && len(deltas) > n {
+		deltas = deltas[:n]
+	}
+	if _, err := fmt.Fprintln(w, "| block | base cycles | spec cycles | Δcycles | base lanes | spec lanes |"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "|-------|------------:|------------:|--------:|-----------:|-----------:|")
+	for _, d := range deltas {
+		fmt.Fprintf(w, "| %s.%s | %d | %d | %+d | %.1f | %.1f |\n",
+			d.Fn, d.Block, d.BaseCycles, d.Cycles, d.Delta(), d.BaseLanes, d.Lanes)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

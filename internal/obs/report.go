@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PCStat is the exported per-instruction profile row. Time is the
+// hot-spot ranking metric: cycles attributed to issues at this PC plus
+// lane-cycles blocked at it (for wait instructions).
+type PCStat struct {
+	PC          int    `json:"pc"`
+	Fn          string `json:"fn"`
+	Block       string `json:"block"`
+	Ins         int    `json:"ins"`
+	Op          string `json:"op"`
+	Issues      int64  `json:"issues"`
+	ActiveLanes int64  `json:"active_lanes"`
+	Cycles      int64  `json:"cycles"`
+	MemStall    int64  `json:"mem_stall"`
+	BarStall    int64  `json:"barrier_stall"`
+}
+
+// Location renders the row's instruction site as fn.block#ins.
+func (s PCStat) Location() string { return fmt.Sprintf("%s.%s#%d", s.Fn, s.Block, s.Ins) }
+
+// Time is the hot-spot ranking metric.
+func (s PCStat) Time() int64 { return s.Cycles + s.BarStall }
+
+// AvgLanes is the mean active-lane count per issue at this PC.
+func (s PCStat) AvgLanes() float64 {
+	if s.Issues == 0 {
+		return 0
+	}
+	return float64(s.ActiveLanes) / float64(s.Issues)
+}
+
+// BranchStat is the per-conditional-branch profile row.
+type BranchStat struct {
+	PC            int    `json:"pc"`
+	Fn            string `json:"fn"`
+	Block         string `json:"block"`
+	Ins           int    `json:"ins"`
+	Issues        int64  `json:"issues"`
+	Divergent     int64  `json:"divergent"`
+	TakenLanes    int64  `json:"taken_lanes"`
+	NotTakenLanes int64  `json:"not_taken_lanes"`
+}
+
+// Location renders the branch site as fn.block#ins.
+func (s BranchStat) Location() string { return fmt.Sprintf("%s.%s#%d", s.Fn, s.Block, s.Ins) }
+
+// Efficiency is the branch's nvprof-style branch efficiency in [0,1]:
+// the fraction of its issues that kept the group together.
+func (s BranchStat) Efficiency() float64 {
+	if s.Issues == 0 {
+		return 1
+	}
+	return float64(s.Issues-s.Divergent) / float64(s.Issues)
+}
+
+// BarrierStat is the per-barrier-register profile row.
+type BarrierStat struct {
+	Barrier       int   `json:"barrier"`
+	Waits         int64 `json:"waits"`
+	Releases      int64 `json:"releases"`
+	BlockedCycles int64 `json:"blocked_cycles"`
+}
+
+// Summary is the launch-wide headline view of a profile.
+type Summary struct {
+	Issues           int64   `json:"issues"`
+	Cycles           int64   `json:"cycles"`
+	SIMTEfficiency   float64 `json:"simt_efficiency"`
+	BranchEfficiency float64 `json:"branch_efficiency"`
+	MemStallCycles   int64   `json:"mem_stall_cycles"`
+	BarStallCycles   int64   `json:"barrier_stall_cycles"`
+}
+
+// Summary returns the profile's launch-wide headline counters.
+func (p *Profile) Summary() Summary {
+	return Summary{
+		Issues:           p.issues,
+		Cycles:           p.cycles,
+		SIMTEfficiency:   p.SIMTEfficiency(),
+		BranchEfficiency: p.BranchEfficiency(),
+		MemStallCycles:   p.MemStallCycles(),
+		BarStallCycles:   p.BarrierStallCycles(),
+	}
+}
+
+// stat materializes PC i's exported row.
+func (p *Profile) stat(i int) PCStat {
+	ref := p.pcs[i]
+	c := &p.counters[i]
+	return PCStat{
+		PC:          i,
+		Fn:          p.mod.Funcs[ref.Fn].Name,
+		Block:       p.mod.Funcs[ref.Fn].Blocks[ref.Blk].Name,
+		Ins:         int(ref.Ins),
+		Op:          p.instr(i).Op.String(),
+		Issues:      c.issues,
+		ActiveLanes: c.activeLanes,
+		Cycles:      c.cycles,
+		MemStall:    c.memStall,
+		BarStall:    c.barStall,
+	}
+}
+
+// Top returns the n hottest static instructions by attributed time
+// (issue cycles plus barrier-blocked lane-cycles), hottest first. Ties
+// break by PC so the order is deterministic. PCs that never issued are
+// skipped.
+func (p *Profile) Top(n int) []PCStat {
+	out := make([]PCStat, 0, 32)
+	for i := range p.counters {
+		if p.counters[i].issues == 0 && p.counters[i].barStall == 0 {
+			continue
+		}
+		out = append(out, p.stat(i))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Time() != out[b].Time() {
+			return out[a].Time() > out[b].Time()
+		}
+		return out[a].PC < out[b].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Branches returns every executed conditional branch, most divergent
+// issues first (ties by PC).
+func (p *Profile) Branches() []BranchStat {
+	var out []BranchStat
+	for i := range p.counters {
+		c := &p.counters[i]
+		if !p.isBranch(i) || c.issues == 0 {
+			continue
+		}
+		ref := p.pcs[i]
+		out = append(out, BranchStat{
+			PC:            i,
+			Fn:            p.mod.Funcs[ref.Fn].Name,
+			Block:         p.mod.Funcs[ref.Fn].Blocks[ref.Blk].Name,
+			Ins:           int(ref.Ins),
+			Issues:        c.issues,
+			Divergent:     c.divergent,
+			TakenLanes:    c.takenLanes,
+			NotTakenLanes: c.notTakenLanes,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Divergent != out[b].Divergent {
+			return out[a].Divergent > out[b].Divergent
+		}
+		return out[a].PC < out[b].PC
+	})
+	return out
+}
+
+// Barriers returns every barrier register that saw a wait, in register
+// order.
+func (p *Profile) Barriers() []BarrierStat {
+	var out []BarrierStat
+	for b := range p.barriers {
+		c := &p.barriers[b]
+		if c.waits == 0 {
+			continue
+		}
+		out = append(out, BarrierStat{
+			Barrier:       b,
+			Waits:         c.waits,
+			Releases:      c.releases,
+			BlockedCycles: c.blocked,
+		})
+	}
+	return out
+}
+
+// WriteMarkdown renders the profile as markdown tables: summary, the n
+// hottest instructions, every branch and every barrier.
+func (p *Profile) WriteMarkdown(w io.Writer, n int) error {
+	s := p.Summary()
+	if _, err := fmt.Fprintf(w,
+		"| issues | cycles | simt eff | branch eff | mem stall | barrier stall |\n"+
+			"|-------:|-------:|---------:|-----------:|----------:|--------------:|\n"+
+			"| %d | %d | %.1f%% | %.1f%% | %d | %d |\n\n",
+		s.Issues, s.Cycles, 100*s.SIMTEfficiency, 100*s.BranchEfficiency,
+		s.MemStallCycles, s.BarStallCycles); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "hot spots (top %d by attributed cycles):\n\n", n)
+	fmt.Fprintln(w, "| location | op | issues | avg lanes | cycles | mem stall | barrier stall |")
+	fmt.Fprintln(w, "|----------|----|-------:|----------:|-------:|----------:|--------------:|")
+	for _, r := range p.Top(n) {
+		fmt.Fprintf(w, "| %s | %s | %d | %.1f | %d | %d | %d |\n",
+			r.Location(), r.Op, r.Issues, r.AvgLanes(), r.Cycles, r.MemStall, r.BarStall)
+	}
+	fmt.Fprintln(w)
+
+	if br := p.Branches(); len(br) > 0 {
+		fmt.Fprintln(w, "branches:")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| location | issues | divergent | taken lanes | not-taken lanes | branch eff |")
+		fmt.Fprintln(w, "|----------|-------:|----------:|------------:|----------------:|-----------:|")
+		for _, b := range br {
+			fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %.1f%% |\n",
+				b.Location(), b.Issues, b.Divergent, b.TakenLanes, b.NotTakenLanes, 100*b.Efficiency())
+		}
+		fmt.Fprintln(w)
+	}
+
+	if bars := p.Barriers(); len(bars) > 0 {
+		fmt.Fprintln(w, "barriers:")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| barrier | waits | releases | blocked cycles |")
+		fmt.Fprintln(w, "|--------:|------:|---------:|---------------:|")
+		for _, b := range bars {
+			fmt.Fprintf(w, "| b%d | %d | %d | %d |\n", b.Barrier, b.Waits, b.Releases, b.BlockedCycles)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// profileJSON is the machine-readable dump schema.
+type profileJSON struct {
+	Summary  Summary       `json:"summary"`
+	PCs      []PCStat      `json:"pcs"`
+	Branches []BranchStat  `json:"branches"`
+	Barriers []BarrierStat `json:"barriers"`
+}
+
+// WriteJSON writes the machine-readable profile dump: the summary, every
+// executed PC (hottest first), every branch and every barrier.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	dump := profileJSON{
+		Summary:  p.Summary(),
+		PCs:      p.Top(0),
+		Branches: p.Branches(),
+		Barriers: p.Barriers(),
+	}
+	if dump.PCs == nil {
+		dump.PCs = []PCStat{}
+	}
+	if dump.Branches == nil {
+		dump.Branches = []BranchStat{}
+	}
+	if dump.Barriers == nil {
+		dump.Barriers = []BarrierStat{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

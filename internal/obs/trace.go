@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// Chrome trace-event / Perfetto export. WriteTrace renders a recorded
+// event stream in the Trace Event Format (the JSON flavor Perfetto's
+// ui.perfetto.dev opens directly): one process, and per warp one
+// execution track carrying block-residency spans plus divergence
+// instants, and one track per (warp, barrier register) carrying
+// barrier-wait spans. Timestamps are modeled cycles reported as
+// microseconds — the absolute unit is meaningless for a simulator, only
+// the ratios matter.
+
+// trackStride spaces the synthetic thread ids of one warp's tracks: tid
+// warp*trackStride is the execution track, warp*trackStride+1+b the
+// track of barrier register b.
+const trackStride = ir.NumBarrierRegs + 1
+
+// traceEvent is one Trace Event Format record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level Trace Event Format JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceRecorder buffers the simulator event stream for later export. It
+// implements simt.EventSink; attach it via simt.Config.Events (combine
+// with a Profile using simt.TeeSinks). Recording buffers every event, so
+// it allocates as the buffer grows — use it for runs you intend to look
+// at, not inside benchmark loops.
+type TraceRecorder struct {
+	events []simt.Event
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{}
+}
+
+// Event implements simt.EventSink.
+func (r *TraceRecorder) Event(ev simt.Event) {
+	r.events = append(r.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (r *TraceRecorder) Len() int { return len(r.events) }
+
+// execSpan tracks the open block-residency span of one warp.
+type execSpan struct {
+	fn, blk int32
+	open    bool
+}
+
+// WriteTrace renders the recorded stream as Chrome trace-event JSON.
+func (r *TraceRecorder) WriteTrace(w io.Writer) error {
+	var out []traceEvent
+
+	// Track bookkeeping: open block spans per warp, open barrier-wait
+	// spans per (warp, barrier), and which tracks exist (for metadata).
+	execOpen := map[int32]*execSpan{}
+	barOpen := map[[2]int32]bool{}
+	seenExec := map[int32]bool{}
+	seenBar := map[[2]int32]bool{}
+	var endCycle int64
+
+	execTid := func(warp int32) int { return int(warp) * trackStride }
+	barTid := func(warp int32, bar int16) int { return int(warp)*trackStride + 1 + int(bar) }
+
+	for _, ev := range r.events {
+		if c := ev.Cycle + ev.Cost; c > endCycle {
+			endCycle = c
+		}
+		switch ev.Kind {
+		case simt.EvIssue:
+			seenExec[ev.Warp] = true
+			sp := execOpen[ev.Warp]
+			if sp == nil {
+				sp = &execSpan{}
+				execOpen[ev.Warp] = sp
+			}
+			if sp.open && (sp.fn != ev.Fn || sp.blk != ev.Blk) {
+				out = append(out, traceEvent{
+					Name: "block", Ph: "E", Ts: ev.Cycle, Pid: 0, Tid: execTid(ev.Warp),
+				})
+				sp.open = false
+			}
+			if !sp.open {
+				out = append(out, traceEvent{
+					Name: fmt.Sprintf("%s.%s", ev.FnName, ev.BlockName),
+					Ph:   "B", Ts: ev.Cycle, Pid: 0, Tid: execTid(ev.Warp),
+					Args: map[string]any{"mask": fmt.Sprintf("%08x", ev.Mask)},
+				})
+				sp.fn, sp.blk, sp.open = ev.Fn, ev.Blk, true
+			}
+		case simt.EvBranch:
+			if !ev.Diverged() {
+				continue
+			}
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("diverge %s.%s", ev.FnName, ev.BlockName),
+				Ph:   "i", Ts: ev.Cycle, Pid: 0, Tid: execTid(ev.Warp), S: "t",
+				Args: map[string]any{
+					"mask":  fmt.Sprintf("%08x", ev.Mask),
+					"taken": fmt.Sprintf("%08x", ev.Aux),
+				},
+			})
+		case simt.EvBarrierWait:
+			key := [2]int32{ev.Warp, int32(ev.Bar)}
+			seenBar[key] = true
+			if barOpen[key] {
+				continue // more lanes joined an already-open wait span
+			}
+			barOpen[key] = true
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wait b%d", ev.Bar),
+				Ph:   "B", Ts: ev.Cycle, Pid: 0, Tid: barTid(ev.Warp, ev.Bar),
+				Args: map[string]any{
+					"at":   fmt.Sprintf("%s.%s#%d", ev.FnName, ev.BlockName, ev.Ins),
+					"mask": fmt.Sprintf("%08x", ev.Mask),
+				},
+			})
+		case simt.EvBarrierRelease:
+			key := [2]int32{ev.Warp, int32(ev.Bar)}
+			if !barOpen[key] {
+				continue
+			}
+			barOpen[key] = false
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wait b%d", ev.Bar),
+				Ph:   "E", Ts: ev.Cycle, Pid: 0, Tid: barTid(ev.Warp, ev.Bar),
+				Args: map[string]any{"released": fmt.Sprintf("%08x", ev.Mask)},
+			})
+		}
+	}
+
+	// Close every span still open at the end of the run.
+	for warp, sp := range sortedExec(execOpen) {
+		_ = warp
+		if sp.span.open {
+			out = append(out, traceEvent{Name: "block", Ph: "E", Ts: endCycle, Pid: 0, Tid: execTid(sp.warp)})
+		}
+	}
+	for _, key := range sortedBarKeys(barOpen) {
+		if barOpen[key] {
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wait b%d", key[1]), Ph: "E", Ts: endCycle,
+				Pid: 0, Tid: barTid(key[0], int16(key[1])),
+			})
+		}
+	}
+
+	// Track-name metadata, emitted ahead of the stream.
+	meta := []traceEvent{{
+		Name: "process_name", Ph: "M", Ts: 0, Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "simt"},
+	}}
+	for _, warp := range sortedWarps(seenExec) {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", Ts: 0, Pid: 0, Tid: execTid(warp),
+			Args: map[string]any{"name": fmt.Sprintf("warp %d", warp)},
+		})
+	}
+	for _, key := range sortedBarKeys(seenBar) {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", Ts: 0, Pid: 0, Tid: barTid(key[0], int16(key[1])),
+			Args: map[string]any{"name": fmt.Sprintf("warp %d barrier b%d", key[0], key[1])},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}
+
+// sortedWarps returns map keys in ascending order for deterministic
+// output.
+func sortedWarps(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type warpSpan struct {
+	warp int32
+	span *execSpan
+}
+
+// sortedExec returns the open exec spans ordered by warp.
+func sortedExec(m map[int32]*execSpan) []warpSpan {
+	warps := make([]int32, 0, len(m))
+	for k := range m {
+		warps = append(warps, k)
+	}
+	for i := 1; i < len(warps); i++ {
+		for j := i; j > 0 && warps[j] < warps[j-1]; j-- {
+			warps[j], warps[j-1] = warps[j-1], warps[j]
+		}
+	}
+	out := make([]warpSpan, len(warps))
+	for i, w := range warps {
+		out[i] = warpSpan{warp: w, span: m[w]}
+	}
+	return out
+}
+
+// sortedBarKeys returns (warp, barrier) keys in ascending order.
+func sortedBarKeys(m map[[2]int32]bool) [][2]int32 {
+	out := make([][2]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less2(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less2(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

@@ -1,125 +1,53 @@
-package simt
+package simt_test
 
 import (
 	"testing"
 
 	"specrecon/internal/ir"
+	"specrecon/internal/obs"
+	"specrecon/internal/simt"
 )
-
-// allocKernel is a long-running divergent kernel touching every hot-path
-// shape the issue loop has: PC-grouping under divergence, memory
-// coalescing, calls, and convergence barriers.
-const allocKernel = `module t memwords=4096
-func @k nregs=8 nfregs=1 {
-entry:
-  tid r0
-  const r1, #0
-  br header
-header:
-  setlt r2, r1, #1000000
-  cbr r2, body, done
-body:
-  join b0
-  and r3, r0, #3
-  cbr r3, left, right
-left:
-  ld r4, [r0+0]
-  call @leaf
-  br merge
-right:
-  st [r0], r1
-  br merge
-merge:
-  wait b0
-  add r1, r1, #1
-  br header
-done:
-  exit
-}
-func @leaf nregs=8 nfregs=1 {
-e:
-  add r5, r0, #1
-  ret
-}
-`
 
 // TestSteadyStateIssueAllocFree pins the tentpole perf property: once a
 // warp is warmed up (lane call stacks grown, block-visit rows created,
 // cache sets filled), the ITS engine's issue loop performs zero heap
-// allocations per step. A regression here multiplies across the hundreds
-// of thousands of issue slots behind every figure.
+// allocations per step — with no sink attached, and with the profiler
+// consuming the full event stream. A regression here multiplies across
+// the hundreds of thousands of issue slots behind every figure.
 func TestSteadyStateIssueAllocFree(t *testing.T) {
-	mod := asm(t, allocKernel)
-	s, err := newSim(mod, Config{Threads: ir.WarpWidth, Seed: 1, Strict: true})
+	mod, err := ir.Parse(simt.AllocTestKernel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws := s.newWarp(0)
-	stepOnce := func() {
-		done, err := ws.step()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if done {
-			t.Fatal("kernel finished during measurement; extend the loop bound")
-		}
+	cases := []struct {
+		name   string
+		events func() simt.EventSink
+	}{
+		{"bare", func() simt.EventSink { return nil }},
+		{"profile", func() simt.EventSink { return obs.NewProfile(mod) }},
 	}
-	for i := 0; i < 2000; i++ {
-		stepOnce()
-	}
-	if avg := testing.AllocsPerRun(500, stepOnce); avg != 0 {
-		t.Fatalf("steady-state allocations per issue = %v, want 0", avg)
-	}
-}
-
-// TestGroupsMatchesMapAndSort cross-checks the scratch-buffer grouping
-// against the obvious map-and-sort implementation on randomized lane
-// states, including merged PCs, waiting and exited lanes.
-func TestGroupsMatchesMapAndSort(t *testing.T) {
-	mod := asm(t, allocKernel)
-	s, err := newSim(mod, Config{Threads: ir.WarpWidth, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ws := s.newWarp(0)
-	// A tiny deterministic generator keeps the case table reproducible.
-	state := uint64(0x9e3779b97f4a7c15)
-	next := func(n int) int {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return int(state % uint64(n))
-	}
-	for trial := 0; trial < 2000; trial++ {
-		for _, ln := range ws.lanes {
-			ln.status = laneStatus(next(4))
-			ln.pc = pcT{fn: next(2), blk: next(5), ins: next(3)}
-		}
-		ref := make(map[pcT]uint32)
-		wantLive := false
-		for l, ln := range ws.lanes {
-			switch ln.status {
-			case laneRunning:
-				ref[ln.pc] |= 1 << l
-				wantLive = true
-			case laneWaiting, laneSyncing:
-				wantLive = true
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := simt.Config{Threads: ir.WarpWidth, Seed: 1, Strict: true, Events: tc.events()}
+			h, err := simt.NewHandSim(mod, cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		got, live := ws.groups()
-		if live != wantLive {
-			t.Fatalf("trial %d: live = %v, want %v", trial, live, wantLive)
-		}
-		if len(got) != len(ref) {
-			t.Fatalf("trial %d: %d groups, want %d", trial, len(got), len(ref))
-		}
-		for i, g := range got {
-			if ref[g.pc] != g.mask {
-				t.Fatalf("trial %d: group %v mask %08x, want %08x", trial, g.pc, g.mask, ref[g.pc])
+			stepOnce := func() {
+				done, err := h.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if done {
+					t.Fatal("kernel finished during measurement; extend the loop bound")
+				}
 			}
-			if i > 0 && !pcLess(got[i-1].pc, g.pc) {
-				t.Fatalf("trial %d: groups not sorted at %d", trial, i)
+			for i := 0; i < 2000; i++ {
+				stepOnce()
 			}
-		}
+			if avg := testing.AllocsPerRun(500, stepOnce); avg != 0 {
+				t.Fatalf("steady-state allocations per issue = %v, want 0", avg)
+			}
+		})
 	}
 }

@@ -14,6 +14,7 @@ import "specrecon/internal/ir"
 type instrMeta struct {
 	latency int64     // base issue cost, from the opcode table
 	callee  int32     // resolved function index for OpCall, else -1
+	pcid    int32     // dense static-instruction index (BuildPCTable order)
 	class   OpClassID // reporting class for the metrics counters
 	isMem   bool      // accesses global memory (coalescing applies)
 }
@@ -25,6 +26,7 @@ type instrMeta struct {
 // decode stays infallible.
 func buildMeta(m *ir.Module, fnIndex map[string]int) [][][]instrMeta {
 	meta := make([][][]instrMeta, len(m.Funcs))
+	pcid := int32(0) // running dense index, matching BuildPCTable order
 	for fi, f := range m.Funcs {
 		meta[fi] = make([][]instrMeta, len(f.Blocks))
 		for bi, b := range f.Blocks {
@@ -34,9 +36,11 @@ func buildMeta(m *ir.Module, fnIndex map[string]int) [][][]instrMeta {
 				im := instrMeta{
 					latency: int64(in.Op.Latency()),
 					callee:  -1,
+					pcid:    pcid,
 					class:   OpClassOf(in.Op),
 					isMem:   in.Op.IsMemory(),
 				}
+				pcid++
 				if in.Op == ir.OpCall {
 					if idx, ok := fnIndex[in.Callee]; ok {
 						im.callee = int32(idx)

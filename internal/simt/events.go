@@ -1,0 +1,166 @@
+package simt
+
+import "specrecon/internal/ir"
+
+// Generalized simulator event stream. Both execution engines (ITS and
+// the pre-Volta stack model) publish the same events through
+// Config.Events, and every observer — the per-PC profiler, the Perfetto
+// trace exporter, the ASCII timeline — is a sink over this one stream.
+//
+// The stream is designed so that a counting sink keeps the issue loop
+// allocation-free: events are fixed-size values passed on the stack, the
+// static instruction is identified by a dense PC index assigned at
+// decode time (see BuildPCTable), and name fields are copies of string
+// headers that already exist in the module. A sink that only increments
+// decode-indexed tables therefore costs two branches and a few array
+// writes per issue.
+
+// EventKind discriminates Event payloads.
+type EventKind uint8
+
+const (
+	// EvIssue fires once per issued warp instruction, after the issue
+	// cost (base latency plus memory transaction time) is known. Mask is
+	// the active-lane mask; Cost the total modeled cycles charged.
+	EvIssue EventKind = iota
+	// EvBranch fires when a conditional branch resolves. Mask is the
+	// active mask, Aux the lanes that took the true edge; the branch
+	// diverged iff Aux != 0 && Aux != Mask.
+	EvBranch
+	// EvBarrierWait fires when lanes block at a wait/waitn. Mask is the
+	// newly blocked cohort; Bar the barrier register; PC the wait
+	// instruction. ITS engine only (the stack model has no barriers).
+	EvBarrierWait
+	// EvBarrierRelease fires when blocked lanes are released past their
+	// wait. Mask is the released cohort; Bar the barrier register. The
+	// release site is not an instruction (cancel, exit or a late arrival
+	// may trigger it), so PC/Fn/Blk/Ins are -1.
+	EvBarrierRelease
+	// EvCacheAccess fires per memory warp instruction with the coalesced
+	// transaction outcome: Aux packs hits<<16 | misses.
+	EvCacheAccess
+	// EvCall fires when a group enters a callee; Aux is the callee's
+	// function index.
+	EvCall
+	// EvRet fires when a group executes ret (including returns that exit
+	// the kernel's bottom frame).
+	EvRet
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvIssue:
+		return "issue"
+	case EvBranch:
+		return "branch"
+	case EvBarrierWait:
+		return "barrier-wait"
+	case EvBarrierRelease:
+		return "barrier-release"
+	case EvCacheAccess:
+		return "cache"
+	case EvCall:
+		return "call"
+	case EvRet:
+		return "ret"
+	}
+	return "event(?)"
+}
+
+// Event is one simulator occurrence. Field meaning varies by Kind (see
+// the EventKind constants); unused fields are zero, and location fields
+// are -1 when the event has no instruction site.
+type Event struct {
+	Kind EventKind
+	Bar  int16 // barrier register for barrier events, else -1
+	Warp int32
+	// PC is the dense static-instruction index (BuildPCTable order);
+	// Fn/Blk/Ins locate the same instruction structurally.
+	PC           int32
+	Fn, Blk, Ins int32
+	// FnName and BlockName alias the module's own strings.
+	FnName    string
+	BlockName string
+	Issue     int64 // 1-based issue count at emission
+	Cycle     int64 // modeled cycle when the event occurred
+	Cost      int64 // EvIssue: cycles charged to this issue
+	Mask      uint32
+	Aux       uint32
+}
+
+// ActiveLanes returns the population count of the event's lane mask.
+func (e Event) ActiveLanes() int { return popcount(e.Mask) }
+
+// Diverged reports whether an EvBranch event split its group.
+func (e Event) Diverged() bool { return e.Aux != 0 && e.Aux != e.Mask }
+
+// CacheHits unpacks the hit count of an EvCacheAccess event.
+func (e Event) CacheHits() int { return int(e.Aux >> 16) }
+
+// CacheMisses unpacks the miss count of an EvCacheAccess event.
+func (e Event) CacheMisses() int { return int(e.Aux & 0xffff) }
+
+// EventSink receives the event stream of one launch. Event is called
+// synchronously from the issue loop: implementations must not retain the
+// Event's address and should avoid per-call allocation (the steady-state
+// allocation guard runs with a counting sink attached).
+type EventSink interface {
+	Event(ev Event)
+}
+
+// SinkFunc adapts a function to the EventSink interface.
+type SinkFunc func(Event)
+
+// Event implements EventSink.
+func (f SinkFunc) Event(ev Event) { f(ev) }
+
+// multiSink fans one stream out to several sinks, in order.
+type multiSink []EventSink
+
+func (m multiSink) Event(ev Event) {
+	for _, s := range m {
+		s.Event(ev)
+	}
+}
+
+// TeeSinks combines sinks into one EventSink, dropping nils. It returns
+// nil when no sink remains, so the result can be assigned directly to
+// Config.Events.
+func TeeSinks(sinks ...EventSink) EventSink {
+	kept := make([]EventSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiSink(kept)
+}
+
+// PCRef locates one static instruction of a module.
+type PCRef struct {
+	Fn, Blk, Ins int32
+}
+
+// BuildPCTable enumerates every static instruction of the module in the
+// canonical dense-PC order — functions, then blocks, then instructions,
+// each in layout order — and returns the index-to-location table. The
+// decode side tables assign Event.PC with the same enumeration, so a
+// sink can size fixed counter arrays with len(BuildPCTable(m)) and index
+// them directly with Event.PC.
+func BuildPCTable(m *ir.Module) []PCRef {
+	var out []PCRef
+	for fi, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				out = append(out, PCRef{Fn: int32(fi), Blk: int32(bi), Ins: int32(ii)})
+			}
+		}
+	}
+	return out
+}

@@ -26,19 +26,11 @@ func (ws *warpState) issue(g group) error {
 	if g.pc.ins == 0 {
 		s.metrics.addBlockVisit(g.pc.fn, g.pc.blk, int64(active))
 	}
-	if s.cfg.Trace != nil {
-		s.cfg.Trace(TraceEvent{
-			Warp:  ws.index,
-			Issue: s.metrics.Issues,
-			Fn:    f.Name,
-			Block: blk.Name,
-			Instr: g.pc.ins,
-			Mask:  g.mask,
-		})
-	}
+	sink := s.cfg.Events
 
 	// Memory instructions compute per-warp transaction costs from the
 	// coalescing of the active lanes' addresses.
+	var hits0, misses0 int64
 	if im.isMem {
 		addrs := ws.addrBuf[:0]
 		for l := 0; l < ir.WarpWidth; l++ {
@@ -48,7 +40,25 @@ func (ws *warpState) issue(g group) error {
 			ln := ws.lanes[l]
 			addrs = append(addrs, ln.regs[in.A]+in.Imm)
 		}
+		hits0, misses0 = s.metrics.CacheHits, s.metrics.CacheMisses
 		cost += s.cache.access(addrs, &s.metrics)
+	}
+
+	if sink != nil {
+		ev := Event{
+			Kind: EvIssue, Bar: -1, Warp: int32(ws.index), PC: im.pcid,
+			Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
+			FnName: f.Name, BlockName: blk.Name,
+			Issue: s.metrics.Issues, Cycle: s.metrics.Cycles, Cost: cost,
+			Mask: g.mask,
+		}
+		sink.Event(ev)
+		if im.isMem {
+			ev.Kind = EvCacheAccess
+			ev.Cost = 0
+			ev.Aux = uint32(s.metrics.CacheHits-hits0)<<16 | uint32(s.metrics.CacheMisses-misses0)
+			sink.Event(ev)
+		}
 	}
 
 	switch in.Op {
@@ -60,6 +70,7 @@ func (ws *warpState) issue(g group) error {
 		ws.advance(g)
 		ws.releaseCheck(in.Bar)
 	case ir.OpWait, ir.OpWaitN:
+		var blocked uint32
 		for l := 0; l < ir.WarpWidth; l++ {
 			if g.mask&(1<<l) == 0 {
 				continue
@@ -73,7 +84,17 @@ func (ws *warpState) issue(g group) error {
 			ln.status = laneWaiting
 			ln.waitBar = in.Bar
 			ws.waiting[in.Bar] |= 1 << l
+			blocked |= 1 << l
 			s.metrics.BarrierWaits++
+		}
+		if sink != nil && blocked != 0 {
+			sink.Event(Event{
+				Kind: EvBarrierWait, Bar: int16(in.Bar), Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: blocked,
+			})
 		}
 		if in.Op == ir.OpWaitN {
 			ws.releaseCheckSoft(in.Bar, int(in.Imm))
@@ -113,6 +134,15 @@ func (ws *warpState) issue(g group) error {
 			ln.stack = append(ln.stack, frame{ret: ret})
 			ln.pc = pcT{fn: callee}
 		}
+		if sink != nil {
+			sink.Event(Event{
+				Kind: EvCall, Bar: -1, Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: g.mask, Aux: uint32(callee),
+			})
+		}
 	case ir.OpBr:
 		t := blk.Succs[0]
 		for l := 0; l < ir.WarpWidth; l++ {
@@ -122,6 +152,7 @@ func (ws *warpState) issue(g group) error {
 		}
 	case ir.OpCBr:
 		then, els := blk.Succs[0], blk.Succs[1]
+		var taken uint32
 		for l := 0; l < ir.WarpWidth; l++ {
 			if g.mask&(1<<l) == 0 {
 				continue
@@ -130,8 +161,18 @@ func (ws *warpState) issue(g group) error {
 			t := els
 			if ln.regs[in.A] != 0 {
 				t = then
+				taken |= 1 << l
 			}
 			ln.pc = pcT{fn: g.pc.fn, blk: t.Index}
+		}
+		if sink != nil {
+			sink.Event(Event{
+				Kind: EvBranch, Bar: -1, Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: g.mask, Aux: taken,
+			})
 		}
 	case ir.OpRet:
 		for l := 0; l < ir.WarpWidth; l++ {
@@ -147,6 +188,15 @@ func (ws *warpState) issue(g group) error {
 			}
 			ln.pc = ln.stack[len(ln.stack)-1].ret
 			ln.stack = ln.stack[:len(ln.stack)-1]
+		}
+		if sink != nil {
+			sink.Event(Event{
+				Kind: EvRet, Bar: -1, Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: g.mask,
+			})
 		}
 	case ir.OpExit:
 		for l := 0; l < ir.WarpWidth; l++ {

@@ -1,0 +1,64 @@
+package simt
+
+import "specrecon/internal/ir"
+
+// Seams for external tests (package simt_test). The steady-state
+// allocation guard lives outside the package so it can attach an
+// internal/obs sink — obs imports simt, so an in-package test cannot
+// import it back.
+
+// AllocTestKernel is a long-running divergent kernel touching every
+// hot-path shape the issue loop has: PC-grouping under divergence,
+// memory coalescing, calls, and convergence barriers.
+const AllocTestKernel = `module t memwords=4096
+func @k nregs=8 nfregs=1 {
+entry:
+  tid r0
+  const r1, #0
+  br header
+header:
+  setlt r2, r1, #1000000
+  cbr r2, body, done
+body:
+  join b0
+  and r3, r0, #3
+  cbr r3, left, right
+left:
+  ld r4, [r0+0]
+  call @leaf
+  br merge
+right:
+  st [r0], r1
+  br merge
+merge:
+  wait b0
+  add r1, r1, #1
+  br header
+done:
+  exit
+}
+func @leaf nregs=8 nfregs=1 {
+e:
+  add r5, r0, #1
+  ret
+}
+`
+
+// HandSim steps a single warp one issue slot at a time, bypassing Run's
+// driver loop, so tests can measure per-step behavior directly.
+type HandSim struct {
+	s  *sim
+	ws *warpState
+}
+
+// NewHandSim builds a simulator over m and wires up warp 0.
+func NewHandSim(m *ir.Module, cfg Config) (*HandSim, error) {
+	s, err := newSim(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &HandSim{s: s, ws: s.newWarp(0)}, nil
+}
+
+// Step issues one slot on warp 0; done reports warp completion.
+func (h *HandSim) Step() (done bool, err error) { return h.ws.step() }

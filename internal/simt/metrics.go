@@ -45,6 +45,10 @@ type Metrics struct {
 	// each block; used as the execution profile for the profile-guided
 	// cost model and by tests.
 	blockVisits map[int][]int64
+
+	// finalized guards finalize against double invocation, which would
+	// double-count the materialized OpClassIssues map.
+	finalized bool
 }
 
 // OpClassID is the dense index of an instruction's reporting class,
@@ -84,8 +88,13 @@ func OpClass(op ir.Opcode) string {
 }
 
 // finalize materializes the exported views of the hot-path accumulators.
-// Run calls it once after the last warp retires.
+// Run calls it once after the last warp retires; repeated calls are
+// no-ops so a second finalize cannot double-count OpClassIssues.
 func (m *Metrics) finalize() {
+	if m.finalized {
+		return
+	}
+	m.finalized = true
 	if m.OpClassIssues == nil {
 		m.OpClassIssues = make(map[string]int64, numOpClasses)
 	}

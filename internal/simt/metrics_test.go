@@ -1,0 +1,34 @@
+package simt
+
+import "testing"
+
+// TestFinalizeIdempotent: calling finalize twice must not double-count
+// the materialized OpClassIssues map (a report path that touches Metrics
+// after Run has already finalized them used to do exactly that).
+func TestFinalizeIdempotent(t *testing.T) {
+	m := asm(t, `module t memwords=64
+func @k nregs=2 nfregs=0 {
+e:
+  tid r0
+  st [r0], r0
+  exit
+}
+`)
+	res := run(t, m, Config{Strict: true})
+	want := make(map[string]int64, len(res.Metrics.OpClassIssues))
+	for k, v := range res.Metrics.OpClassIssues {
+		want[k] = v
+	}
+	if len(want) == 0 {
+		t.Fatal("no op-class counts after run")
+	}
+	res.Metrics.finalize()
+	for k, v := range res.Metrics.OpClassIssues {
+		if v != want[k] {
+			t.Errorf("OpClassIssues[%q] = %d after second finalize, want %d", k, v, want[k])
+		}
+	}
+	if got := res.Metrics.OpClassIssues["mem"]; got != 1 { // the single full-warp st
+		t.Errorf("mem issues = %d, want 1", got)
+	}
+}

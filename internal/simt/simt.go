@@ -107,16 +107,6 @@ func (c CacheConfig) withDefaults() CacheConfig {
 	return c
 }
 
-// TraceEvent describes one issued warp instruction, for visualization.
-type TraceEvent struct {
-	Warp  int
-	Issue int64
-	Fn    string
-	Block string
-	Instr int
-	Mask  uint32
-}
-
 // Config controls one kernel launch.
 type Config struct {
 	Kernel  string // entry function (default: first function)
@@ -145,7 +135,11 @@ type Config struct {
 	// grows the memory.
 	MemWords int
 	Cache    CacheConfig
-	Trace    func(TraceEvent)
+	// Events, when non-nil, receives the generalized simulator event
+	// stream (issues, branch resolutions, barrier waits and releases,
+	// cache accesses, calls and returns) from both execution engines.
+	// See events.go; combine several observers with TeeSinks.
+	Events EventSink
 }
 
 // Result is the outcome of a launch.
@@ -541,15 +535,27 @@ func (ws *warpState) releaseCheckSoft(b int, threshold int) {
 
 // release unblocks the given lanes past their wait instruction.
 func (ws *warpState) release(b int, cohort uint32) {
+	var released uint32
 	for l, ln := range ws.lanes {
 		if cohort&(1<<l) == 0 || ln.status != laneWaiting || ln.waitBar != b {
 			continue
 		}
 		ln.status = laneRunning
 		ln.pc.ins++ // step past the wait
+		released |= 1 << l
 		ws.sim.metrics.BarrierReleases++
 	}
 	ws.waiting[b] &^= cohort
+	if released != 0 {
+		if sink := ws.sim.cfg.Events; sink != nil {
+			sink.Event(Event{
+				Kind: EvBarrierRelease, Bar: int16(b), Warp: int32(ws.index),
+				PC: -1, Fn: -1, Blk: -1, Ins: -1,
+				Issue: ws.sim.metrics.Issues, Cycle: ws.sim.metrics.Cycles,
+				Mask: released,
+			})
+		}
+	}
 }
 
 // syncCheck releases warpsync once every live lane is blocked on it.

@@ -127,11 +127,11 @@ meet:
 }
 `)
 	var storeMasks []uint32
-	cfg := Config{Strict: true, Trace: func(ev TraceEvent) {
-		if ev.Block == "meet" && ev.Instr == 2 { // the store
+	cfg := Config{Strict: true, Events: SinkFunc(func(ev Event) {
+		if ev.Kind == EvIssue && ev.BlockName == "meet" && ev.Ins == 2 { // the store
 			storeMasks = append(storeMasks, ev.Mask)
 		}
-	}}
+	})}
 	res := run(t, m, cfg)
 	if len(storeMasks) != 1 || storeMasks[0] != 0xffffffff {
 		t.Fatalf("store masks = %#x, want one full-warp issue", storeMasks)
@@ -257,11 +257,11 @@ meet:
 }
 `)
 	var firstStore uint32
-	cfg := Config{Strict: true, Trace: func(ev TraceEvent) {
-		if ev.Block == "meet" && ev.Instr == 2 && firstStore == 0 {
+	cfg := Config{Strict: true, Events: SinkFunc(func(ev Event) {
+		if ev.Kind == EvIssue && ev.BlockName == "meet" && ev.Ins == 2 && firstStore == 0 {
 			firstStore = ev.Mask
 		}
-	}}
+	})}
 	res := run(t, m, cfg)
 	// The exact cohort depends on scheduling order, but the semantic
 	// guarantees are: the 8 early lanes are in the first cohort, the
@@ -334,11 +334,11 @@ meet:
 }
 `)
 	var storeMasks []uint32
-	run(t, m, Config{Strict: true, Trace: func(ev TraceEvent) {
-		if ev.Block == "meet" && ev.Instr == 2 {
+	run(t, m, Config{Strict: true, Events: SinkFunc(func(ev Event) {
+		if ev.Kind == EvIssue && ev.BlockName == "meet" && ev.Ins == 2 {
 			storeMasks = append(storeMasks, ev.Mask)
 		}
-	}})
+	})})
 	if len(storeMasks) != 1 || storeMasks[0] != 0xffffffff {
 		t.Fatalf("warpsync did not converge the warp: %#x", storeMasks)
 	}
@@ -398,11 +398,11 @@ m:
 }
 `)
 	var leafMasks []uint32
-	run(t, m, Config{Kernel: "k", Strict: true, Trace: func(ev TraceEvent) {
-		if ev.Fn == "leaf" && ev.Instr == 0 {
+	run(t, m, Config{Kernel: "k", Strict: true, Events: SinkFunc(func(ev Event) {
+		if ev.Kind == EvIssue && ev.FnName == "leaf" && ev.Ins == 0 {
 			leafMasks = append(leafMasks, ev.Mask)
 		}
-	}})
+	})})
 	// Without speculative reconvergence, the two call sites serialize:
 	// two half-warp executions of the leaf.
 	if len(leafMasks) != 2 {

@@ -145,12 +145,8 @@ func (ws *stackWarp) step() error {
 	if top.pc.ins == 0 {
 		s.metrics.addBlockVisit(top.pc.fn, top.pc.blk, int64(active))
 	}
-	if s.cfg.Trace != nil {
-		s.cfg.Trace(TraceEvent{
-			Warp: ws.index, Issue: s.metrics.Issues,
-			Fn: f.Name, Block: blk.Name, Instr: top.pc.ins, Mask: top.mask,
-		})
-	}
+	sink := s.cfg.Events
+	var hits0, misses0 int64
 	if im.isMem {
 		addrs := ws.shim.addrBuf[:0]
 		for l := 0; l < ir.WarpWidth; l++ {
@@ -158,7 +154,24 @@ func (ws *stackWarp) step() error {
 				addrs = append(addrs, ws.lanes[l].regs[in.A]+in.Imm)
 			}
 		}
+		hits0, misses0 = s.metrics.CacheHits, s.metrics.CacheMisses
 		cost += s.cache.access(addrs, &s.metrics)
+	}
+	if sink != nil {
+		ev := Event{
+			Kind: EvIssue, Bar: -1, Warp: int32(ws.index), PC: im.pcid,
+			Fn: int32(top.pc.fn), Blk: int32(top.pc.blk), Ins: int32(top.pc.ins),
+			FnName: f.Name, BlockName: blk.Name,
+			Issue: s.metrics.Issues, Cycle: s.metrics.Cycles, Cost: cost,
+			Mask: top.mask,
+		}
+		sink.Event(ev)
+		if im.isMem {
+			ev.Kind = EvCacheAccess
+			ev.Cost = 0
+			ev.Aux = uint32(s.metrics.CacheHits-hits0)<<16 | uint32(s.metrics.CacheMisses-misses0)
+			sink.Event(ev)
+		}
 	}
 	s.metrics.Cycles += cost
 
@@ -190,6 +203,15 @@ func (ws *stackWarp) step() error {
 		if len(top.calls) >= 64 {
 			return fmt.Errorf("call stack overflow")
 		}
+		if sink != nil {
+			sink.Event(Event{
+				Kind: EvCall, Bar: -1, Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(top.pc.fn), Blk: int32(top.pc.blk), Ins: int32(top.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: top.mask, Aux: uint32(callee),
+			})
+		}
 		ret := top.pc
 		ret.ins++
 		top.calls = append(top.calls, ret)
@@ -207,6 +229,15 @@ func (ws *stackWarp) step() error {
 			} else {
 				fallthru |= 1 << l
 			}
+		}
+		if sink != nil {
+			sink.Event(Event{
+				Kind: EvBranch, Bar: -1, Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(top.pc.fn), Blk: int32(top.pc.blk), Ins: int32(top.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: top.mask, Aux: taken,
+			})
 		}
 		switch {
 		case fallthru == 0:
@@ -237,6 +268,15 @@ func (ws *stackWarp) step() error {
 			)
 		}
 	case ir.OpRet:
+		if sink != nil {
+			sink.Event(Event{
+				Kind: EvRet, Bar: -1, Warp: int32(ws.index),
+				PC: im.pcid, Fn: int32(top.pc.fn), Blk: int32(top.pc.blk), Ins: int32(top.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: top.mask,
+			})
+		}
 		if len(top.calls) == 0 {
 			return ws.exitEntryLanes(topIdx)
 		}

@@ -53,11 +53,11 @@ merge:
 }
 `)
 	var mergeMasks []uint32
-	run(t, m, Config{Model: ModelStack, Trace: func(ev TraceEvent) {
-		if ev.Block == "merge" && ev.Instr == 0 {
+	run(t, m, Config{Model: ModelStack, Events: SinkFunc(func(ev Event) {
+		if ev.Kind == EvIssue && ev.BlockName == "merge" && ev.Ins == 0 {
 			mergeMasks = append(mergeMasks, ev.Mask)
 		}
-	}})
+	})})
 	if len(mergeMasks) != 1 || mergeMasks[0] != 0xffffffff {
 		t.Fatalf("merge masks = %#x, want one full-warp issue", mergeMasks)
 	}
@@ -85,11 +85,11 @@ outer_merge:
 }
 `)
 	var outerMasks []uint32
-	run(t, m, Config{Model: ModelStack, Trace: func(ev TraceEvent) {
-		if ev.Block == "outer_merge" && ev.Instr == 0 {
+	run(t, m, Config{Model: ModelStack, Events: SinkFunc(func(ev Event) {
+		if ev.Kind == EvIssue && ev.BlockName == "outer_merge" && ev.Ins == 0 {
 			outerMasks = append(outerMasks, ev.Mask)
 		}
-	}})
+	})})
 	if len(outerMasks) != 1 || outerMasks[0] != 0xffffffff {
 		t.Fatalf("outer merge masks = %#x, want one full-warp issue", outerMasks)
 	}

@@ -14,10 +14,19 @@ import (
 	"specrecon/internal/simt"
 )
 
-// Timeline accumulates trace events for one warp and renders them.
+// issueRec is the slice of an issue event the timeline needs.
+type issueRec struct {
+	issue int64
+	block string
+	mask  uint32
+}
+
+// Timeline accumulates issue events for one warp and renders them. It is
+// a simt.EventSink over the generalized event stream (simt.Config.Events)
+// and ignores every kind but EvIssue.
 type Timeline struct {
 	warp   int
-	events []simt.TraceEvent
+	events []issueRec
 	glyphs map[string]byte
 	order  []string
 }
@@ -27,16 +36,17 @@ func NewTimeline(warp int) *Timeline {
 	return &Timeline{warp: warp, glyphs: make(map[string]byte)}
 }
 
-// Record is the simt.Config.Trace hook.
-func (t *Timeline) Record(ev simt.TraceEvent) {
-	if ev.Warp != t.warp {
+// Event implements simt.EventSink; attach the timeline via
+// simt.Config.Events.
+func (t *Timeline) Event(ev simt.Event) {
+	if ev.Kind != simt.EvIssue || int(ev.Warp) != t.warp {
 		return
 	}
-	if _, ok := t.glyphs[ev.Block]; !ok {
-		t.glyphs[ev.Block] = t.glyphFor(ev.Block)
-		t.order = append(t.order, ev.Block)
+	if _, ok := t.glyphs[ev.BlockName]; !ok {
+		t.glyphs[ev.BlockName] = t.glyphFor(ev.BlockName)
+		t.order = append(t.order, ev.BlockName)
 	}
-	t.events = append(t.events, ev)
+	t.events = append(t.events, issueRec{issue: ev.Issue, block: ev.BlockName, mask: ev.Mask})
 }
 
 // glyphFor picks an unused glyph, preferring the block name's letters so
@@ -82,13 +92,13 @@ func (t *Timeline) Render(maxRows int) string {
 		ev := t.events[i]
 		var row [ir.WarpWidth]byte
 		for l := 0; l < ir.WarpWidth; l++ {
-			if ev.Mask&(1<<l) != 0 {
-				row[l] = t.glyphs[ev.Block]
+			if ev.mask&(1<<l) != 0 {
+				row[l] = t.glyphs[ev.block]
 			} else {
 				row[l] = '.'
 			}
 		}
-		fmt.Fprintf(&sb, "%7d  %s\n", ev.Issue, string(row[:]))
+		fmt.Fprintf(&sb, "%7d  %s\n", ev.issue, string(row[:]))
 	}
 	sb.WriteString("\nlegend: ")
 	// Stable legend order: first-seen blocks.
@@ -107,7 +117,7 @@ func (t *Timeline) OccupancyHistogram() string {
 	counts := make(map[int]int)
 	for _, ev := range t.events {
 		n := 0
-		for m := ev.Mask; m != 0; m &= m - 1 {
+		for m := ev.mask; m != 0; m &= m - 1 {
 			n++
 		}
 		counts[n]++

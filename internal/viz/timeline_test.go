@@ -34,7 +34,7 @@ even:
 func TestTimelineRender(t *testing.T) {
 	m := buildKernel(t)
 	tl := NewTimeline(0)
-	if _, err := simt.Run(m, simt.Config{Strict: true, Trace: tl.Record}); err != nil {
+	if _, err := simt.Run(m, simt.Config{Strict: true, Events: tl}); err != nil {
 		t.Fatal(err)
 	}
 	out := tl.Render(100)
@@ -69,7 +69,7 @@ func TestTimelineRender(t *testing.T) {
 func TestTimelineDownsamples(t *testing.T) {
 	m := buildKernel(t)
 	tl := NewTimeline(0)
-	if _, err := simt.Run(m, simt.Config{Strict: true, Trace: tl.Record}); err != nil {
+	if _, err := simt.Run(m, simt.Config{Strict: true, Events: tl}); err != nil {
 		t.Fatal(err)
 	}
 	out := tl.Render(2)
@@ -88,7 +88,7 @@ func TestTimelineDownsamples(t *testing.T) {
 func TestUniqueGlyphs(t *testing.T) {
 	m := buildKernel(t)
 	tl := NewTimeline(0)
-	if _, err := simt.Run(m, simt.Config{Strict: true, Trace: tl.Record}); err != nil {
+	if _, err := simt.Run(m, simt.Config{Strict: true, Events: tl}); err != nil {
 		t.Fatal(err)
 	}
 	seen := map[byte]string{}
@@ -103,7 +103,7 @@ func TestUniqueGlyphs(t *testing.T) {
 func TestOccupancyHistogram(t *testing.T) {
 	m := buildKernel(t)
 	tl := NewTimeline(0)
-	if _, err := simt.Run(m, simt.Config{Strict: true, Trace: tl.Record}); err != nil {
+	if _, err := simt.Run(m, simt.Config{Strict: true, Events: tl}); err != nil {
 		t.Fatal(err)
 	}
 	h := tl.OccupancyHistogram()

@@ -31,14 +31,17 @@ func traceStats(t *testing.T, name string, cfg BuildConfig) (map[string]int64, m
 	res, err := simt.Run(comp.Module, simt.Config{
 		Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
 		Memory: inst.Memory, Strict: true,
-		Trace: func(ev simt.TraceEvent) {
-			issues[ev.Block]++
+		Events: simt.SinkFunc(func(ev simt.Event) {
+			if ev.Kind != simt.EvIssue {
+				return
+			}
+			issues[ev.BlockName]++
 			n := int64(0)
 			for m := ev.Mask; m != 0; m &= m - 1 {
 				n++
 			}
-			lanes[ev.Block] += n
-		},
+			lanes[ev.BlockName] += n
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"specrecon/internal/core"
 	"specrecon/internal/harness"
 	"specrecon/internal/ir"
+	"specrecon/internal/obs"
 	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
 )
@@ -123,13 +124,56 @@ func AutoAnnotate(m *Module) []Candidate {
 	return core.AutoAnnotate(m, core.DefaultAutoDetectOptions())
 }
 
-// Simulator types.
+// Simulator types. Event and EventSink form the generalized event
+// stream behind the observability layer: attach a sink (a Profile, a
+// TraceRecorder, or any EventSink) via RunConfig.Events.
 type (
-	RunConfig  = simt.Config
-	RunResult  = simt.Result
-	Metrics    = simt.Metrics
-	TraceEvent = simt.TraceEvent
+	RunConfig = simt.Config
+	RunResult = simt.Result
+	Metrics   = simt.Metrics
+	Event     = simt.Event
+	EventKind = simt.EventKind
+	EventSink = simt.EventSink
+	SinkFunc  = simt.SinkFunc
 )
+
+// Event kinds of the simulator event stream.
+const (
+	EvIssue          = simt.EvIssue
+	EvBranch         = simt.EvBranch
+	EvBarrierWait    = simt.EvBarrierWait
+	EvBarrierRelease = simt.EvBarrierRelease
+	EvCacheAccess    = simt.EvCacheAccess
+	EvCall           = simt.EvCall
+	EvRet            = simt.EvRet
+)
+
+// TeeSinks fans the event stream out to several sinks.
+func TeeSinks(sinks ...EventSink) EventSink { return simt.TeeSinks(sinks...) }
+
+// Observability layer (internal/obs): Profile is the nvprof-style
+// per-PC profiler, TraceRecorder the Perfetto trace exporter. Both are
+// EventSinks.
+type (
+	Profile       = obs.Profile
+	ProfileStat   = obs.PCStat
+	BranchStat    = obs.BranchStat
+	BarrierStat   = obs.BarrierStat
+	TraceRecorder = obs.TraceRecorder
+)
+
+// NewProfile builds an empty profile over the exact module that will
+// run (the per-PC counter tables are indexed by the module's static
+// instruction numbering).
+func NewProfile(m *Module) *Profile { return obs.NewProfile(m) }
+
+// NewTraceRecorder returns an event recorder whose WriteTrace renders
+// Chrome trace-event JSON openable in ui.perfetto.dev.
+func NewTraceRecorder() *TraceRecorder { return obs.NewTraceRecorder() }
+
+// ProfileDiff compares two profiles of the same workload (typically the
+// baseline and speculative builds) at block granularity.
+func ProfileDiff(base, after *Profile) []obs.BlockDelta { return obs.Diff(base, after) }
 
 // Scheduler policies for the warp scheduler.
 const (
