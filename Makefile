@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline fmt figures profile-smoke
+.PHONY: all build test vet race check bench bench-baseline fmt figures profile-smoke fuzz-smoke diffcheck-smoke
 
 all: build
 
@@ -19,7 +19,9 @@ race:
 # check is the pre-commit gate: everything must build, vet clean, and
 # pass the full suite under the race detector. The harness package runs
 # a second time with fresh counters so the worker-pool determinism and
-# race coverage never ride a cached result.
+# race coverage never ride a cached result. The robustness smokes close
+# the gate: short fuzz sessions on the parser and pipeline, plus the
+# seeded 500-kernel differential campaign with the fault matrix.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -27,6 +29,21 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/harness
 	$(GO) test -race -count=1 ./internal/obs
+	$(MAKE) fuzz-smoke
+	$(MAKE) diffcheck-smoke
+
+# fuzz-smoke gives each fuzz target a short budget on top of the checked-in
+# seed corpus: enough to catch shallow parser/pipeline regressions without
+# holding up the gate.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s .
+	$(GO) test -fuzz FuzzPipeline -fuzztime 30s .
+
+# diffcheck-smoke is the seeded differential campaign: 500 corpus kernels
+# compiled under both pipelines and compared, plus the full fault-injection
+# matrix (every fault must be detected by the expected layer).
+diffcheck-smoke:
+	$(GO) run ./cmd/diffhunt -n 500 -seed 42 -matrix
 
 bench:
 	$(GO) test -bench=. -benchmem

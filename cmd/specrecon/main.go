@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"specrecon/internal/core"
+	"specrecon/internal/diffcheck"
 	"specrecon/internal/ir"
 	"specrecon/internal/obs"
 	"specrecon/internal/prof"
@@ -48,6 +49,10 @@ func main() {
 		lint       = flag.Bool("lint", false, "run static diagnostics on the input module")
 		sweep      = flag.Bool("sweep", false, "sweep the soft-barrier threshold 1..32 and report eff/speedup")
 		list       = flag.Bool("list", false, "list bundled workloads")
+
+		diffFlag = flag.Bool("diffcheck", false, "differentially check the kernel (baseline vs speculative) and exit; honors `; repro-*` directives in .sasm files")
+		inject   = flag.String("inject", "", "inject faults into the speculative build/run (e.g. \"drop-cancel@1+skip-release@2\"; see diffcheck.ParseFault)")
+		safe     = flag.Bool("safe", false, "compile non-baseline modes through the fail-safe pipeline (verifier + PDOM fallback)")
 
 		passes     = flag.String("passes", "", "override the pass pipeline with a spec string (e.g. \"pdom,predict,deconflict=dynamic,alloc\")")
 		dumpAfter  = flag.String("dump-ir-after", "", "print the IR after the named pass")
@@ -131,6 +136,18 @@ func main() {
 		fail(err)
 	}
 
+	faultPlan, skipRelease, err := diffcheck.ParseFault(*inject)
+	if err != nil {
+		fail(err)
+	}
+
+	if *diffFlag {
+		if err := runDiffcheck(*kernel, inst, *inject, dec, *threshold); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *sweep {
 		if err := runSweep(inst, pol, dec); err != nil {
 			fail(err)
@@ -149,25 +166,42 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		pipe := core.PipelineFor(opts)
-		if *passes != "" {
-			if pipe, err = core.ParsePipeline(*passes); err != nil {
+		if mo != "baseline" {
+			// The baseline is the reference; faults only ever perturb the
+			// speculative side.
+			opts.Faults = faultPlan
+		}
+		var comp *core.Compilation
+		if *safe && mo != "baseline" {
+			sc, err := core.CompileSafe(mod, opts)
+			if err != nil {
 				fail(err)
 			}
-		}
-		pipe.VerifyEach = *verifyEach
-		if *dumpAfter != "" {
-			mode := mo
-			pipe.Observer = func(pass string, m *ir.Module) {
-				if pass == *dumpAfter {
-					dumped = true
-					fmt.Printf("; %s: IR after pass %q\n%s", mode, pass, ir.Print(m))
+			if sc.FellBack {
+				reason, _, _ := strings.Cut(sc.FallbackErr.Error(), "\n")
+				fmt.Printf("%-9s failsafe: fell back to PDOM baseline: %s\n", mo+":", reason)
+			}
+			comp = sc.Compilation
+		} else {
+			pipe := core.PipelineFor(opts)
+			if *passes != "" {
+				if pipe, err = core.ParsePipeline(*passes); err != nil {
+					fail(err)
 				}
 			}
-		}
-		comp, err := core.CompilePipeline(mod, opts, pipe)
-		if err != nil {
-			fail(err)
+			pipe.VerifyEach = *verifyEach
+			if *dumpAfter != "" {
+				mode := mo
+				pipe.Observer = func(pass string, m *ir.Module) {
+					if pass == *dumpAfter {
+						dumped = true
+						fmt.Printf("; %s: IR after pass %q\n%s", mode, pass, ir.Print(m))
+					}
+				}
+			}
+			if comp, err = core.CompilePipeline(mod, opts, pipe); err != nil {
+				fail(err)
+			}
 		}
 		if *passStats {
 			printPassStats(mo, comp)
@@ -197,7 +231,7 @@ func main() {
 			rec = obs.NewTraceRecorder()
 			sinks = append(sinks, rec)
 		}
-		res, err := simt.Run(comp.Module, simt.Config{
+		runCfg := simt.Config{
 			Kernel:          inst.Kernel,
 			Threads:         inst.Threads,
 			Seed:            inst.Seed,
@@ -207,7 +241,11 @@ func main() {
 			InterleaveWarps: *interleave,
 			Strict:          eng == simt.ModelITS,
 			Events:          simt.TeeSinks(sinks...),
-		})
+		}
+		if mo != "baseline" {
+			runCfg.SkipReleaseN = skipRelease
+		}
+		res, err := simt.Run(comp.Module, runCfg)
 		if err != nil {
 			fail(err)
 		}
@@ -273,6 +311,47 @@ func printPassStats(mode string, comp *core.Compilation) {
 		fmt.Printf("  %-11s %10s %8d %+8d %8d %7d %8d\n",
 			s.Pass, s.Wall.Round(time.Microsecond), s.InstrsAfter, s.InstrDelta(), s.BarrierOpsAfter, s.BarriersMinted, s.Remarks)
 	}
+}
+
+// runDiffcheck runs the differential checker on the loaded kernel and
+// exits non-zero on a finding. For .sasm files the repro directives
+// (threads, seed, memory, recorded fault) are honored; a -inject spec on
+// the command line overrides the recorded fault.
+func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core.DeconflictMode, threshold int) error {
+	k := diffcheck.Kernel{
+		Name: inst.Module.Name, Module: inst.Module, Entry: inst.Kernel,
+		Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed,
+	}
+	fault := inject
+	if strings.HasSuffix(path, ".sasm") {
+		loaded, recorded, err := diffcheck.LoadRepro(path)
+		if err != nil {
+			return err
+		}
+		k = loaded
+		if fault == "" {
+			fault = recorded
+		}
+	}
+	plan, skipRelease, err := diffcheck.ParseFault(fault)
+	if err != nil {
+		return err
+	}
+	res := diffcheck.Check(k, diffcheck.Options{
+		ThresholdOverride: threshold,
+		Deconflict:        dec,
+		AutoAnnotate:      true,
+		Faults:            plan,
+		SkipReleaseN:      skipRelease,
+	})
+	if res.OK {
+		fmt.Printf("diffcheck: ok (base cycles %d, spec cycles %d)\n",
+			res.BaseMetrics.Cycles, res.SpecMetrics.Cycles)
+		return nil
+	}
+	fmt.Printf("diffcheck: FAIL at %s: %v\n", res.Stage, res.Err)
+	os.Exit(1)
+	return nil
 }
 
 // runSweep measures the kernel across soft-barrier thresholds.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"specrecon/internal/cfg"
 	"specrecon/internal/dataflow"
@@ -28,6 +29,9 @@ func init() {
 				run: func(c *PassContext) error {
 					for _, fw := range c.specWaits {
 						c.deconflict(fw.f, fw.waits, mode)
+					}
+					if n := c.Opts.Faults.SkipConflict; n > 0 && c.conflictSeen < n {
+						return fmt.Errorf("fault skip-conflict@%d: only %d conflicts found", n, c.conflictSeen)
 					}
 					return nil
 				},
@@ -256,17 +260,36 @@ func (c *PassContext) deconflict(f *ir.Function, waits []specWait, mode Deconfli
 		return
 	}
 
+	// Resolve conflicts in sorted (spec, other) order: the pair sequence
+	// — and therefore ConflictPair/remark order and the identity of "the
+	// Nth conflict" under fault injection — must not depend on map
+	// iteration order.
 	conflicts := findConflicts(f, specBars)
-	for spec, others := range conflicts {
+	specs := make([]int, 0, len(conflicts))
+	for spec := range conflicts {
+		specs = append(specs, spec)
+	}
+	sort.Ints(specs)
+	for _, spec := range specs {
 		sw := waitOf[spec]
 		if sw.waitBlock == nil {
 			continue
 		}
-		for other := range others {
+		others := make([]int, 0, len(conflicts[spec]))
+		for other := range conflicts[spec] {
+			others = append(others, other)
+		}
+		sort.Ints(others)
+		for _, other := range others {
 			c.result.Conflicts = append(c.result.Conflicts, ConflictPair{Fn: f, A: spec, B: other})
 			kind := KindUser
 			if other < len(c.barriers) {
 				kind = c.barriers[other].Kind
+			}
+			c.conflictSeen++
+			if c.conflictSeen == c.Opts.Faults.SkipConflict {
+				c.Remarkf(f.Name, sw.waitBlock.Name, "fault skip-conflict@%d: conflict between b%d and %s barrier b%d left unresolved", c.conflictSeen, spec, kind, other)
+				continue
 			}
 			if mode == DeconflictStatic && kind == KindPDOM {
 				c.Remarkf(f.Name, sw.waitBlock.Name, "barrier b%d conflicts with %s barrier b%d: removed its operations statically", spec, kind, other)

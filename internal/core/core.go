@@ -101,6 +101,9 @@ type Options struct {
 	// threshold sweep) set it to avoid paying verification per variant;
 	// the output module is still verified after the pipeline runs.
 	AssumeVerified bool
+	// Faults deterministically perturbs barrier placement for robustness
+	// testing (see fault.go). The zero value injects nothing.
+	Faults FaultPlan
 }
 
 // BaselineOptions compiles with standard PDOM synchronization only.

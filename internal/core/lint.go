@@ -44,7 +44,11 @@ func (w LintWarning) String() string {
 //   - unreachable blocks;
 //   - barrier hygiene: a wait on a barrier that no path ever joins, and
 //     a joined barrier with no wait or cancel anywhere (a lane that
-//     exits the kernel still participating).
+//     exits the kernel still participating);
+//   - exit-path releases: a joined barrier that some path carries all
+//     the way to a thread-exiting terminator without a wait or cancel —
+//     the per-path refinement of the pairing check, using the same
+//     joined-at-exit analysis the barrier-safety verifier enforces.
 func Lint(m *ir.Module) []LintWarning {
 	var out []LintWarning
 
@@ -61,6 +65,8 @@ func Lint(m *ir.Module) []LintWarning {
 		}
 	}
 
+	entryWaits := calleeEntryWaits(m)
+	nb := moduleNumBarriers(m)
 	for _, f := range m.Funcs {
 		f.Reindex()
 		info := cfg.New(f)
@@ -73,8 +79,34 @@ func Lint(m *ir.Module) []LintWarning {
 				out = append(out, LintWarning{Fn: f.Name, Block: b.Name, Msg: "unreachable block"})
 			}
 		}
+		out = append(out, lintExitPaths(f, info, nb, entryWaits, called)...)
 	}
 	out = append(out, lintBarriers(m)...)
+	return out
+}
+
+// lintExitPaths warns about barriers still joined at a thread-exiting
+// terminator on some path: the lane would exit while participating
+// (Strict-mode runtime error, implicit-cancel reliance otherwise).
+func lintExitPaths(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string][]int, called map[string]bool) []LintWarning {
+	var out []LintWarning
+	at := joinedAtWithCalls(f, info, nb, entryWaits)
+	for _, b := range f.Blocks {
+		if !info.Reachable(b) || len(b.Instrs) == 0 {
+			continue
+		}
+		t := b.Terminator()
+		if t.Op != ir.OpExit && (t.Op != ir.OpRet || called[f.Name]) {
+			continue
+		}
+		at[b.Index][len(b.Instrs)-1].ForEach(func(bar int) {
+			out = append(out, LintWarning{
+				Fn:    f.Name,
+				Block: b.Name,
+				Msg:   fmt.Sprintf("b%d may still be joined when threads exit here (no wait or cancel on some path)", bar),
+			})
+		})
+	}
 	return out
 }
 

@@ -87,6 +87,10 @@ type PassContext struct {
 	// predict pass placed; the deconflict pass consumes them.
 	specWaits []funcWaits
 
+	// conflictSeen counts conflicts resolved across the whole module, so
+	// the skip-conflict fault's ordinal is module-wide.
+	conflictSeen int
+
 	// current is the running pass's name, stamped onto remarks.
 	current string
 }
@@ -274,6 +278,10 @@ func passNames() []string {
 //
 //	baseline:  pdom,alloc
 //	specrecon: pdom,predict,deconflict=<mode>,alloc
+//
+// When Options.Faults carries inject-layer faults, an "inject" pass is
+// appended after deconfliction (so faults perturb the final barrier
+// layout) and before allocation (so they are stated in virtual ids).
 func PipelineFor(opts Options) *Pipeline {
 	var specs []string
 	if opts.InsertPDOM {
@@ -284,6 +292,9 @@ func PipelineFor(opts Options) *Pipeline {
 		if opts.Deconflict != DeconflictNone {
 			specs = append(specs, "deconflict="+opts.Deconflict.String())
 		}
+	}
+	if opts.Faults.injectLayer() {
+		specs = append(specs, "inject")
 	}
 	if !opts.SkipAllocation {
 		specs = append(specs, "alloc")

@@ -1,0 +1,243 @@
+// Package diffcheck is the differential checker at the heart of the
+// robustness layer: it takes any kernel — hand-written, corpus-generated
+// or mutated — compiles it under both the PDOM baseline and the
+// speculative-reconvergence pipeline, runs both builds in the simulator
+// under an issue/cycle budget with strict barrier accounting, and
+// asserts that the two terminate with equivalent architectural state.
+// Speculative reconvergence must never change results (the paper's
+// transform only reorders when lanes execute, §4); any divergence in
+// final memory, any deadlock, budget exhaustion or leaked barrier
+// participation on the speculative side is a finding.
+//
+// The package also hosts the fault-injection matrix (matrix.go) proving
+// the detection machinery is not vacuous, and a shrinker (shrink.go)
+// that minimizes failing kernels and writes standalone .sasm repros.
+package diffcheck
+
+import (
+	"fmt"
+	"math"
+
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+// Kernel is one input to the checker: a module plus its launch
+// configuration. The module's predictions drive the speculative build.
+type Kernel struct {
+	Name   string
+	Module *ir.Module
+	// Entry is the kernel function; empty selects the module's first.
+	Entry   string
+	Threads int
+	Memory  []uint64
+	Seed    uint64
+}
+
+// Options configures one differential check.
+type Options struct {
+	// MaxIssues/MaxCycles budget each simulator run (defaults: 1<<24
+	// issues, unlimited cycles). A speculative build that exceeds the
+	// budget the baseline met is a livelock finding.
+	MaxIssues int64
+	MaxCycles int64
+	// ThresholdOverride forwards to core.Options (default -1: keep each
+	// prediction's own soft-barrier threshold).
+	ThresholdOverride int
+	// Deconflict selects the §4.3 strategy for the speculative build.
+	Deconflict core.DeconflictMode
+	// Verify adds the static barrier-safety verifier to the speculative
+	// pipeline; violations surface as StageVerify findings before any
+	// simulation runs.
+	Verify bool
+	// AutoAnnotate runs the §4.5 detector when the module carries no
+	// predictions (corpus kernels arrive bare), annotating a clone.
+	AutoAnnotate bool
+	// Faults injects compile-layer barrier perturbations into the
+	// speculative build (the baseline is never faulted — it is the
+	// reference).
+	Faults core.FaultPlan
+	// SkipReleaseN injects the simulator-layer fault into the
+	// speculative run: the Nth barrier-cohort release is lost.
+	SkipReleaseN int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIssues == 0 {
+		o.MaxIssues = 1 << 24
+	}
+	if o.ThresholdOverride == 0 {
+		o.ThresholdOverride = -1
+	}
+	return o
+}
+
+// Stage identifies where a check stopped.
+type Stage string
+
+const (
+	// StageCompileBase: the baseline build failed — the kernel itself is
+	// unusable, not a speculation bug (campaigns count these as skips).
+	StageCompileBase Stage = "compile-base"
+	// StageRunBase: the baseline run failed; same interpretation.
+	StageRunBase Stage = "run-base"
+	// StageVerify: the static barrier-safety verifier rejected the
+	// speculative build (Options.Verify only).
+	StageVerify Stage = "verify"
+	// StageCompileSpec: the speculative pipeline itself errored.
+	StageCompileSpec Stage = "compile-spec"
+	// StageRunSpec: the speculative run deadlocked, leaked participation
+	// or exhausted its budget.
+	StageRunSpec Stage = "run-spec"
+	// StageCompare: both ran to completion but final memory differs.
+	StageCompare Stage = "compare"
+	// StageOK: no finding.
+	StageOK Stage = "ok"
+)
+
+// BaselineFailure reports whether the stage blames the input kernel
+// rather than the speculative transform.
+func (s Stage) BaselineFailure() bool {
+	return s == StageCompileBase || s == StageRunBase
+}
+
+// Result is the outcome of one differential check.
+type Result struct {
+	// OK is true when both builds terminated with equivalent state.
+	OK    bool
+	Stage Stage
+	Err   error
+	// BaseMetrics/SpecMetrics are populated for the runs that completed.
+	BaseMetrics simt.Metrics
+	SpecMetrics simt.Metrics
+	// Annotated reports whether AutoAnnotate attached predictions.
+	Annotated bool
+}
+
+func (r Result) String() string {
+	if r.OK {
+		return "ok"
+	}
+	return fmt.Sprintf("%s: %v", r.Stage, r.Err)
+}
+
+// Check runs the differential check for k under opts.
+func Check(k Kernel, opts Options) Result {
+	opts = opts.withDefaults()
+
+	mod := k.Module
+	annotated := false
+	if opts.AutoAnnotate && !hasPredictions(mod) {
+		clone := mod.Clone()
+		if applied := core.AutoAnnotate(clone, core.DefaultAutoDetectOptions()); len(applied) > 0 {
+			mod = clone
+			annotated = true
+		}
+	}
+
+	baseComp, err := core.Compile(mod, core.BaselineOptions())
+	if err != nil {
+		return Result{Stage: StageCompileBase, Err: err, Annotated: annotated}
+	}
+
+	specOpts := core.Options{
+		InsertPDOM:        true,
+		ApplyPredictions:  true,
+		Deconflict:        opts.Deconflict,
+		ThresholdOverride: opts.ThresholdOverride,
+		Faults:            opts.Faults,
+	}
+	var specComp *core.Compilation
+	if opts.Verify {
+		specComp, err = core.CompilePipeline(mod, specOpts, core.SafePipelineFor(specOpts))
+		if err != nil {
+			return Result{Stage: StageVerify, Err: err, Annotated: annotated}
+		}
+	} else {
+		specComp, err = core.Compile(mod, specOpts)
+		if err != nil {
+			return Result{Stage: StageCompileSpec, Err: err, Annotated: annotated}
+		}
+	}
+
+	cfg := simt.Config{
+		Kernel:    k.Entry,
+		Threads:   k.Threads,
+		Seed:      k.Seed,
+		Memory:    k.Memory,
+		Strict:    true,
+		MaxIssues: opts.MaxIssues,
+		MaxCycles: opts.MaxCycles,
+	}
+	base, err := simt.Run(baseComp.Module, cfg)
+	if err != nil {
+		return Result{Stage: StageRunBase, Err: err, Annotated: annotated}
+	}
+
+	specCfg := cfg
+	specCfg.SkipReleaseN = opts.SkipReleaseN
+	spec, err := simt.Run(specComp.Module, specCfg)
+	if err != nil {
+		return Result{
+			Stage: StageRunSpec, Err: err,
+			BaseMetrics: base.Metrics, Annotated: annotated,
+		}
+	}
+
+	if err := SameMemory(base.Memory, spec.Memory); err != nil {
+		return Result{
+			Stage: StageCompare, Err: err,
+			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
+		}
+	}
+	return Result{
+		OK: true, Stage: StageOK,
+		BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
+	}
+}
+
+func hasPredictions(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		if len(f.Predictions) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SameMemory checks that two final memory images agree. Words that
+// differ bitwise must still agree as floats to within a tiny relative
+// error: kernels using floating-point atomics produce order-dependent
+// rounding, and convergence barriers legitimately reorder lanes.
+func SameMemory(a, b []uint64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("memory sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		fa, fb := math.Float64frombits(a[i]), math.Float64frombits(b[i])
+		if closeEnough(fa, fb) {
+			continue
+		}
+		return fmt.Errorf("memory word %d differs: %#x (%g) vs %#x (%g)", i, a[i], fa, b[i], fb)
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	// Only values that look like genuine floats get tolerance: small
+	// integers reinterpret as denormals, and treating those as "close"
+	// would mask real integer mismatches (e.g. counters 2 vs 3).
+	if math.Abs(a) < 1e-300 || math.Abs(b) < 1e-300 {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

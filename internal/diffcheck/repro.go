@@ -1,0 +1,176 @@
+package diffcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"specrecon/internal/ir"
+)
+
+// maxReproMemWords caps how many nonzero memory words a repro records;
+// corpus kernels carry lookup tables, and a repro is meant to be read by
+// a human before it is replayed.
+const maxReproMemWords = 4096
+
+// WriteRepro writes a standalone .sasm reproducer for a failed check to
+// dir and returns its path. The file is the kernel's assembly prefixed
+// with `; repro-*` comment directives carrying the launch configuration,
+// the injected fault (if any), and the observed failure, so LoadRepro —
+// and `specrecon -diffcheck <file>` — can replay it without the
+// generating campaign.
+//
+// The filename is deterministic (name, stage, and a hash of the module
+// text), so re-running a campaign over the same corpus overwrites
+// rather than accumulates.
+func WriteRepro(dir string, k Kernel, opts Options, res Result) (string, error) {
+	text := ir.Print(k.Module)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; repro: kernel=%s stage=%s\n", k.Name, res.Stage)
+	if res.Err != nil {
+		msg, _, _ := strings.Cut(res.Err.Error(), "\n")
+		fmt.Fprintf(&sb, "; repro-err: %s\n", msg)
+	}
+	fmt.Fprintf(&sb, "; repro-threads: %d\n", k.Threads)
+	fmt.Fprintf(&sb, "; repro-seed: %d\n", k.Seed)
+	if k.Entry != "" {
+		fmt.Fprintf(&sb, "; repro-entry: %s\n", k.Entry)
+	}
+	if fault := faultSpec(opts); fault != "" {
+		fmt.Fprintf(&sb, "; repro-fault: %s\n", fault)
+	}
+	if k.Memory != nil {
+		fmt.Fprintf(&sb, "; repro-memwords: %d\n", len(k.Memory))
+		written := 0
+		for i, w := range k.Memory {
+			if w == 0 {
+				continue
+			}
+			if written >= maxReproMemWords {
+				sb.WriteString("; repro-mem-truncated\n")
+				break
+			}
+			fmt.Fprintf(&sb, "; repro-mem: %d=%#x\n", i, w)
+			written++
+		}
+	}
+	sb.WriteString(text)
+
+	h := fnv.New32a()
+	h.Write([]byte(sb.String()))
+	name := fmt.Sprintf("%s-%s-%08x.sasm", sanitize(k.Name), res.Stage, h.Sum32())
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// faultSpec renders the injected faults of opts as a ParseFault spec,
+// or "" when the check ran unfaulted.
+func faultSpec(opts Options) string {
+	var terms []string
+	if s := opts.Faults.String(); s != "none" {
+		terms = append(terms, s)
+	}
+	if opts.SkipReleaseN > 0 {
+		terms = append(terms, fmt.Sprintf("skip-release@%d", opts.SkipReleaseN))
+	}
+	return strings.Join(terms, "+")
+}
+
+func sanitize(name string) string {
+	if name == "" {
+		return "kernel"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+}
+
+// LoadRepro reads a .sasm file written by WriteRepro (or any plain
+// module listing) and reconstructs the kernel plus the fault spec to
+// replay it under. Plain listings get one warp, seed 0 and no fault.
+func LoadRepro(path string) (Kernel, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Kernel{}, "", err
+	}
+	src := string(data)
+
+	k := Kernel{
+		Name:    strings.TrimSuffix(filepath.Base(path), ".sasm"),
+		Threads: ir.WarpWidth,
+	}
+	fault := ""
+	memWords := 0
+	type memInit struct {
+		idx int
+		val uint64
+	}
+	var mem []memInit
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "; repro-")
+		if !ok {
+			continue
+		}
+		key, val, _ := strings.Cut(rest, ":")
+		val = strings.TrimSpace(val)
+		switch key {
+		case "threads":
+			if n, err := strconv.Atoi(val); err == nil && n > 0 {
+				k.Threads = n
+			}
+		case "seed":
+			if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+				k.Seed = n
+			}
+		case "entry":
+			k.Entry = val
+		case "fault":
+			fault = val
+		case "memwords":
+			if n, err := strconv.Atoi(val); err == nil && n >= 0 {
+				memWords = n
+			}
+		case "mem":
+			is, vs, found := strings.Cut(val, "=")
+			if !found {
+				continue
+			}
+			i, ierr := strconv.Atoi(is)
+			v, verr := strconv.ParseUint(vs, 0, 64)
+			if ierr == nil && verr == nil && i >= 0 {
+				mem = append(mem, memInit{i, v})
+			}
+		}
+	}
+	m, err := ir.Parse(src)
+	if err != nil {
+		return Kernel{}, "", fmt.Errorf("%s: %w", path, err)
+	}
+	k.Module = m
+	if memWords > 0 {
+		k.Memory = make([]uint64, memWords)
+		for _, mi := range mem {
+			if mi.idx < memWords {
+				k.Memory[mi.idx] = mi.val
+			}
+		}
+	}
+	return k, fault, nil
+}

@@ -26,6 +26,7 @@ type FunnelResult struct {
 	Detected    int // non-trivial opportunity found by the detector
 	Significant int // speedup and efficiency both improved materially
 	Regressed   int // detected but transformed version ran slower
+	Fallbacks   int // speculative build rejected by the verifier; PDOM fallback measured
 	// PerApp holds the detail rows for detected applications.
 	PerApp []FunnelRow
 }
@@ -55,6 +56,7 @@ const (
 type funnelOutcome struct {
 	lowEff   bool
 	detected bool
+	fellBack bool
 	row      FunnelRow
 }
 
@@ -91,10 +93,14 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 		}
 		outcomes[i].detected = true
 
-		specComp, err := core.Compile(annotated, core.SpecReconOptions())
+		// Fail-safe compilation: a detector-annotated kernel the static
+		// verifier rejects is measured as its PDOM fallback (and counted)
+		// instead of killing the whole campaign.
+		specComp, err := core.CompileSafe(annotated, core.SpecReconOptions())
 		if err != nil {
 			return fmt.Errorf("%s: auto compile: %w", app.Name, err)
 		}
+		outcomes[i].fellBack = specComp.FellBack
 		spec, err := simt.Run(specComp.Module, runCfg)
 		if err != nil {
 			return fmt.Errorf("%s: auto run: %w", app.Name, err)
@@ -123,6 +129,9 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 			continue
 		}
 		res.Detected++
+		if o.fellBack {
+			res.Fallbacks++
+		}
 		res.PerApp = append(res.PerApp, o.row)
 		if o.row.Speedup >= significantSpeedup && o.row.AutoEff >= significantEffRetention*o.row.BaseEff {
 			res.Significant++

@@ -7,10 +7,11 @@ package harness
 
 import (
 	"fmt"
-	"math"
+	"strings"
 	"time"
 
 	"specrecon/internal/core"
+	"specrecon/internal/diffcheck"
 	"specrecon/internal/ir"
 	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
@@ -19,6 +20,29 @@ import (
 // Run compiles one workload instance with the given options and runs it.
 func Run(inst *workloads.Instance, opts core.Options) (*core.Compilation, *simt.Result, error) {
 	comp, err := core.Compile(inst.Module, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
+	}
+	res, err := simt.Run(comp.Module, simt.Config{
+		Kernel:  inst.Kernel,
+		Threads: inst.Threads,
+		Seed:    inst.Seed,
+		Memory:  inst.Memory,
+		Strict:  true,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("run %s: %w", inst.Module.Name, err)
+	}
+	return comp, res, nil
+}
+
+// RunSafe is Run through fail-safe compilation: when the static barrier
+// verifier rejects the speculative build, the PDOM fallback runs instead
+// and the returned compilation records the rejection. Experiment rows
+// built from RunSafe therefore always complete, with fallbacks reported
+// rather than aborting the whole figure.
+func RunSafe(inst *workloads.Instance, opts core.Options) (*core.SafeCompilation, *simt.Result, error) {
+	comp, err := core.CompileSafe(inst.Module, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
 	}
@@ -52,6 +76,11 @@ type Comparison struct {
 	BaseCompile  time.Duration
 	SpecCompile  time.Duration
 	SpecPipeline string
+	// FellBack records that the speculative build was rejected by the
+	// static barrier verifier and the row measured the PDOM fallback
+	// instead; FallbackReason is the verifier's first complaint.
+	FellBack       bool
+	FallbackReason string
 }
 
 // EffImprovement returns SpecEff / BaseEff (Figure 8's first series).
@@ -75,25 +104,34 @@ func (c Comparison) Speedup() float64 {
 // speculative reconvergence. A negative thresholdOverride keeps each
 // prediction's own (tuned) threshold.
 func Compare(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride int) (Comparison, error) {
+	specOpts := core.SpecReconOptions()
+	specOpts.ThresholdOverride = thresholdOverride
+	return CompareOpts(w, cfg, specOpts)
+}
+
+// CompareOpts is Compare with the speculative build's options fully
+// caller-controlled (fault-injection tests perturb them). The
+// speculative side compiles through CompileSafe: a build the verifier
+// rejects is measured as its PDOM fallback and flagged on the row
+// instead of failing the experiment.
+func CompareOpts(w *workloads.Workload, cfg workloads.BuildConfig, specOpts core.Options) (Comparison, error) {
 	inst := w.Build(cfg)
 	baseComp, base, err := Run(inst, core.BaselineOptions())
 	if err != nil {
 		return Comparison{}, err
 	}
-	specOpts := core.SpecReconOptions()
-	specOpts.ThresholdOverride = thresholdOverride
-	comp, spec, err := Run(inst, specOpts)
+	comp, spec, err := RunSafe(inst, specOpts)
 	if err != nil {
 		return Comparison{}, err
 	}
 	if err := VerifySameResults(base.Memory, spec.Memory); err != nil {
 		return Comparison{}, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	threshold := thresholdOverride
+	threshold := specOpts.ThresholdOverride
 	if threshold < 0 {
 		threshold = firstThreshold(inst.Module)
 	}
-	return Comparison{
+	c := Comparison{
 		Name:         w.Name,
 		Pattern:      w.Pattern,
 		BaseEff:      base.Metrics.SIMTEfficiency(),
@@ -107,7 +145,12 @@ func Compare(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride
 		BaseCompile:  baseComp.CompileTime,
 		SpecCompile:  comp.CompileTime,
 		SpecPipeline: comp.Pipeline,
-	}, nil
+		FellBack:     comp.FellBack,
+	}
+	if comp.FellBack && comp.FallbackErr != nil {
+		c.FallbackReason, _, _ = strings.Cut(comp.FallbackErr.Error(), "\n")
+	}
+	return c, nil
 }
 
 func firstThreshold(m *ir.Module) int {
@@ -119,41 +162,13 @@ func firstThreshold(m *ir.Module) int {
 	return 0
 }
 
-// VerifySameResults checks that two final memory images agree. Words
-// that differ bitwise must still agree as floats to within a tiny
-// relative error: kernels using floating-point atomics (gpu-mcml's
-// absorption grid) produce order-dependent rounding, and convergence
-// barriers legitimately reorder lanes.
+// VerifySameResults checks that two final memory images agree. The
+// comparison (including the float tolerance for kernels with
+// floating-point atomics, such as gpu-mcml's absorption grid) is the
+// differential checker's: the experiments and the robustness campaigns
+// must agree on what "same results" means.
 func VerifySameResults(a, b []uint64) error {
-	if len(a) != len(b) {
-		return fmt.Errorf("memory sizes differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] == b[i] {
-			continue
-		}
-		fa, fb := math.Float64frombits(a[i]), math.Float64frombits(b[i])
-		if closeEnough(fa, fb) {
-			continue
-		}
-		return fmt.Errorf("memory word %d differs: %#x (%g) vs %#x (%g)", i, a[i], fa, b[i], fb)
-	}
-	return nil
-}
-
-func closeEnough(a, b float64) bool {
-	if math.IsNaN(a) && math.IsNaN(b) {
-		return true
-	}
-	// Only values that look like genuine floats get tolerance: small
-	// integers reinterpret as denormals, and treating those as "close"
-	// would mask real integer mismatches (e.g. counters 2 vs 3).
-	if math.Abs(a) < 1e-300 || math.Abs(b) < 1e-300 {
-		return false
-	}
-	diff := math.Abs(a - b)
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	return diff <= 1e-9*scale
+	return diffcheck.SameMemory(a, b)
 }
 
 // Figure7 measures SIMT efficiency before and after speculative

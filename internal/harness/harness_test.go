@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"specrecon/internal/core"
 	"specrecon/internal/workloads"
 )
 
@@ -51,7 +52,7 @@ func TestFigure7Shape(t *testing.T) {
 		if r.BaseCompile <= 0 || r.SpecCompile <= 0 {
 			t.Errorf("%s: compile times not recorded (%v base, %v spec)", r.Name, r.BaseCompile, r.SpecCompile)
 		}
-		if r.SpecPipeline != "pdom,predict,deconflict=dynamic,alloc" {
+		if r.SpecPipeline != "pdom,predict,deconflict=dynamic,barrier-safety,alloc" {
 			t.Errorf("%s: unexpected spec pipeline %q", r.Name, r.SpecPipeline)
 		}
 	}
@@ -182,5 +183,40 @@ func TestAutoMatchesManualPlacements(t *testing.T) {
 			t.Errorf("%s: auto placement (%s,%s) != manual (%s,%s)",
 				name, applied[0].At.Name, applied[0].Label.Name, manualAt, manualLabel)
 		}
+	}
+}
+
+// TestCompareFaultedWorkloadFallsBack: a deliberately-faulted
+// speculative build must not kill the experiment — fail-safe compilation
+// measures the PDOM fallback and reports it on the row.
+func TestCompareFaultedWorkloadFallsBack(t *testing.T) {
+	w, err := workloads.Get("pathtracer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.SpecReconOptions()
+	opts.Faults = core.FaultPlan{DropCancel: 1}
+	c, err := CompareOpts(w, workloads.BuildConfig{}, opts)
+	if err != nil {
+		t.Fatalf("faulted comparison should complete via fallback, got %v", err)
+	}
+	if !c.FellBack {
+		t.Fatal("comparison should report the fallback")
+	}
+	if c.FallbackReason == "" {
+		t.Error("fallback reason should be recorded")
+	}
+	// The fallback is the baseline, so the two sides must match exactly.
+	if c.SpecEff != c.BaseEff || c.SpecCycles != c.BaseCycles {
+		t.Errorf("fallback row should measure the baseline: %+v", c)
+	}
+
+	// The unfaulted comparison stays fallback-free.
+	clean, err := Compare(w, workloads.BuildConfig{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FellBack {
+		t.Errorf("clean build fell back: %s", clean.FallbackReason)
 	}
 }

@@ -20,15 +20,19 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	}
 	fmt.Fprintln(out, "## Figure 7 — SIMT efficiency, programmer-annotated applications")
 	fmt.Fprintln(out)
-	fmt.Fprintln(out, "| benchmark | pattern | base eff | spec eff | threshold |")
-	fmt.Fprintln(out, "|-----------|---------|---------:|---------:|----------:|")
+	fmt.Fprintln(out, "| benchmark | pattern | base eff | spec eff | threshold | fallback |")
+	fmt.Fprintln(out, "|-----------|---------|---------:|---------:|----------:|----------|")
 	for _, r := range rows {
 		threshold := "hard"
 		if r.Threshold > 0 {
 			threshold = fmt.Sprintf("%d", r.Threshold)
 		}
-		fmt.Fprintf(out, "| %s | %s | %.1f%% | %.1f%% | %s |\n",
-			r.Name, r.Pattern, 100*r.BaseEff, 100*r.SpecEff, threshold)
+		fallback := "—"
+		if r.FellBack {
+			fallback = "PDOM: " + r.FallbackReason
+		}
+		fmt.Fprintf(out, "| %s | %s | %.1f%% | %.1f%% | %s | %s |\n",
+			r.Name, r.Pattern, 100*r.BaseEff, 100*r.SpecEff, threshold, fallback)
 	}
 	fmt.Fprintln(out)
 
@@ -97,6 +101,7 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	fmt.Fprintf(out, "| non-trivial opportunity | 16 | %d |\n", funnel.Detected)
 	fmt.Fprintf(out, "| significant improvement | 5 | %d |\n", funnel.Significant)
 	fmt.Fprintf(out, "| regressions among detected | — | %d |\n", funnel.Regressed)
+	fmt.Fprintf(out, "| verifier fallbacks among detected | — | %d |\n", funnel.Fallbacks)
 	fmt.Fprintln(out)
 
 	profiles, err := CollectProfiles(cfg, parallelism)

@@ -17,8 +17,10 @@ func TestWriteMarkdownReport(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"## Figure 7", "## Figure 8", "## Figure 9", "## Figure 10",
-		"## Compile time", "`pdom,predict,deconflict=dynamic,alloc`",
+		"## Compile time", "`pdom,predict,deconflict=dynamic,barrier-safety,alloc`",
 		"## Section 5.4",
+		"| fallback |",
+		"| verifier fallbacks among detected | — | 0 |",
 		"| rsbench |", "| xsbench |", "| pathtracer |",
 		"| optix-ao |", "| meiyamd5 |",
 		"| studied | 520 | 60 |",

@@ -267,6 +267,9 @@ func parseInstr(ln string) (Instr, []string, error) {
 			return fmt.Errorf("expected memory operand, got %q", t)
 		}
 		body := t[1 : len(t)-1]
+		if body == "" {
+			return fmt.Errorf("empty memory operand %q", t)
+		}
 		regPart := body
 		var off int64
 		if i := strings.IndexAny(body[1:], "+-"); i >= 0 {

@@ -1,0 +1,105 @@
+package simt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Typed runtime errors. The simulator's two interesting failure modes —
+// a warp whose lanes can never proceed, and a run that exceeds its
+// budget — used to surface as formatted strings; the robustness layer
+// (internal/diffcheck, core.CompileSafe, the harness's fail-safe path)
+// needs to classify them programmatically, so both are structured values
+// supporting errors.As through the "simt: warp N:" wrapping Run applies.
+
+// BarrierSnapshot records one barrier register's state at the moment a
+// deadlock was detected.
+type BarrierSnapshot struct {
+	Bar     int    // barrier register index
+	Mask    uint32 // participation mask
+	Waiting uint32 // lanes blocked at a wait on this barrier
+}
+
+// BlockedLane records one lane that cannot proceed: its PC and, for
+// lanes blocked at a barrier wait, the barrier register it waits on
+// (Bar is -1 for lanes blocked at warpsync).
+type BlockedLane struct {
+	Lane  int
+	Fn    string
+	Block string
+	Ins   int
+	Bar   int
+}
+
+// DeadlockError reports that a warp has live lanes but none of them is
+// runnable and no barrier can release: the §4.3 failure mode of
+// speculative reconvergence without (correct) deconfliction.
+type DeadlockError struct {
+	Warp int
+	// Barriers lists every barrier register with leftover participation
+	// or waiters.
+	Barriers []BarrierSnapshot
+	// Lanes lists the blocked lanes with their per-lane PCs.
+	Lanes []BlockedLane
+	// Cycles is the modeled cycle count at detection;
+	// CyclesSinceProgress measures how long the warp has been stuck
+	// (nonzero only under InterleaveWarps, where other warps keep the
+	// clock running after this warp's last issue).
+	Cycles              int64
+	CyclesSinceProgress int64
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("deadlock: no runnable lanes;")
+	for _, b := range e.Barriers {
+		fmt.Fprintf(&sb, " b%d{mask=%08x waiting=%08x}", b.Bar, b.Mask, b.Waiting)
+	}
+	for _, l := range e.Lanes {
+		if l.Bar >= 0 {
+			fmt.Fprintf(&sb, " lane%d@%s.%s#%d(wait b%d)", l.Lane, l.Fn, l.Block, l.Ins, l.Bar)
+		} else {
+			fmt.Fprintf(&sb, " lane%d(warpsync)", l.Lane)
+		}
+	}
+	if e.CyclesSinceProgress > 0 {
+		fmt.Fprintf(&sb, " stuck for %d cycles", e.CyclesSinceProgress)
+	}
+	return sb.String()
+}
+
+// BlockedMask returns the union of the blocked lanes' bits.
+func (e *DeadlockError) BlockedMask() uint32 {
+	var m uint32
+	for _, l := range e.Lanes {
+		m |= 1 << l.Lane
+	}
+	return m
+}
+
+// BudgetError reports that a launch exhausted its issue or cycle budget
+// before every lane exited — the simulator's livelock guard.
+type BudgetError struct {
+	Warp int
+	// MaxIssues/MaxCycles are the configured limits (a zero MaxCycles
+	// means the cycle budget was unlimited and the issue budget fired).
+	MaxIssues int64
+	MaxCycles int64
+	// Issues/Cycles are the counters at exhaustion.
+	Issues int64
+	Cycles int64
+	// LastProgressCycle is the modeled cycle of the most recent forward
+	// progress (a barrier release, a warpsync release, or a lane exit).
+	// A value far behind Cycles distinguishes a genuine livelock from a
+	// long-but-advancing kernel that merely needs a bigger budget.
+	LastProgressCycle int64
+}
+
+func (e *BudgetError) Error() string {
+	kind, limit := "issue", e.MaxIssues
+	if e.MaxCycles > 0 && e.Cycles >= e.MaxCycles {
+		kind, limit = "cycle", e.MaxCycles
+	}
+	return fmt.Sprintf("%s budget exhausted (%d); likely livelock (issues=%d cycles=%d last-progress-cycle=%d)",
+		kind, limit, e.Issues, e.Cycles, e.LastProgressCycle)
+}

@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -73,6 +74,90 @@ e:
 	_, err = Run(m, Config{Kernel: "k", Model: ModelStack})
 	if err == nil || !strings.Contains(err.Error(), "call stack overflow") {
 		t.Fatalf("stack engine: want overflow error, got %v", err)
+	}
+}
+
+// infiniteLoop is a kernel that never terminates, for budget tests.
+const infiniteLoop = `module t memwords=8
+func @k nregs=1 nfregs=0 {
+e:
+  const r0, #1
+  br e
+}
+`
+
+func TestBudgetErrorTyped(t *testing.T) {
+	m := asm(t, infiniteLoop)
+	_, err := Run(m, Config{Threads: 1, MaxIssues: 1000})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want BudgetError, got %v", err)
+	}
+	if be.MaxIssues != 1000 || be.Issues < 1000 {
+		t.Errorf("budget counters wrong: %+v", be)
+	}
+	if !strings.Contains(be.Error(), "budget exhausted") {
+		t.Errorf("rendered message should mention budget exhaustion: %q", be.Error())
+	}
+
+	// The stack engine reports the same typed error.
+	_, err = Run(m, Config{Threads: 1, MaxIssues: 1000, Model: ModelStack})
+	if !errors.As(err, &be) {
+		t.Fatalf("stack engine: want BudgetError, got %v", err)
+	}
+}
+
+func TestCycleBudgetConfigurable(t *testing.T) {
+	m := asm(t, infiniteLoop)
+	_, err := Run(m, Config{Threads: 1, MaxCycles: 500})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want BudgetError, got %v", err)
+	}
+	if be.MaxCycles != 500 || be.Cycles < 500 {
+		t.Errorf("cycle budget counters wrong: %+v", be)
+	}
+	if !strings.Contains(be.Error(), "cycle budget exhausted") {
+		t.Errorf("message should name the cycle budget: %q", be.Error())
+	}
+	// The issue budget was nowhere near exhausted; the diagnostic must
+	// carry both counters so the caller can tell which guard fired.
+	if be.Issues >= be.MaxIssues {
+		t.Errorf("issue budget unexpectedly exhausted: %+v", be)
+	}
+}
+
+func TestSkipReleaseInjectsDeadlock(t *testing.T) {
+	// A clean barrier kernel: all lanes join b0 and meet at a wait. With
+	// SkipReleaseN=1 the single cohort release is lost, so the warp must
+	// be reported deadlocked with every lane blocked at the wait.
+	src := `module t memwords=64
+func @k nregs=2 nfregs=0 {
+e:
+  tid r0
+  join b0
+  wait b0
+  const r1, #1
+  st [r0], r1
+  exit
+}
+`
+	m := asm(t, src)
+	if _, err := Run(m, Config{Threads: 32, Strict: true}); err != nil {
+		t.Fatalf("unfaulted run failed: %v", err)
+	}
+	_, err := Run(m, Config{Threads: 32, Strict: true, SkipReleaseN: 1})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError under release-skip fault, got %v", err)
+	}
+	if dl.BlockedMask() != 0xffffffff {
+		t.Errorf("all 32 lanes should be blocked, got mask %08x", dl.BlockedMask())
+	}
+	for _, l := range dl.Lanes {
+		if l.Bar != 0 {
+			t.Errorf("lane %d blocked on b%d, want b0", l.Lane, l.Bar)
+		}
 	}
 }
 

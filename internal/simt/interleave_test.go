@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -117,7 +118,24 @@ w1:
 }
 `)
 	_, err := Run(m, Config{Threads: 64, InterleaveWarps: true})
-	if err == nil || !strings.Contains(err.Error(), "deadlock") {
-		t.Fatalf("want deadlock error, got %v", err)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	// The diagnostic must identify both cross-linked barriers and every
+	// blocked lane with its per-lane PC.
+	if len(dl.Barriers) != 2 {
+		t.Errorf("want 2 barrier snapshots, got %+v", dl.Barriers)
+	}
+	if dl.BlockedMask() == 0 {
+		t.Error("want blocked lanes in the diagnostic")
+	}
+	for _, l := range dl.Lanes {
+		if l.Fn != "k" || l.Bar < 0 {
+			t.Errorf("blocked lane %+v missing PC/barrier detail", l)
+		}
+	}
+	if !strings.Contains(dl.Error(), "deadlock") {
+		t.Errorf("rendered message should still read as a deadlock: %q", dl.Error())
 	}
 }

@@ -107,6 +107,11 @@ func (c CacheConfig) withDefaults() CacheConfig {
 	return c
 }
 
+// DefaultMaxIssues is the issue budget applied when Config.MaxIssues is
+// zero: large enough for every experiment in the repo, small enough that
+// a livelocked kernel fails in seconds rather than hanging a figure run.
+const DefaultMaxIssues = 1 << 28
+
 // Config controls one kernel launch.
 type Config struct {
 	Kernel  string // entry function (default: first function)
@@ -126,8 +131,21 @@ type Config struct {
 	// Strict makes leftover barrier participation at thread exit an
 	// error instead of an implicit cancel.
 	Strict bool
-	// MaxIssues bounds total issued warp instructions (default 1<<28).
+	// MaxIssues bounds total issued warp instructions (default
+	// DefaultMaxIssues).
 	MaxIssues int64
+	// MaxCycles, when positive, additionally bounds the modeled cycle
+	// count. The differential checker uses it to bound wall-clock per
+	// kernel independently of the per-instruction cost model.
+	MaxCycles int64
+	// SkipReleaseN, when positive, makes the simulator silently skip the
+	// Nth barrier-cohort release (1-based, counted launch-wide): the
+	// cohort's lanes stay blocked and the barrier's participation mask is
+	// still cleared, so no later wait can release them. This models a
+	// hardware/runtime fault losing a release and exists to prove the
+	// deadlock detector and differential checker catch it. ITS engine
+	// only (the stack engine has no barrier releases to skip).
+	SkipReleaseN int64
 	// Memory is the initial global memory image; it is copied, and the
 	// final memory is returned in Result.Memory.
 	Memory []uint64
@@ -199,15 +217,23 @@ type sim struct {
 	cfg     Config
 	fnIndex map[string]int
 	// meta is the decode-time side table, indexed [fn][blk][ins].
-	meta     [][][]instrMeta
-	mem      []uint64
-	cache    *cache
-	metrics  Metrics
-	issues   int64
-	entryIdx int
-	nbar     int
-	nregs    int
-	nfregs   int
+	meta    [][][]instrMeta
+	mem     []uint64
+	cache   *cache
+	metrics Metrics
+	issues  int64
+	// releases counts barrier-cohort release events launch-wide; the
+	// SkipReleaseN fault injector compares against it.
+	releases int64
+	// lastProgressCycle is the modeled cycle of the most recent forward
+	// progress (barrier release, warpsync release, or lane exit); it
+	// feeds the cycles-since-progress diagnostics in DeadlockError and
+	// BudgetError.
+	lastProgressCycle int64
+	entryIdx          int
+	nbar              int
+	nregs             int
+	nfregs            int
 }
 
 // newSim validates the module and configuration and builds the
@@ -232,7 +258,7 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 		return nil, fmt.Errorf("simt: negative thread count %d", cfg.Threads)
 	}
 	if cfg.MaxIssues == 0 {
-		cfg.MaxIssues = 1 << 28
+		cfg.MaxIssues = DefaultMaxIssues
 	}
 	if cfg.InterleaveWarps && cfg.Model == ModelStack {
 		return nil, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
@@ -379,8 +405,8 @@ func (ws *warpState) step() (bool, error) {
 		return false, ws.deadlockError()
 	}
 	g := ws.pick(groups)
-	if s.issues >= s.cfg.MaxIssues {
-		return false, fmt.Errorf("issue budget exhausted (%d); likely livelock", s.cfg.MaxIssues)
+	if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
+		return false, s.budgetError(ws.index)
 	}
 	if err := ws.issue(g); err != nil {
 		return false, err
@@ -470,25 +496,47 @@ func popcount(m uint32) int {
 	return n
 }
 
-// deadlockError builds a diagnostic describing why no lane can proceed.
+// deadlockError builds a typed diagnostic describing why no lane can
+// proceed: every barrier with leftover state and every blocked lane's
+// per-lane PC.
 func (ws *warpState) deadlockError() error {
-	msg := "deadlock: no runnable lanes;"
+	e := &DeadlockError{
+		Warp:   ws.index,
+		Cycles: ws.sim.metrics.Cycles,
+	}
+	if since := ws.sim.metrics.Cycles - ws.sim.lastProgressCycle; since > 0 {
+		e.CyclesSinceProgress = since
+	}
 	for b := range ws.masks {
 		if ws.masks[b] == 0 && ws.waiting[b] == 0 {
 			continue
 		}
-		msg += fmt.Sprintf(" b%d{mask=%08x waiting=%08x}", b, ws.masks[b], ws.waiting[b])
+		e.Barriers = append(e.Barriers, BarrierSnapshot{Bar: b, Mask: ws.masks[b], Waiting: ws.waiting[b]})
 	}
 	for l, ln := range ws.lanes {
 		if ln.status == laneWaiting {
 			f := ws.sim.mod.Funcs[ln.pc.fn]
-			msg += fmt.Sprintf(" lane%d@%s.%s#%d(wait b%d)", l, f.Name, f.Blocks[ln.pc.blk].Name, ln.pc.ins, ln.waitBar)
+			e.Lanes = append(e.Lanes, BlockedLane{
+				Lane: l, Fn: f.Name, Block: f.Blocks[ln.pc.blk].Name, Ins: ln.pc.ins, Bar: ln.waitBar,
+			})
 		}
 		if ln.status == laneSyncing {
-			msg += fmt.Sprintf(" lane%d(warpsync)", l)
+			e.Lanes = append(e.Lanes, BlockedLane{Lane: l, Bar: -1})
 		}
 	}
-	return fmt.Errorf("%s", msg)
+	return e
+}
+
+// budgetError builds the typed budget-exhaustion diagnostic.
+func (s *sim) budgetError(warp int) error {
+	return &BudgetError{
+		Warp:              warp,
+		MaxIssues:         s.cfg.MaxIssues,
+		MaxCycles:         s.cfg.MaxCycles,
+		Issues:            s.issues,
+		Cycles:            s.metrics.Cycles,
+		LastProgressCycle: s.lastProgressCycle,
+	}
 }
 
 // liveMask returns the lanes that have not exited.
@@ -535,6 +583,13 @@ func (ws *warpState) releaseCheckSoft(b int, threshold int) {
 
 // release unblocks the given lanes past their wait instruction.
 func (ws *warpState) release(b int, cohort uint32) {
+	ws.sim.releases++
+	if ws.sim.cfg.SkipReleaseN > 0 && ws.sim.releases == ws.sim.cfg.SkipReleaseN {
+		// Injected fault: lose this release. The cohort stays blocked and
+		// its waiting bits stay set, but the caller still clears the
+		// participation mask, so nothing can ever release these lanes.
+		return
+	}
 	var released uint32
 	for l, ln := range ws.lanes {
 		if cohort&(1<<l) == 0 || ln.status != laneWaiting || ln.waitBar != b {
@@ -547,6 +602,7 @@ func (ws *warpState) release(b int, cohort uint32) {
 	}
 	ws.waiting[b] &^= cohort
 	if released != 0 {
+		ws.sim.lastProgressCycle = ws.sim.metrics.Cycles
 		if sink := ws.sim.cfg.Events; sink != nil {
 			sink.Event(Event{
 				Kind: EvBarrierRelease, Bar: int16(b), Warp: int32(ws.index),
@@ -568,6 +624,7 @@ func (ws *warpState) syncCheck() {
 		}
 	}
 	if live != 0 && syncing == live {
+		ws.sim.lastProgressCycle = ws.sim.metrics.Cycles
 		for _, ln := range ws.lanes {
 			if ln.status == laneSyncing {
 				ln.status = laneRunning
@@ -583,6 +640,7 @@ func (ws *warpState) syncCheck() {
 func (ws *warpState) exitLane(l int) error {
 	ln := ws.lanes[l]
 	ln.status = laneDone
+	ws.sim.lastProgressCycle = ws.sim.metrics.Cycles
 	bit := uint32(1) << l
 	var leaked []int
 	for b := range ws.masks {

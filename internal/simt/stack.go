@@ -116,8 +116,8 @@ func (s *sim) runStackWarp(index int, lanes [ir.WarpWidth]*lane) error {
 			ws.stack = ws.stack[:len(ws.stack)-1]
 			continue
 		}
-		if s.issues >= s.cfg.MaxIssues {
-			return fmt.Errorf("issue budget exhausted (%d); likely livelock", s.cfg.MaxIssues)
+		if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
+			return s.budgetError(index)
 		}
 		if err := ws.step(); err != nil {
 			return err

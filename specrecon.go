@@ -22,6 +22,7 @@ package specrecon
 
 import (
 	"specrecon/internal/core"
+	"specrecon/internal/diffcheck"
 	"specrecon/internal/harness"
 	"specrecon/internal/ir"
 	"specrecon/internal/obs"
@@ -215,6 +216,53 @@ func UnrollLoop(m *Module, fn, header string, factor int) ([]string, error) {
 // nested-loop shape Loop Merge needs. Launch with threads/factor threads.
 func Coarsen(m *Module, fn string, factor int) error {
 	return core.Coarsen(m, fn, factor)
+}
+
+// Robustness layer: fail-safe compilation, fault injection, typed
+// simulator errors and the differential checker (see internal/diffcheck
+// and cmd/diffhunt).
+type (
+	// SafeCompilation is CompileSafe's result: the verified speculative
+	// build, or the PDOM baseline it fell back to (FellBack records which).
+	SafeCompilation = core.SafeCompilation
+	// SafetyError is the static barrier-safety verifier's rejection;
+	// unwrap with errors.As.
+	SafetyError = core.SafetyError
+	// FaultPlan selects compile-layer barrier perturbations for
+	// robustness testing (see ParseFaultPlan and CompileOptions.Faults).
+	FaultPlan = core.FaultPlan
+	// DeadlockError and BudgetError are the simulator's typed failures;
+	// unwrap with errors.As to inspect blocked lanes or spent budgets.
+	DeadlockError = simt.DeadlockError
+	BudgetError   = simt.BudgetError
+	// DiffKernel, DiffOptions and DiffResult drive the differential
+	// checker: any kernel compiled under both pipelines, run under
+	// budgeted strict simulation, and compared for state equivalence.
+	DiffKernel  = diffcheck.Kernel
+	DiffOptions = diffcheck.Options
+	DiffResult  = diffcheck.Result
+)
+
+// CompileSafe compiles with the static barrier-safety verifier in the
+// pipeline, degrading to the PDOM baseline (with a "failsafe" remark)
+// when the speculative build is rejected.
+func CompileSafe(m *Module, opts CompileOptions) (*SafeCompilation, error) {
+	return core.CompileSafe(m, opts)
+}
+
+// ParseFaultPlan parses a compile-layer fault spec such as
+// "drop-cancel@2+swap-waits".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return core.ParseFaultPlan(spec) }
+
+// DiffCheck differentially checks one kernel: baseline versus
+// speculative build, both run to completion under a budget, final
+// memory compared.
+func DiffCheck(k DiffKernel, opts DiffOptions) DiffResult { return diffcheck.Check(k, opts) }
+
+// DiffMinimize greedily shrinks a failing kernel to a minimal
+// reproducer that still fails at the same stage.
+func DiffMinimize(k DiffKernel, opts DiffOptions) (DiffKernel, DiffResult) {
+	return diffcheck.Minimize(k, opts)
 }
 
 // LintWarning is a diagnostic from Lint.
