@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline fmt figures profile-smoke fuzz-smoke diffcheck-smoke
+.PHONY: all build test vet race check bench bench-baseline fmt figures profile-smoke fuzz-smoke diffcheck-smoke vet-corpus
 
 all: build
 
@@ -20,8 +20,9 @@ race:
 # pass the full suite under the race detector. The harness package runs
 # a second time with fresh counters so the worker-pool determinism and
 # race coverage never ride a cached result. The robustness smokes close
-# the gate: short fuzz sessions on the parser and pipeline, plus the
-# seeded 500-kernel differential campaign with the fault matrix.
+# the gate: short fuzz sessions on the parser, analyzer and pipeline,
+# the seeded 500-kernel differential campaign with the fault matrix,
+# and the static vetting sweep over the corpus and workloads.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -31,12 +32,14 @@ check:
 	$(GO) test -race -count=1 ./internal/obs
 	$(MAKE) fuzz-smoke
 	$(MAKE) diffcheck-smoke
+	$(MAKE) vet-corpus
 
 # fuzz-smoke gives each fuzz target a short budget on top of the checked-in
 # seed corpus: enough to catch shallow parser/pipeline regressions without
 # holding up the gate.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s .
+	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s .
 	$(GO) test -fuzz FuzzPipeline -fuzztime 30s .
 
 # diffcheck-smoke is the seeded differential campaign: 500 corpus kernels
@@ -44,6 +47,21 @@ fuzz-smoke:
 # matrix (every fault must be detected by the expected layer).
 diffcheck-smoke:
 	$(GO) run ./cmd/diffhunt -n 500 -seed 42 -matrix
+
+# vet-corpus runs the static vetter over the seeded 500-kernel corpus
+# and every bundled workload: zero error-severity diagnostics is the
+# analyzer's false-positive budget, enforced at exit-code level. The
+# SARIF report is validated as well-formed JSON along with the
+# committed golden fixture the emitter tests pin.
+vet-corpus:
+	rm -rf /tmp/specrecon-vet-corpus
+	mkdir -p /tmp/specrecon-vet-corpus
+	$(GO) run ./cmd/sasmvet -q -corpus 500 -corpus-seed 42 -workloads \
+		-sarif /tmp/specrecon-vet-corpus/vet.sarif
+	$(GO) run ./cmd/jsoncheck \
+		/tmp/specrecon-vet-corpus/vet.sarif \
+		internal/analyze/testdata/diagnostics.sarif
+	rm -rf /tmp/specrecon-vet-corpus
 
 bench:
 	$(GO) test -bench=. -benchmem

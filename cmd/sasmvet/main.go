@@ -1,0 +1,206 @@
+// Command sasmvet is the static vetter for .sasm modules: it runs the
+// barrier-state abstract interpreter and the rest of the static
+// analyzer (internal/analyze) over source files, the bundled paper
+// workloads, or a generated synthetic corpus, and reports unified
+// diagnostics (stable SRxxxx codes) as text or SARIF 2.1.0.
+//
+// Usage:
+//
+//	sasmvet [flags] [file.sasm | glob ...]
+//
+// Exit status: 0 when no diagnostic at or above -fail-on severity was
+// found, 1 when at least one was, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"specrecon/internal/analyze"
+	"specrecon/internal/core"
+	"specrecon/internal/corpus"
+	"specrecon/internal/ir"
+	"specrecon/internal/workloads"
+)
+
+func main() {
+	var (
+		vetWorkloads = flag.Bool("workloads", false, "vet every bundled paper workload")
+		corpusN      = flag.Int("corpus", 0, "vet a synthetic corpus of this many generated kernels")
+		corpusSeed   = flag.Uint64("corpus-seed", 42, "seed for -corpus generation")
+		compiled     = flag.Bool("compiled", false, "vet the compiled module (full speculative pipeline with barrier provenance) instead of the raw input")
+		sarifOut     = flag.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
+		failOn       = flag.String("fail-on", "error", "exit 1 when a diagnostic of at least this severity exists: note | warning | error")
+		effFlag      = flag.Bool("eff", false, "print the static SIMT-efficiency estimate per kernel")
+		effBelow     = flag.Float64("eff-below", 0, "note kernels with static efficiency below this threshold (0 disables)")
+		quiet        = flag.Bool("q", false, "suppress per-diagnostic text output (summary and exit code only)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sasmvet [flags] [file.sasm | glob ...]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	failSev, err := analyze.ParseSeverity(*failOn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	mods, err := collectModules(flag.Args(), *vetWorkloads, *corpusN, *corpusSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(mods) == 0 {
+		fmt.Fprintln(os.Stderr, "sasmvet: nothing to vet (pass .sasm files, -workloads, or -corpus N)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var all []analyze.Diagnostic
+	effs := map[string]float64{}
+	for _, vm := range mods {
+		diags, eff, err := vet(vm, *compiled, *effBelow)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasmvet: %s: %v\n", vm.label, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			if d.Fn == "" {
+				d.Fn = vm.label
+			}
+			all = append(all, d)
+			if !*quiet {
+				fmt.Printf("%s: %s\n", d.Severity, d)
+			}
+		}
+		for fn, e := range eff {
+			effs[vm.label+"/"+fn] = e
+		}
+	}
+
+	if *effFlag {
+		names := make([]string, 0, len(effs))
+		for n := range effs {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if effs[names[i]] != effs[names[j]] {
+				return effs[names[i]] < effs[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, n := range names {
+			fmt.Printf("eff %5.1f%%  %s\n", effs[n]*100, n)
+		}
+	}
+
+	if *sarifOut != "" {
+		w := os.Stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := analyze.WriteSARIF(w, "sasmvet", all); err != nil {
+			fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	var errors, warnings, notes int
+	for _, d := range all {
+		switch d.Severity {
+		case analyze.SeverityError:
+			errors++
+		case analyze.SeverityWarning:
+			warnings++
+		default:
+			notes++
+		}
+	}
+	fmt.Printf("sasmvet: %d module(s): %d error(s), %d warning(s), %d note(s)\n",
+		len(mods), errors, warnings, notes)
+
+	if len(analyze.Filter(all, failSev)) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vetModule is one unit of work: a module plus its display label.
+type vetModule struct {
+	label string
+	mod   *ir.Module
+	// opts are the compile options used with -compiled; raw vetting
+	// ignores them.
+	opts core.Options
+}
+
+func collectModules(args []string, vetWorkloads bool, corpusN int, corpusSeed uint64) ([]vetModule, error) {
+	var out []vetModule
+	for _, arg := range args {
+		paths := []string{arg}
+		if strings.ContainsAny(arg, "*?[") {
+			matches, err := filepath.Glob(arg)
+			if err != nil {
+				return nil, fmt.Errorf("bad glob %q: %v", arg, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("glob %q matched nothing", arg)
+			}
+			sort.Strings(matches)
+			paths = matches
+		}
+		for _, path := range paths {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			mod, err := ir.Parse(string(src))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", path, err)
+			}
+			out = append(out, vetModule{label: path, mod: mod, opts: core.SpecReconOptions()})
+		}
+	}
+	if vetWorkloads {
+		for _, w := range workloads.All() {
+			inst := w.Build(workloads.BuildConfig{})
+			opts := core.BaselineOptions()
+			if w.Annotated {
+				opts = core.SpecReconOptions()
+			}
+			out = append(out, vetModule{label: w.Name, mod: inst.Module, opts: opts})
+		}
+	}
+	if corpusN > 0 {
+		for _, app := range corpus.Generate(corpusN, corpusSeed) {
+			out = append(out, vetModule{label: app.Name, mod: app.Module, opts: core.SpecReconOptions()})
+		}
+	}
+	return out, nil
+}
+
+// vet analyzes one module: raw (no barrier provenance — the class-gated
+// checks are skipped) or compiled through the speculative pipeline with
+// the "analyze" pass before allocation.
+func vet(vm vetModule, compiled bool, effBelow float64) ([]analyze.Diagnostic, map[string]float64, error) {
+	if !compiled {
+		rep := analyze.Analyze(vm.mod, analyze.Options{EffNoteBelow: effBelow})
+		return rep.Diags, rep.Efficiency, nil
+	}
+	comp, err := core.Diagnose(vm.mod.Clone(), vm.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp.Diagnostics, comp.StaticEff, nil
+}

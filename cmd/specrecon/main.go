@@ -20,9 +20,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"specrecon/internal/analyze"
 	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
 	"specrecon/internal/ir"
@@ -46,7 +48,8 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "seed (0 = workload default)")
 		printIR    = flag.Bool("print", false, "print the compiled IR")
 		dot        = flag.Bool("dot", false, "print the compiled kernel's CFG in Graphviz dot syntax")
-		lint       = flag.Bool("lint", false, "run static diagnostics on the input module")
+		lint       = flag.Bool("lint", false, "run static diagnostics on the input module (warnings and errors only; see -diagnostics)")
+		diagFlag   = flag.Bool("diagnostics", false, "run the full static analyzer on the input module: coded diagnostics (SRxxxx), severities and static SIMT-efficiency estimates")
 		sweep      = flag.Bool("sweep", false, "sweep the soft-barrier threshold 1..32 and report eff/speedup")
 		list       = flag.Bool("list", false, "list bundled workloads")
 
@@ -104,22 +107,38 @@ func main() {
 		fail(err)
 	}
 
-	if *lint {
-		// Lint runs as a read-only analysis pass over a single-pass
-		// pipeline; its warnings surface through the remarks stream.
-		lintPipe, err := core.ParsePipeline("lint")
+	if *lint || *diagFlag {
+		// Both paths run the static analyzer as a read-only pass over a
+		// single-pass pipeline; -lint keeps the historical
+		// warnings-and-above view, -diagnostics shows the full coded
+		// report plus static efficiency estimates.
+		dpipe, err := core.ParsePipeline("analyze")
 		if err != nil {
 			fail(err)
 		}
-		lcomp, err := core.CompilePipeline(inst.Module, core.Options{SkipAllocation: true}, lintPipe)
+		dcomp, err := core.CompilePipeline(inst.Module, core.Options{SkipAllocation: true}, dpipe)
 		if err != nil {
 			fail(err)
 		}
-		if len(lcomp.Remarks) == 0 {
-			fmt.Println("lint: clean")
+		diags := dcomp.Diagnostics
+		if !*diagFlag {
+			diags = analyze.Filter(diags, analyze.SeverityWarning)
 		}
-		for _, r := range lcomp.Remarks {
-			fmt.Println(r)
+		if len(diags) == 0 {
+			fmt.Println("diagnostics: clean")
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", d.Severity, d)
+		}
+		if *diagFlag {
+			kernels := make([]string, 0, len(dcomp.StaticEff))
+			for name := range dcomp.StaticEff {
+				kernels = append(kernels, name)
+			}
+			sort.Strings(kernels)
+			for _, name := range kernels {
+				fmt.Printf("static-eff %s: %.1f%%\n", name, dcomp.StaticEff[name]*100)
+			}
 		}
 	}
 

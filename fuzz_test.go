@@ -1,8 +1,12 @@
 package specrecon
 
 import (
+	"errors"
+
 	"testing"
 
+	"specrecon/internal/analyze"
+	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
 	"specrecon/internal/ir"
 )
@@ -100,6 +104,57 @@ func FuzzParse(f *testing.F) {
 		}
 		if out2 := ir.Print(m2); out2 != out {
 			t.Fatalf("printing is not stable:\n--- first\n%s\n--- second\n%s", out, out2)
+		}
+	})
+}
+
+// FuzzAnalyze hammers the static analyzer: Analyze must never panic on
+// any module the parser accepts, and its verdict must agree with the
+// barrier-safety verifier in one direction — on a raw (unclassed)
+// module, the analyzer's error set is exactly the verifier's
+// provenance-free checks, so "analyzer clean" must imply "verifier
+// accepts" and vice versa. (The full pipeline may still reject for
+// non-barrier reasons; only barrier-safety verdicts are compared.)
+func FuzzAnalyze(f *testing.F) {
+	for _, seed := range []string{fuzzSeedMinimal, fuzzSeedLoop, fuzzSeedBarriers, fuzzSeedPredict} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, fn := range m.Funcs {
+			if fn.NRegs > 256 || fn.NFRegs > 256 || len(fn.Blocks) > 256 {
+				return
+			}
+		}
+		rep := analyze.Analyze(m, analyze.Options{EffNoteBelow: 1})
+		for _, d := range rep.Diags {
+			if d.Code == "" || d.Msg == "" {
+				t.Fatalf("diagnostic with empty code or message: %+v", d)
+			}
+		}
+		for fn, eff := range rep.Efficiency {
+			if eff <= 0 || eff > 1 {
+				t.Fatalf("efficiency %v for %s out of (0, 1]\n%s", eff, fn, ir.Print(m))
+			}
+		}
+		pipe, err := core.ParsePipeline("barrier-safety")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, verr := core.CompilePipeline(m, core.Options{SkipAllocation: true}, pipe)
+		var se *core.SafetyError
+		if verr != nil && !errors.As(verr, &se) {
+			// Rejected before the verifier ran (module-level validation);
+			// no barrier-safety verdict to compare.
+			return
+		}
+		analyzeClean := len(rep.Errors()) == 0
+		if analyzeClean != (verr == nil) {
+			t.Fatalf("analyzer clean=%v but verifier error=%v on:\n%s",
+				analyzeClean, verr, ir.Print(m))
 		}
 	})
 }

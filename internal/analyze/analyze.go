@@ -1,0 +1,490 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"specrecon/internal/cfg"
+	"specrecon/internal/dataflow"
+	"specrecon/internal/divergence"
+	"specrecon/internal/ir"
+)
+
+// BarrierClass mirrors core.BarrierKind without importing core (core
+// imports this package). It tells the class-gated checks why a barrier
+// exists: the rejoin discipline only binds speculative barriers, the
+// conflict check only indicts speculative/exit live ranges, and the
+// lost-wait rule only applies to compiler-minted barriers.
+type BarrierClass int
+
+const (
+	// ClassUser marks barriers already present in the input IR.
+	ClassUser BarrierClass = iota
+	// ClassPDOM marks baseline post-dominator barriers.
+	ClassPDOM
+	// ClassSpec marks speculative reconvergence barriers (the paper's b0).
+	ClassSpec
+	// ClassExit marks the orthogonal region-exit barriers (the paper's b1).
+	ClassExit
+	// ClassSpecCall marks interprocedural speculative barriers (§4.4),
+	// excluded from conflict analysis like the deconflict pass excludes
+	// them.
+	ClassSpecCall
+)
+
+func (c BarrierClass) String() string {
+	switch c {
+	case ClassUser:
+		return "user"
+	case ClassPDOM:
+		return "pdom"
+	case ClassSpec:
+		return "spec"
+	case ClassExit:
+		return "exit"
+	case ClassSpecCall:
+		return "speccall"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Options configures Analyze.
+type Options struct {
+	// ClassOf maps a barrier register to its class. When nil the module
+	// is treated as raw input (every barrier ClassUser) and the
+	// class-gated checks — lost wait (SR1003), rejoin discipline
+	// (SR1004), live-range conflicts (SR1005) — are skipped, matching
+	// the historical split where only compiled modules carry barrier
+	// provenance.
+	ClassOf func(bar int) BarrierClass
+	// EffNoteBelow, when positive, emits a CodeLowEfficiency note for
+	// every kernel whose static SIMT-efficiency estimate falls below it
+	// (the paper screens at 0.8).
+	EffNoteBelow float64
+}
+
+// Report is the analyzer's result over one module.
+type Report struct {
+	// Diags holds every finding, module-level checks first, then
+	// function order; deterministic for a given module.
+	Diags []Diagnostic
+	// Efficiency maps each kernel (function not called from anywhere in
+	// the module) to its static SIMT-efficiency estimate in (0, 1].
+	Efficiency map[string]float64
+	// States holds the abstract interpreter's fixpoint per function.
+	States map[string]*FuncStates
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Diagnostic { return Filter(r.Diags, SeverityError) }
+
+// Analyze runs every check over m. It never fails: findings are
+// diagnostics, and a module too malformed to analyze (no functions, no
+// blocks) yields an empty report. The input is not modified beyond
+// Reindex.
+func Analyze(m *ir.Module, opts Options) *Report {
+	r := &Report{Efficiency: map[string]float64{}, States: map[string]*FuncStates{}}
+	if m == nil || len(m.Funcs) == 0 {
+		return r
+	}
+
+	called := calledFunctions(m)
+	entryWaits := dataflow.CalleeEntryWaits(m)
+	nb := dataflow.ModuleNumBarriers(m)
+	classed := opts.ClassOf != nil
+	classOf := opts.ClassOf
+	if classOf == nil {
+		classOf = func(int) BarrierClass { return ClassUser }
+	}
+
+	r.Diags = append(r.Diags, Pairing(m, opts.ClassOf)...)
+
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		f.Reindex()
+		info := cfg.New(f)
+		div := divergence.Analyze(m, f, info)
+
+		for _, b := range f.Blocks {
+			if !info.Reachable(b) {
+				r.Diags = append(r.Diags, Diagnostic{
+					Code: CodeUnreachableBlock, Severity: SeverityWarning,
+					Fn: f.Name, Block: b.Name, Msg: "unreachable block",
+				})
+			}
+		}
+		if !called[f.Name] {
+			r.Diags = append(r.Diags, uninitDiags(f, info)...)
+		}
+
+		r.Diags = append(r.Diags, exitPathDiags(f, info, nb, entryWaits, called, classOf, classed)...)
+		if classed {
+			r.Diags = append(r.Diags, rejoinDiags(f, info, classOf)...)
+			r.Diags = append(r.Diags, conflictDiags(f, info, div, nb, entryWaits, called, classOf)...)
+		}
+
+		st := Interp(f, info, div, nb, entryWaits, !called[f.Name])
+		r.States[f.Name] = st
+		r.Diags = append(r.Diags, waitNoteDiags(f, info, st)...)
+		r.Diags = append(r.Diags, deadJoinDiags(f, info, nb, entryWaits)...)
+	}
+
+	r.Efficiency = Efficiency(m)
+	if opts.EffNoteBelow > 0 {
+		kernels := make([]string, 0, len(r.Efficiency))
+		for name := range r.Efficiency {
+			kernels = append(kernels, name)
+		}
+		sort.Strings(kernels)
+		for _, name := range kernels {
+			if eff := r.Efficiency[name]; eff < opts.EffNoteBelow {
+				r.Diags = append(r.Diags, Diagnostic{
+					Code: CodeLowEfficiency, Severity: SeverityNote, Fn: name,
+					Msg: fmt.Sprintf("static SIMT-efficiency estimate %.0f%% is below %.0f%%", eff*100, opts.EffNoteBelow*100),
+					Fix: "a candidate for speculative reconvergence: annotate the divergent hot path with a Predict",
+				})
+			}
+		}
+	}
+	return r
+}
+
+// calledFunctions returns the set of functions invoked by OpCall
+// anywhere in the module. Their rets return to the caller; everything
+// else is a kernel whose rets/exits terminate the thread.
+func calledFunctions(m *ir.Module) map[string]bool {
+	called := map[string]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if in := &b.Instrs[i]; in.Op == ir.OpCall {
+					called[in.Callee] = true
+				}
+			}
+		}
+	}
+	return called
+}
+
+// Pairing checks module-level join/wait pairing. Barrier registers are
+// warp state shared across the whole call graph (the interprocedural
+// variant legitimately joins a barrier in a caller while waiting on it
+// at a callee's entry), so pairing is checked at module granularity.
+// classOf may be nil; the lost-wait rule for compiler-minted barriers
+// needs it and is skipped otherwise.
+func Pairing(m *ir.Module, classOf func(int) BarrierClass) []Diagnostic {
+	nb := dataflow.ModuleNumBarriers(m)
+	joins := make([]bool, nb)
+	waits := make([]bool, nb)
+	clears := make([]bool, nb) // wait or cancel
+	where := make([]string, nb)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if !in.Op.IsBarrierOp() || in.Bar >= nb {
+					continue
+				}
+				switch in.Op {
+				case ir.OpJoin:
+					joins[in.Bar] = true
+					where[in.Bar] = f.Name + "." + b.Name
+				case ir.OpWait, ir.OpWaitN:
+					waits[in.Bar] = true
+					clears[in.Bar] = true
+				case ir.OpCancel:
+					clears[in.Bar] = true
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	for bar := 0; bar < nb; bar++ {
+		if waits[bar] && !joins[bar] {
+			out = append(out, Diagnostic{
+				Code: CodeWaitNeverJoined, Severity: SeverityError, Fn: m.Name,
+				Msg: fmt.Sprintf("b%d is waited on but never joined (lost JoinBarrier)", bar),
+				Fix: fmt.Sprintf("join b%d before the wait, or delete the wait", bar),
+			})
+		}
+		if classOf != nil && joins[bar] && !waits[bar] && classOf(bar) != ClassUser {
+			out = append(out, Diagnostic{
+				Code: CodeLostWait, Severity: SeverityError, Fn: m.Name,
+				Msg: fmt.Sprintf("%s barrier b%d is joined but never waited (lost WaitBarrier; joined at %s)", classOf(bar), bar, where[bar]),
+			})
+		}
+		if joins[bar] && !clears[bar] {
+			out = append(out, Diagnostic{
+				Code: CodeJoinedNeverCleared, Severity: SeverityWarning, Fn: m.Name, Block: where[bar],
+				Msg: fmt.Sprintf("b%d is joined but never waited or cancelled", bar),
+				Fix: fmt.Sprintf("wait on b%d at the reconvergence point, or cancel it where lanes leave", bar),
+			})
+		}
+	}
+	return out
+}
+
+// uninitDiags reports registers that are live into the entry block:
+// some path reads them before any write. Called functions are exempt
+// (their low registers are parameters by convention).
+func uninitDiags(f *ir.Function, info *cfg.Info) []Diagnostic {
+	ints, floats := dataflow.RegLiveness(f, info)
+	entry := f.Entry().Index
+	var regs []string
+	ints.In[entry].ForEach(func(r int) {
+		regs = append(regs, fmt.Sprintf("r%d", r))
+	})
+	floats.In[entry].ForEach(func(r int) {
+		regs = append(regs, fmt.Sprintf("f%d", r))
+	})
+	if len(regs) == 0 {
+		return nil
+	}
+	sort.Strings(regs)
+	return []Diagnostic{{
+		Code: CodeUninitializedRead, Severity: SeverityWarning,
+		Fn: f.Name, Block: f.Entry().Name,
+		Msg: fmt.Sprintf("registers possibly read before written: %v", regs),
+	}}
+}
+
+// exitPathDiags reports barriers still joined at a thread-exiting
+// terminator on some path — the equation-1 joined set (cancels as
+// clears, calls clearing callee entry waits) must be empty wherever a
+// lane can leave the kernel.
+func exitPathDiags(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string][]int, called map[string]bool, classOf func(int) BarrierClass, classed bool) []Diagnostic {
+	var out []Diagnostic
+	at := dataflow.JoinedAtWithCalls(f, info, nb, entryWaits)
+	for _, b := range f.Blocks {
+		if !info.Reachable(b) || len(b.Instrs) == 0 {
+			continue
+		}
+		t := b.Terminator()
+		if t.Op != ir.OpExit && (t.Op != ir.OpRet || called[f.Name]) {
+			continue
+		}
+		at[b.Index][len(b.Instrs)-1].ForEach(func(bar int) {
+			msg := fmt.Sprintf("b%d may still be joined when threads exit here (no wait or cancel on some path)", bar)
+			if classed {
+				msg = fmt.Sprintf("%s barrier b%d may still be joined when threads exit (missing release on this path)", classOf(bar), bar)
+			}
+			out = append(out, Diagnostic{
+				Code: CodeJoinedAtExit, Severity: SeverityError,
+				Fn: f.Name, Block: b.Name, Instr: len(b.Instrs),
+				Msg: msg,
+				Fix: fmt.Sprintf("cancel b%d before the terminator of %q", bar, b.Name),
+			})
+		})
+	}
+	return out
+}
+
+// rejoinDiags checks the Figure 4(d) wait+rejoin discipline: a wait on
+// a speculative barrier inside a cycle — i.e. the wait can execute
+// again — must be immediately followed by a rejoin of the same barrier,
+// or later iterations' arrivals have no participants to converge with.
+func rejoinDiags(f *ir.Function, info *cfg.Info, classOf func(int) BarrierClass) []Diagnostic {
+	var out []Diagnostic
+	for _, b := range f.Blocks {
+		if !info.Reachable(b) {
+			continue
+		}
+		var onCycle, cycleKnown bool
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if (in.Op != ir.OpWait && in.Op != ir.OpWaitN) || classOf(in.Bar) != ClassSpec {
+				continue
+			}
+			if !cycleKnown {
+				reach := cfg.CanReach(f, info, b)
+				for _, s := range b.Succs {
+					if reach[s.Index] {
+						onCycle = true
+						break
+					}
+				}
+				cycleKnown = true
+			}
+			if !onCycle {
+				continue
+			}
+			if i+1 >= len(b.Instrs) || b.Instrs[i+1].Op != ir.OpJoin || b.Instrs[i+1].Bar != in.Bar {
+				out = append(out, Diagnostic{
+					Code: CodeLostRejoin, Severity: SeverityError,
+					Fn: f.Name, Block: b.Name, Instr: i + 1,
+					Msg: fmt.Sprintf("speculative barrier b%d waits on a looping path without an immediate rejoin (lost RejoinBarrier)", in.Bar),
+					Fix: fmt.Sprintf("insert join b%d immediately after the wait", in.Bar),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// conflictDiags re-runs the §4.3 conflict analysis against f's
+// speculative and region-exit barriers. After deconfliction no conflict
+// may remain; any that does deadlocks the warp at runtime, each cohort
+// blocked at its wait while still holding the other's barrier joined.
+// Interprocedural (ClassSpecCall) barriers are excluded, as in the
+// deconflict pass.
+func conflictDiags(f *ir.Function, info *cfg.Info, div *divergence.Info, nb int, entryWaits map[string][]int, called map[string]bool, classOf func(int) BarrierClass) []Diagnostic {
+	specBars := map[int]bool{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if !in.Op.IsBarrierOp() {
+				continue
+			}
+			if c := classOf(in.Bar); c == ClassSpec || c == ClassExit {
+				specBars[in.Bar] = true
+			}
+		}
+	}
+	if len(specBars) == 0 {
+		return nil
+	}
+	conflicts := dataflow.FindConflicts(f, specBars)
+	if len(conflicts) == 0 {
+		return nil
+	}
+
+	// Phrase the deadlock with the interpreter: at the speculative
+	// wait, the conflicting barrier is still joined on some path.
+	st := Interp(f, info, div, nb, entryWaits, !called[f.Name])
+	stillJoinedAtWait := func(spec, other int) string {
+		for _, b := range f.Blocks {
+			var found string
+			st.ForEachInstr(b, func(i int, pre []BarState) {
+				in := &b.Instrs[i]
+				if found == "" && (in.Op == ir.OpWait || in.Op == ir.OpWaitN) && in.Bar == spec &&
+					other < len(pre) && pre[other].Has(StateJoined) {
+					found = b.Name
+				}
+			})
+			if found != "" {
+				return found
+			}
+		}
+		return ""
+	}
+
+	var out []Diagnostic
+	specs := make([]int, 0, len(conflicts))
+	for spec := range conflicts {
+		specs = append(specs, spec)
+	}
+	sort.Ints(specs)
+	for _, spec := range specs {
+		others := make([]int, 0, len(conflicts[spec]))
+		for other := range conflicts[spec] {
+			others = append(others, other)
+		}
+		sort.Ints(others)
+		for _, other := range others {
+			fix := ""
+			if blk := stillJoinedAtWait(spec, other); blk != "" {
+				fix = fmt.Sprintf("b%d is waiting at %q while b%d is still joined: cancel b%d before that wait (dynamic deconfliction)", spec, blk, other, other)
+			}
+			out = append(out, Diagnostic{
+				Code: CodeResidualConflict, Severity: SeverityError, Fn: f.Name,
+				Msg: fmt.Sprintf("residual live-range conflict between b%d and b%d after deconfliction (would deadlock, §4.3)", spec, other),
+				Fix: fix,
+			})
+		}
+	}
+	return out
+}
+
+// waitNoteDiags emits the empty-cohort note: a reachable wait whose
+// barrier no path into it holds joined. The wait releases immediately —
+// harmless at runtime, but the synchronization the wait was supposed to
+// provide does not happen, so it is worth a note even when module-level
+// pairing is satisfied (the join may sit on a dead path).
+func waitNoteDiags(f *ir.Function, info *cfg.Info, st *FuncStates) []Diagnostic {
+	var out []Diagnostic
+	for _, b := range f.Blocks {
+		if !info.Reachable(b) {
+			continue
+		}
+		st.ForEachInstr(b, func(i int, pre []BarState) {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpWait && in.Op != ir.OpWaitN {
+				return
+			}
+			if in.Bar >= st.NB || pre[in.Bar].Has(StateJoined) {
+				return
+			}
+			out = append(out, Diagnostic{
+				Code: CodeEmptyCohortWait, Severity: SeverityNote,
+				Fn: f.Name, Block: b.Name, Instr: i + 1,
+				Msg: fmt.Sprintf("no path into this wait joins b%d (abstract state: %s): the wait releases an empty cohort", in.Bar, pre[in.Bar]),
+			})
+		})
+	}
+	return out
+}
+
+// deadJoinDiags emits the dead-join note: a join after which no path
+// releases the barrier — no wait, no cancel, no call whose callee entry
+// waits on it. Solved as a backward may-analysis on the equation-2
+// solver with the release set extended to cancels and calls.
+func deadJoinDiags(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string][]int) []Diagnostic {
+	release := func(set dataflow.Bits, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpWait, ir.OpWaitN, ir.OpCancel:
+			if in.Bar < nb {
+				set.Set(in.Bar)
+			}
+		case ir.OpCall:
+			for _, bar := range entryWaits[in.Callee] {
+				if bar < nb {
+					set.Set(bar)
+				}
+			}
+		}
+	}
+	res := dataflow.Solve(f, info, dataflow.Problem{
+		Dir:     dataflow.Backward,
+		NumBits: nb,
+		Gen: func(b *ir.Block) dataflow.Bits {
+			gen := dataflow.NewBits(nb)
+			for i := range b.Instrs {
+				release(gen, &b.Instrs[i])
+			}
+			return gen
+		},
+		Kill: func(b *ir.Block) dataflow.Bits {
+			return dataflow.NewBits(nb)
+		},
+	})
+
+	var out []Diagnostic
+	for _, b := range f.Blocks {
+		if !info.Reachable(b) {
+			continue
+		}
+		// ahead[i] = releases on some path strictly after instruction i.
+		ahead := res.Out[b.Index].Clone()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpJoin && in.Bar < nb && !ahead.Has(in.Bar) {
+				out = append(out, Diagnostic{
+					Code: CodeDeadJoin, Severity: SeverityNote,
+					Fn: f.Name, Block: b.Name, Instr: i + 1,
+					Msg: fmt.Sprintf("join of b%d is never released on any path ahead (participation leaks until thread exit)", in.Bar),
+				})
+			}
+			release(ahead, in)
+		}
+	}
+	// Emission above runs bottom-up per block; restore top-down order.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return false
+		}
+		return out[i].Instr < out[j].Instr
+	})
+	return out
+}

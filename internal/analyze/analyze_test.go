@@ -1,0 +1,403 @@
+package analyze_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"specrecon/internal/analyze"
+	"specrecon/internal/core"
+	"specrecon/internal/corpus"
+	"specrecon/internal/diffcheck"
+	"specrecon/internal/ir"
+	"specrecon/internal/workloads"
+)
+
+// codesOf reduces diagnostics to their sorted distinct code set.
+func codesOf(diags []analyze.Diagnostic) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range diags {
+		if !seen[string(d.Code)] {
+			seen[string(d.Code)] = true
+			out = append(out, string(d.Code))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFaultMatrixDiagnosticCodes pins the analyzer's detection surface
+// over the full barrier fault-injection matrix: every statically-visible
+// fault must be rejected by the safety verifier with exactly the
+// expected diagnostic codes — no misses, no surprise extras, no code
+// drift. skip-release lives below the compiler (a simulator fault on an
+// unfaulted build), so it must stay statically clean.
+func TestFaultMatrixDiagnosticCodes(t *testing.T) {
+	want := map[string][]string{
+		"drop-cancel@1":   {string(analyze.CodeResidualConflict)},
+		"drop-cancel@2":   {string(analyze.CodeJoinedAtExit), string(analyze.CodeResidualConflict)},
+		"drop-wait@1":     {string(analyze.CodeLostWait)},
+		"drop-join@1":     {string(analyze.CodeWaitNeverJoined)},
+		"drop-rejoin@1":   {string(analyze.CodeLostRejoin)},
+		"swap-waits":      {string(analyze.CodeJoinedAtExit), string(analyze.CodeLostRejoin), string(analyze.CodeResidualConflict)},
+		"skip-conflict@1": {string(analyze.CodeResidualConflict)},
+		"skip-release@1":  nil,
+	}
+	k := diffcheck.MatrixKernel()
+	for _, f := range diffcheck.FaultMatrix() {
+		expect, ok := want[f.Name]
+		if !ok {
+			t.Errorf("fault %s not covered by the expected-code table; extend it", f.Name)
+			continue
+		}
+		if f.SkipReleaseN > 0 {
+			if len(expect) != 0 {
+				t.Fatalf("fault %s is simulator-level but expects static codes %v", f.Name, expect)
+			}
+			continue
+		}
+		opts := core.SpecReconOptions()
+		opts.Faults = f.Plan
+		_, err := core.CompilePipeline(k.Module, opts, core.SafePipelineFor(opts))
+		if f.WantStatic && err == nil {
+			t.Errorf("%s: verifier accepted a build it must reject", f.Name)
+			continue
+		}
+		var got []string
+		if err != nil {
+			var se *core.SafetyError
+			if !errors.As(err, &se) {
+				t.Errorf("%s: compile failed with a non-safety error: %v", f.Name, err)
+				continue
+			}
+			got = codesOf(se.Violations)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(expect) {
+			t.Errorf("%s: diagnostic codes = %v, want %v", f.Name, got, expect)
+		}
+	}
+}
+
+// TestWorkloadsErrorFree is half of the false-positive budget: every
+// bundled paper workload must vet clean of error-severity diagnostics,
+// both raw (no barrier provenance) and compiled through its own
+// speculative or baseline pipeline with the analyze pass attached.
+func TestWorkloadsErrorFree(t *testing.T) {
+	for _, w := range workloads.All() {
+		inst := w.Build(workloads.BuildConfig{})
+
+		rep := analyze.Analyze(inst.Module, analyze.Options{})
+		if errs := rep.Errors(); len(errs) > 0 {
+			t.Errorf("%s (raw): %d error diagnostics, first: %s", w.Name, len(errs), errs[0])
+		}
+
+		opts := core.BaselineOptions()
+		if w.Annotated {
+			opts = core.SpecReconOptions()
+		}
+		comp, err := core.Diagnose(inst.Module.Clone(), opts)
+		if err != nil {
+			t.Errorf("%s (compiled): %v", w.Name, err)
+			continue
+		}
+		if errs := analyze.Filter(comp.Diagnostics, analyze.SeverityError); len(errs) > 0 {
+			t.Errorf("%s (compiled): %d error diagnostics, first: %s", w.Name, len(errs), errs[0])
+		}
+		if _, ok := comp.StaticEff[inst.Kernel]; !ok {
+			t.Errorf("%s: analyze pass produced no static-efficiency entry for kernel %s", w.Name, inst.Kernel)
+		}
+	}
+}
+
+// TestCorpusErrorFree is the other half: the 500-kernel synthetic smoke
+// corpus (the seed sasmvet's -corpus mode and `make vet-corpus` use)
+// must produce zero error-severity diagnostics — the generator only
+// emits protocol-respecting modules, so any error is a false positive.
+func TestCorpusErrorFree(t *testing.T) {
+	apps := corpus.Generate(500, 42)
+	for _, app := range apps {
+		rep := analyze.Analyze(app.Module, analyze.Options{})
+		if errs := rep.Errors(); len(errs) > 0 {
+			t.Errorf("%s: %d error diagnostics, first: %s", app.Name, len(errs), errs[0])
+		}
+	}
+}
+
+// TestPairingDiagnostics covers the module-level pairing checks on
+// hand-built modules: a wait with no join anywhere (SR1001), and a join
+// never waited or cancelled (SR2003 unclassed, SR1003 when the barrier
+// class says a wait was mandatory).
+func TestPairingDiagnostics(t *testing.T) {
+	waitOnly := func() *ir.Module {
+		m := ir.NewModule("waitonly")
+		f := m.NewFunction("k")
+		b := ir.NewBuilder(f)
+		b.SetBlock(f.NewBlock("entry"))
+		bar := b.Barrier()
+		b.Wait(bar)
+		b.Exit()
+		return m
+	}
+	diags := analyze.Pairing(waitOnly(), nil)
+	if got := codesOf(diags); fmt.Sprint(got) != fmt.Sprint([]string{string(analyze.CodeWaitNeverJoined)}) {
+		t.Errorf("wait-only module: codes %v, want [SR1001]", got)
+	}
+
+	joinOnly := func() *ir.Module {
+		m := ir.NewModule("joinonly")
+		f := m.NewFunction("k")
+		b := ir.NewBuilder(f)
+		b.SetBlock(f.NewBlock("entry"))
+		bar := b.Barrier()
+		b.Join(bar)
+		b.Exit()
+		return m
+	}
+	diags = analyze.Pairing(joinOnly(), nil)
+	if got := codesOf(diags); fmt.Sprint(got) != fmt.Sprint([]string{string(analyze.CodeJoinedNeverCleared)}) {
+		t.Errorf("join-only module unclassed: codes %v, want [SR2003]", got)
+	}
+	specClass := func(int) analyze.BarrierClass { return analyze.ClassSpec }
+	diags = analyze.Pairing(joinOnly(), specClass)
+	got := codesOf(diags)
+	if !strings.Contains(fmt.Sprint(got), string(analyze.CodeLostWait)) {
+		t.Errorf("join-only module with spec class: codes %v, want SR1003 present", got)
+	}
+}
+
+// TestJoinedAtExit exercises the abstract interpreter's core deadlock
+// check: a path that joins a barrier and exits without ever releasing
+// it must yield SR1002 as an error.
+func TestJoinedAtExit(t *testing.T) {
+	m := ir.NewModule("leak")
+	f := m.NewFunction("k")
+	b := ir.NewBuilder(f)
+	entry := f.NewBlock("entry")
+	clean := f.NewBlock("clean")
+	leak := f.NewBlock("leak")
+	b.SetBlock(entry)
+	bar := b.Barrier()
+	b.Join(bar)
+	cond := b.SetLT(b.Tid(), b.Const(16))
+	b.CBr(cond, clean, leak)
+	b.SetBlock(clean)
+	b.Wait(bar)
+	b.Exit()
+	b.SetBlock(leak)
+	b.Exit() // joined, never released on this path
+	rep := analyze.Analyze(m, analyze.Options{})
+	errs := rep.Errors()
+	if got := codesOf(errs); fmt.Sprint(got) != fmt.Sprint([]string{string(analyze.CodeJoinedAtExit)}) {
+		t.Fatalf("leaky exit: error codes %v, want [SR1002]", got)
+	}
+	if errs[0].Fn != "k" || errs[0].Block != "leak" {
+		t.Errorf("SR1002 at %s.%s, want k.leak", errs[0].Fn, errs[0].Block)
+	}
+}
+
+// TestNotes covers the advisory tier: a wait no path joins (SR3001), a
+// join no path ever waits on reaching exit-released state... and the
+// dead-join check (SR3002) for a join whose barrier is never awaited
+// downstream, plus the low-efficiency note (SR3003) gated by
+// EffNoteBelow.
+func TestNotes(t *testing.T) {
+	m := ir.NewModule("notes")
+	f := m.NewFunction("k")
+	b := ir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	bar := b.Barrier()
+	b.Wait(bar) // nothing joined: empty-cohort wait
+	b.Exit()
+	rep := analyze.Analyze(m, analyze.Options{})
+	found := false
+	for _, d := range rep.Diags {
+		if d.Code == analyze.CodeEmptyCohortWait {
+			found = true
+			if d.Severity != analyze.SeverityNote {
+				t.Errorf("SR3001 severity %s, want note", d.Severity)
+			}
+		}
+	}
+	// The wait also trips SR1001 (never joined anywhere) — both should
+	// coexist: the pairing error and the per-path note describe
+	// different repairs.
+	if !found {
+		t.Errorf("no SR3001 note for an unjoined wait; diags: %v", rep.Diags)
+	}
+
+	m2 := ir.NewModule("deadjoin")
+	f2 := m2.NewFunction("k")
+	b2 := ir.NewBuilder(f2)
+	b2.SetBlock(f2.NewBlock("entry"))
+	bar2 := b2.Barrier()
+	b2.Join(bar2) // no wait, cancel, or waiting callee on any path ahead
+	b2.Exit()
+	rep2 := analyze.Analyze(m2, analyze.Options{})
+	foundDead := false
+	for _, d := range rep2.Diags {
+		if d.Code == analyze.CodeDeadJoin {
+			foundDead = true
+		}
+	}
+	if !foundDead {
+		t.Errorf("no SR3002 note for a join with no reachable wait; diags: %v", rep2.Diags)
+	}
+
+	// Low-efficiency note: a divergent branch with a long expensive side
+	// pushes the estimate below 1; ask for notes below 1.0 and one must
+	// appear for the kernel.
+	m3 := ir.NewModule("loweff")
+	f3 := m3.NewFunction("k")
+	b3 := ir.NewBuilder(f3)
+	e3 := f3.NewBlock("entry")
+	hot := f3.NewBlock("hot")
+	join := f3.NewBlock("join")
+	b3.SetBlock(e3)
+	r := b3.FRand()
+	take := b3.FSetLTI(r, 0.1)
+	b3.CBr(take, hot, join)
+	b3.SetBlock(hot)
+	x := b3.FConst(1)
+	for i := 0; i < 20; i++ {
+		x = b3.FSqrt(x)
+	}
+	b3.Br(join)
+	b3.SetBlock(join)
+	b3.Exit()
+	rep3 := analyze.Analyze(m3, analyze.Options{EffNoteBelow: 1.0})
+	foundEff := false
+	for _, d := range rep3.Diags {
+		if d.Code == analyze.CodeLowEfficiency && d.Fn == "k" {
+			foundEff = true
+		}
+	}
+	if !foundEff {
+		t.Errorf("no SR3003 note for a divergent kernel with EffNoteBelow=1; diags: %v", rep3.Diags)
+	}
+	if eff := rep3.Efficiency["k"]; eff >= 1 || eff <= 0 {
+		t.Errorf("divergent kernel efficiency %v, want in (0, 1)", eff)
+	}
+}
+
+// TestWarnings covers the warning tier on hand-built functions:
+// unreachable blocks (SR2002) and possibly-uninitialized reads (SR2001).
+func TestWarnings(t *testing.T) {
+	m := ir.NewModule("warn")
+	f := m.NewFunction("k")
+	b := ir.NewBuilder(f)
+	entry := f.NewBlock("entry")
+	island := f.NewBlock("island")
+	b.SetBlock(entry)
+	b.Exit()
+	b.SetBlock(island) // no predecessors
+	b.Exit()
+	rep := analyze.Analyze(m, analyze.Options{})
+	foundUnreach := false
+	for _, d := range rep.Diags {
+		if d.Code == analyze.CodeUnreachableBlock && d.Block == "island" {
+			foundUnreach = true
+		}
+	}
+	if !foundUnreach {
+		t.Errorf("no SR2002 for unreachable block; diags: %v", rep.Diags)
+	}
+
+	m2 := ir.NewModule("uninit")
+	f2 := m2.NewFunction("k")
+	b2 := ir.NewBuilder(f2)
+	b2.SetBlock(f2.NewBlock("entry"))
+	x := b2.Reg()      // never written
+	y := b2.AddI(x, 1) // read-before-write
+	b2.Store(y, 0, y)
+	b2.Exit()
+	rep2 := analyze.Analyze(m2, analyze.Options{})
+	foundUninit := false
+	for _, d := range rep2.Diags {
+		if d.Code == analyze.CodeUninitializedRead {
+			foundUninit = true
+			if d.Severity != analyze.SeverityWarning {
+				t.Errorf("SR2001 severity %s, want warning", d.Severity)
+			}
+		}
+	}
+	if !foundUninit {
+		t.Errorf("no SR2001 for read-before-write; diags: %v", rep2.Diags)
+	}
+}
+
+// TestEfficiencyModel pins the estimator's arithmetic on two
+// hand-computable kernels.
+func TestEfficiencyModel(t *testing.T) {
+	// Straight-line code: no divergence, efficiency exactly 1.
+	m := ir.NewModule("straight")
+	f := m.NewFunction("k")
+	b := ir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	tid := b.Tid()
+	b.Store(tid, 0, b.AddI(tid, 1))
+	b.Exit()
+	if eff := analyze.Efficiency(m)["k"]; eff != 1 {
+		t.Errorf("straight-line kernel efficiency %v, want exactly 1", eff)
+	}
+
+	// One divergent branch, probability p = 0.25, with the expensive side
+	// exclusive to the taken edge:
+	//
+	//	entry(c_e) → {hot(c_h, lanes .25), cold(c_c, lanes .75)} → done(c_d)
+	//
+	// eff = (c_e + .25·c_h + .75·c_c + c_d) / (c_e + c_h + c_c + c_d)
+	// computed below from the same opcode latencies the estimator uses.
+	m2 := ir.NewModule("split")
+	f2 := m2.NewFunction("k")
+	b2 := ir.NewBuilder(f2)
+	entry := f2.NewBlock("entry")
+	hot := f2.NewBlock("hot")
+	cold := f2.NewBlock("cold")
+	done := f2.NewBlock("done")
+	b2.SetBlock(entry)
+	r := b2.FRand()
+	cond := b2.FSetLTI(r, 0.25)
+	b2.CBr(cond, hot, cold)
+	b2.SetBlock(hot)
+	x := b2.FConst(2)
+	for i := 0; i < 8; i++ {
+		x = b2.FSqrt(x)
+	}
+	b2.Br(done)
+	b2.SetBlock(cold)
+	b2.Br(done)
+	b2.SetBlock(done)
+	b2.Exit()
+
+	cost := func(blk *ir.Block) float64 {
+		var c float64
+		for i := range blk.Instrs {
+			c += float64(blk.Instrs[i].Op.Latency())
+		}
+		return c
+	}
+	ce, ch, cc, cd := cost(entry), cost(hot), cost(cold), cost(done)
+	want := (ce + 0.25*ch + 0.75*cc + cd) / (ce + ch + cc + cd)
+	got := analyze.Efficiency(m2)["k"]
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("split kernel efficiency %v, want %v", got, want)
+	}
+}
+
+// TestAnalyzeUnclassedMatchesVerifierChecks pins the back-compat
+// contract of the migration: on a module with no barrier provenance,
+// the analyzer's error set is exactly the old verifier's two
+// provenance-free checks — SR1001 and SR1002.
+func TestAnalyzeUnclassedMatchesVerifierChecks(t *testing.T) {
+	for _, w := range workloads.All() {
+		inst := w.Build(workloads.BuildConfig{})
+		for _, d := range analyze.Analyze(inst.Module, analyze.Options{}).Errors() {
+			if d.Code != analyze.CodeWaitNeverJoined && d.Code != analyze.CodeJoinedAtExit {
+				t.Errorf("%s: unclassed analysis produced class-gated error %s", w.Name, d.Code)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 emission. One run per invocation; every diagnostic code
+// that appears becomes a reportingDescriptor (rule), every diagnostic a
+// result pointing at the function/block via a logical location. The
+// output is deterministic for a given diagnostic slice: struct-driven
+// JSON with rules in code order and results in input order.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId,omitempty"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	LogicalLocations []sarifLogicalLocation `json:"logicalLocations"`
+}
+
+type sarifLogicalLocation struct {
+	// FullyQualifiedName is "fn.block" (or just "fn"); Index, when
+	// positive, is the 1-based instruction index within the block.
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+	Kind               string `json:"kind"`
+	Index              int    `json:"index,omitempty"`
+}
+
+type sarifFix struct {
+	Description sarifMessage `json:"description"`
+}
+
+// sarifLevel maps Severity onto the SARIF level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SeverityError:
+		return "error"
+	case SeverityWarning:
+		return "warning"
+	}
+	return "note"
+}
+
+// WriteSARIF writes diags as a SARIF 2.1.0 log. toolName names the
+// driver ("sasmvet"); pass "" for the default.
+func WriteSARIF(w io.Writer, toolName string, diags []Diagnostic) error {
+	if toolName == "" {
+		toolName = "sasmvet"
+	}
+
+	used := map[Code]bool{}
+	for _, d := range diags {
+		if d.Code != "" {
+			used[d.Code] = true
+		}
+	}
+	var rules []sarifRule
+	for _, ci := range Codes() {
+		if !used[ci.Code] {
+			continue
+		}
+		rules = append(rules, sarifRule{
+			ID:               string(ci.Code),
+			ShortDescription: sarifMessage{Text: ci.Title},
+			DefaultConfig:    sarifConfig{Level: sarifLevel(ci.Severity)},
+		})
+		delete(used, ci.Code)
+	}
+	// Codes outside the registry (legacy free-form diagnostics carry
+	// none; third-party ones may) still need a rule entry.
+	if len(used) > 0 {
+		extra := make([]Code, 0, len(used))
+		for c := range used {
+			extra = append(extra, c)
+		}
+		sortCodes(extra)
+		for _, c := range extra {
+			ci := InfoFor(c)
+			rules = append(rules, sarifRule{
+				ID:               string(ci.Code),
+				ShortDescription: sarifMessage{Text: ci.Title},
+				DefaultConfig:    sarifConfig{Level: sarifLevel(ci.Severity)},
+			})
+		}
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  string(d.Code),
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Msg},
+		}
+		if name, kind := logicalName(d); name != "" {
+			res.Locations = []sarifLocation{{
+				LogicalLocations: []sarifLogicalLocation{{
+					FullyQualifiedName: name,
+					Kind:               kind,
+					Index:              d.Instr,
+				}},
+			}}
+		}
+		if d.Fix != "" {
+			res.Fixes = []sarifFix{{Description: sarifMessage{Text: d.Fix}}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: toolName, InformationURI: "https://dl.acm.org/doi/10.1145/3368826.3377911", Rules: rules}},
+			Results: results,
+		}},
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&log); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func logicalName(d Diagnostic) (name, kind string) {
+	switch {
+	case d.Fn != "" && d.Block != "":
+		return d.Fn + "." + d.Block, "block"
+	case d.Fn != "":
+		return d.Fn, "function"
+	case d.Block != "":
+		return d.Block, "block"
+	}
+	return "", ""
+}
+
+func sortCodes(cs []Code) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

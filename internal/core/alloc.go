@@ -85,15 +85,15 @@ func (c *PassContext) allocateBarriers() error {
 	for _, f := range c.Mod.Funcs {
 		f.Reindex()
 		info := cfg.New(f)
-		intervals, fp := joinedIntervals(f, info)
+		intervals, fp := dataflow.JoinedIntervals(f, info)
 
 		// Union point sets per barrier for interference within f.
 		ranges := make(map[int]dataflow.Bits)
 		for _, iv := range intervals {
-			if r, ok := ranges[iv.bar]; ok {
-				r.UnionWith(iv.points)
+			if r, ok := ranges[iv.Bar]; ok {
+				r.UnionWith(iv.Points)
 			} else {
-				ranges[iv.bar] = iv.points.Clone()
+				ranges[iv.Bar] = iv.Points.Clone()
 			}
 		}
 		bars := make([]int, 0, len(ranges))
@@ -117,7 +117,7 @@ func (c *PassContext) allocateBarriers() error {
 				if in.Op != ir.OpCall {
 					continue
 				}
-				pt := fp.id(blk.Index, i)
+				pt := fp.ID(blk.Index, i)
 				for b, r := range ranges {
 					if !r.Has(pt) {
 						continue

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"specrecon/internal/cfg"
 	"specrecon/internal/dataflow"
 	"specrecon/internal/ir"
 )
@@ -40,200 +39,16 @@ func init() {
 	})
 }
 
-// Conflict analysis, paper section 4.3. "A barrier live range extends
-// from the moment threads join the barrier until the barrier is cleared
-// either by waiting or exiting threads. ... Two barriers are said to be
-// conflicting if their live ranges overlap in a non-inclusive manner,
-// i.e. neither one is a complete subset of the other."
-//
-// We compute, at instruction granularity, the set of program points at
-// which each barrier is joined-and-not-yet-cleared (the joined-barrier
-// analysis of equation 1 with cancels included as clears, refined within
-// blocks), split each barrier's point set into connected live intervals
-// (Figure 5 reasons about b0's two separate intervals, not their union),
-// and flag interval pairs that overlap without one containing the other.
-
-// funcPoints flattens a function's instruction positions into dense ids.
-type funcPoints struct {
-	f      *ir.Function
-	offset []int // offset[b] = first point id of block b
-	total  int
-}
-
-func newFuncPoints(f *ir.Function) *funcPoints {
-	fp := &funcPoints{f: f, offset: make([]int, len(f.Blocks))}
-	n := 0
-	for i, b := range f.Blocks {
-		fp.offset[i] = n
-		n += len(b.Instrs)
-	}
-	fp.total = n
-	return fp
-}
-
-func (fp *funcPoints) id(block, instr int) int { return fp.offset[block] + instr }
-
-// interval is one connected component of a barrier's joined range.
-type interval struct {
-	bar    int
-	points dataflow.Bits // over funcPoints ids
-}
-
-// joinedIntervals computes the live intervals of every barrier in f.
-func joinedIntervals(f *ir.Function, info *cfg.Info) ([]interval, *funcPoints) {
-	fp := newFuncPoints(f)
-	res := dataflow.JoinedBarriers(f, info, true)
-	at := dataflow.JoinedAt(f, res, true)
-
-	nb := dataflow.NumBarriers(f)
-	joined := make([]dataflow.Bits, nb)
-	for b := 0; b < nb; b++ {
-		joined[b] = dataflow.NewBits(fp.total)
-	}
-	for _, blk := range f.Blocks {
-		for i := range blk.Instrs {
-			rows := at[blk.Index]
-			rows[i].ForEach(func(b int) {
-				joined[b].Set(fp.id(blk.Index, i))
-			})
-		}
-	}
-
-	var intervals []interval
-	for b := 0; b < nb; b++ {
-		if joined[b].Count() == 0 {
-			continue
-		}
-		intervals = append(intervals, splitComponents(f, fp, b, joined[b])...)
-	}
-	return intervals, fp
-}
-
-// splitComponents partitions one barrier's joined points into connected
-// components. Adjacency follows execution order: consecutive
-// instructions within a block, and a block's final point to each
-// successor's first point.
-func splitComponents(f *ir.Function, fp *funcPoints, bar int, pts dataflow.Bits) []interval {
-	visited := dataflow.NewBits(fp.total)
-	var out []interval
-
-	// neighbors enumerates execution-order adjacency in both directions.
-	preds := make([][]*ir.Block, len(f.Blocks))
-	for _, b := range f.Blocks {
-		for _, s := range b.Succs {
-			preds[s.Index] = append(preds[s.Index], b)
-		}
-	}
-	neighbors := func(p int, visit func(int)) {
-		// Locate the block containing p.
-		blk := 0
-		for blk+1 < len(fp.offset) && fp.offset[blk+1] <= p {
-			blk++
-		}
-		idx := p - fp.offset[blk]
-		b := f.Blocks[blk]
-		if idx+1 < len(b.Instrs) {
-			visit(fp.id(blk, idx+1))
-		} else {
-			for _, s := range b.Succs {
-				if len(s.Instrs) > 0 {
-					visit(fp.id(s.Index, 0))
-				}
-			}
-		}
-		if idx > 0 {
-			visit(fp.id(blk, idx-1))
-		} else {
-			for _, pb := range preds[blk] {
-				if len(pb.Instrs) > 0 {
-					visit(fp.id(pb.Index, len(pb.Instrs)-1))
-				}
-			}
-		}
-	}
-
-	pts.ForEach(func(start int) {
-		if visited.Has(start) {
-			return
-		}
-		comp := dataflow.NewBits(fp.total)
-		stack := []int{start}
-		for len(stack) > 0 {
-			p := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if visited.Has(p) || !pts.Has(p) {
-				continue
-			}
-			visited.Set(p)
-			comp.Set(p)
-			neighbors(p, func(q int) {
-				if pts.Has(q) && !visited.Has(q) {
-					stack = append(stack, q)
-				}
-			})
-		}
-		out = append(out, interval{bar: bar, points: comp})
-	})
-	return out
-}
+// Conflict analysis, paper section 4.3: barrier live intervals overlap
+// in a non-inclusive manner. The interval machinery (equation 1 with
+// cancels as clears, refined within blocks and split into connected
+// components) lives in internal/dataflow so the static analyzer and the
+// allocator share it; this file keeps the pass that consumes it.
 
 // findConflicts returns the conflicting barrier pairs in f where one side
-// is one of the given speculative barriers. The result maps each
-// speculative barrier to the set of barriers it conflicts with.
+// is one of the given speculative barriers (dataflow.FindConflicts).
 func findConflicts(f *ir.Function, specBars map[int]bool) map[int]map[int]bool {
-	f.Reindex()
-	info := cfg.New(f)
-	intervals, _ := joinedIntervals(f, info)
-
-	conflicts := make(map[int]map[int]bool)
-	for i := 0; i < len(intervals); i++ {
-		for j := i + 1; j < len(intervals); j++ {
-			a, b := intervals[i], intervals[j]
-			if a.bar == b.bar {
-				continue
-			}
-			aSpec, bSpec := specBars[a.bar], specBars[b.bar]
-			if !aSpec && !bSpec {
-				continue
-			}
-			if !overlapNonInclusive(a.points, b.points) {
-				continue
-			}
-			if aSpec {
-				addConflict(conflicts, a.bar, b.bar)
-			}
-			if bSpec {
-				addConflict(conflicts, b.bar, a.bar)
-			}
-		}
-	}
-	return conflicts
-}
-
-func addConflict(m map[int]map[int]bool, spec, other int) {
-	if m[spec] == nil {
-		m[spec] = make(map[int]bool)
-	}
-	m[spec][other] = true
-}
-
-// overlapNonInclusive reports whether the two point sets intersect with
-// neither containing the other.
-func overlapNonInclusive(a, b dataflow.Bits) bool {
-	anyInter := false
-	aInB, bInA := true, true
-	for i := range a {
-		if a[i]&b[i] != 0 {
-			anyInter = true
-		}
-		if a[i]&^b[i] != 0 {
-			aInB = false
-		}
-		if b[i]&^a[i] != 0 {
-			bInA = false
-		}
-	}
-	return anyInter && !aInB && !bInA
+	return dataflow.FindConflicts(f, specBars)
 }
 
 // deconflict finds conflicts against the speculative (and region-exit)

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"specrecon/internal/analyze"
 	"specrecon/internal/cfg"
 	"specrecon/internal/divergence"
 	"specrecon/internal/ir"
@@ -185,6 +186,13 @@ type Compilation struct {
 	PassStats []PassStat
 	// Remarks is the optimization-remarks stream every pass wrote to.
 	Remarks []Remark
+	// Diagnostics is the static analyzer's full report over the compiled
+	// module — errors, warnings and notes — populated by the
+	// "barrier-safety" and "analyze" passes (nil when neither ran).
+	Diagnostics []analyze.Diagnostic
+	// StaticEff maps each kernel to its static SIMT-efficiency estimate,
+	// populated alongside Diagnostics.
+	StaticEff map[string]float64
 	// CompileTime is the total wall time of the compilation, including
 	// verification and cloning around the pass pipeline.
 	CompileTime time.Duration

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"specrecon/internal/dataflow"
 	"specrecon/internal/ir"
 	"specrecon/internal/simt"
 )
@@ -140,8 +141,8 @@ func TestOverlapNonInclusive(t *testing.T) {
 		{mk(70, 71), mk(71, 5), true},     // across words
 	}
 	for i, tc := range cases {
-		if got := overlapNonInclusive(tc.a, tc.b); got != tc.want {
-			t.Errorf("case %d: overlapNonInclusive = %v, want %v", i, got, tc.want)
+		if got := dataflow.OverlapNonInclusive(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: OverlapNonInclusive = %v, want %v", i, got, tc.want)
 		}
 	}
 }
@@ -157,15 +158,15 @@ func TestJoinedRangeGapAtWait(t *testing.T) {
 	b0 := barriersByKind(comp, KindSpec)[0]
 	f.Reindex()
 	info := cfgNew(t, f)
-	intervals, fp := joinedIntervals(f, info)
+	intervals, fp := dataflow.JoinedIntervals(f, info)
 
 	// Union the spec barrier's intervals.
-	var pts []bool = make([]bool, fp.total)
+	var pts []bool = make([]bool, fp.Total)
 	for _, iv := range intervals {
-		if iv.bar != b0 {
+		if iv.Bar != b0 {
 			continue
 		}
-		iv.points.ForEach(func(p int) { pts[p] = true })
+		iv.Points.ForEach(func(p int) { pts[p] = true })
 	}
 
 	exp := f.BlockByName("expensive")
@@ -179,13 +180,13 @@ func TestJoinedRangeGapAtWait(t *testing.T) {
 	if waitIdx < 0 {
 		t.Fatal("no spec wait in the label block")
 	}
-	if !pts[fp.id(exp.Index, waitIdx)] {
+	if !pts[fp.ID(exp.Index, waitIdx)] {
 		t.Error("barrier must be joined at its own wait")
 	}
-	if pts[fp.id(exp.Index, waitIdx+1)] {
+	if pts[fp.ID(exp.Index, waitIdx+1)] {
 		t.Error("barrier must be clear between the wait and the rejoin")
 	}
-	if !pts[fp.id(exp.Index, waitIdx+2)] {
+	if !pts[fp.ID(exp.Index, waitIdx+2)] {
 		t.Error("barrier must be joined again after the rejoin")
 	}
 }

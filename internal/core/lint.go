@@ -1,11 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
-	"specrecon/internal/cfg"
-	"specrecon/internal/dataflow"
+	"specrecon/internal/analyze"
 	"specrecon/internal/ir"
 )
 
@@ -21,116 +17,26 @@ func init() {
 		})
 }
 
-// LintWarning is one diagnostic from the lint passes.
-type LintWarning struct {
-	Fn    string
-	Block string
-	Msg   string
-}
-
-func (w LintWarning) String() string {
-	return fmt.Sprintf("%s.%s: %s", w.Fn, w.Block, w.Msg)
-}
+// LintWarning is one diagnostic from the lint checks. It is the unified
+// diagnostic type of internal/analyze; the historical Fn/Block/Msg
+// fields are unchanged, and each warning now also carries a stable
+// diagnostic code and severity.
+type LintWarning = analyze.Diagnostic
 
 // Lint runs best-effort static diagnostics over the module. It does not
 // fail compilation — kernels with warnings may still be intentional —
 // but the workloads and corpus generators are tested to be lint-clean.
 //
-// Checks:
-//
-//   - read-before-write: a register live into the entry block is read on
-//     some path before any definition (callees are exempt: their low
-//     registers are parameters by convention);
-//   - unreachable blocks;
-//   - barrier hygiene: a wait on a barrier that no path ever joins, and
-//     a joined barrier with no wait or cancel anywhere (a lane that
-//     exits the kernel still participating);
-//   - exit-path releases: a joined barrier that some path carries all
-//     the way to a thread-exiting terminator without a wait or cancel —
-//     the per-path refinement of the pairing check, using the same
-//     joined-at-exit analysis the barrier-safety verifier enforces.
+// Lint is the warning-and-above slice of the full static analyzer
+// (internal/analyze): uninitialized reads (SR2001, callees exempt —
+// their low registers are parameters by convention), unreachable blocks
+// (SR2002), barrier pairing hygiene (SR1001, SR2003), and joined
+// barriers escaping through thread-exiting terminators (SR1002).
+// Advisory notes (SR3xxx) are the analyzer's own; run cmd/sasmvet or
+// the "analyze" pass to see them.
 func Lint(m *ir.Module) []LintWarning {
-	var out []LintWarning
-
-	// Functions called from elsewhere receive arguments in low
-	// registers; only entry kernels are checked for uninitialized reads.
-	called := map[string]bool{}
-	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			for i := range b.Instrs {
-				if in := &b.Instrs[i]; in.Op == ir.OpCall {
-					called[in.Callee] = true
-				}
-			}
-		}
-	}
-
-	entryWaits := calleeEntryWaits(m)
-	nb := moduleNumBarriers(m)
-	for _, f := range m.Funcs {
-		f.Reindex()
-		info := cfg.New(f)
-
-		if !called[f.Name] {
-			out = append(out, lintUninitialized(f, info)...)
-		}
-		for _, b := range f.Blocks {
-			if !info.Reachable(b) {
-				out = append(out, LintWarning{Fn: f.Name, Block: b.Name, Msg: "unreachable block"})
-			}
-		}
-		out = append(out, lintExitPaths(f, info, nb, entryWaits, called)...)
-	}
-	out = append(out, lintBarriers(m)...)
-	return out
-}
-
-// lintExitPaths warns about barriers still joined at a thread-exiting
-// terminator on some path: the lane would exit while participating
-// (Strict-mode runtime error, implicit-cancel reliance otherwise).
-func lintExitPaths(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string][]int, called map[string]bool) []LintWarning {
-	var out []LintWarning
-	at := joinedAtWithCalls(f, info, nb, entryWaits)
-	for _, b := range f.Blocks {
-		if !info.Reachable(b) || len(b.Instrs) == 0 {
-			continue
-		}
-		t := b.Terminator()
-		if t.Op != ir.OpExit && (t.Op != ir.OpRet || called[f.Name]) {
-			continue
-		}
-		at[b.Index][len(b.Instrs)-1].ForEach(func(bar int) {
-			out = append(out, LintWarning{
-				Fn:    f.Name,
-				Block: b.Name,
-				Msg:   fmt.Sprintf("b%d may still be joined when threads exit here (no wait or cancel on some path)", bar),
-			})
-		})
-	}
-	return out
-}
-
-// lintUninitialized reports registers that are live into the entry
-// block: some path reads them before any write.
-func lintUninitialized(f *ir.Function, info *cfg.Info) []LintWarning {
-	ints, floats := dataflow.RegLiveness(f, info)
-	entry := f.Entry().Index
-	var regs []string
-	ints.In[entry].ForEach(func(r int) {
-		regs = append(regs, fmt.Sprintf("r%d", r))
-	})
-	floats.In[entry].ForEach(func(r int) {
-		regs = append(regs, fmt.Sprintf("f%d", r))
-	})
-	if len(regs) == 0 {
-		return nil
-	}
-	sort.Strings(regs)
-	return []LintWarning{{
-		Fn:    f.Name,
-		Block: f.Entry().Name,
-		Msg:   fmt.Sprintf("registers possibly read before written: %v", regs),
-	}}
+	rep := analyze.Analyze(m, analyze.Options{})
+	return analyze.Filter(rep.Diags, analyze.SeverityWarning)
 }
 
 // lintBarriers checks join/wait pairing at module granularity: barrier
@@ -138,44 +44,5 @@ func lintUninitialized(f *ir.Function, info *cfg.Info) []LintWarning {
 // interprocedural variant legitimately joins a barrier in a caller while
 // waiting on it at a callee's entry.
 func lintBarriers(m *ir.Module) []LintWarning {
-	nb := 1
-	for _, f := range m.Funcs {
-		if n := dataflow.NumBarriers(f); n > nb {
-			nb = n
-		}
-	}
-	joins := make([]bool, nb)
-	waits := make([]bool, nb)
-	clears := make([]bool, nb) // wait or cancel
-	where := make([]string, nb)
-	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			for i := range b.Instrs {
-				in := &b.Instrs[i]
-				if !in.Op.IsBarrierOp() {
-					continue
-				}
-				switch in.Op {
-				case ir.OpJoin:
-					joins[in.Bar] = true
-					where[in.Bar] = f.Name + "." + b.Name
-				case ir.OpWait, ir.OpWaitN:
-					waits[in.Bar] = true
-					clears[in.Bar] = true
-				case ir.OpCancel:
-					clears[in.Bar] = true
-				}
-			}
-		}
-	}
-	var out []LintWarning
-	for bar := 0; bar < nb; bar++ {
-		if waits[bar] && !joins[bar] {
-			out = append(out, LintWarning{Fn: m.Name, Msg: fmt.Sprintf("b%d is waited on but never joined", bar)})
-		}
-		if joins[bar] && !clears[bar] {
-			out = append(out, LintWarning{Fn: m.Name, Block: where[bar], Msg: fmt.Sprintf("b%d is joined but never waited or cancelled", bar)})
-		}
-	}
-	return out
+	return analyze.Pairing(m, nil)
 }

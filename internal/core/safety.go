@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
-	"specrecon/internal/cfg"
-	"specrecon/internal/dataflow"
+	"specrecon/internal/analyze"
 	"specrecon/internal/ir"
 )
 
@@ -18,43 +16,36 @@ import (
 // violated; CompileSafe turns that failure into a fall-back to the PDOM
 // baseline so one pathological kernel degrades instead of killing a run.
 //
-// The checks, in order:
+// The checks are the error-severity layer of the static analyzer in
+// internal/analyze, run with barrier provenance (BarrierKind) supplied
+// by the pass manager:
 //
-//  1. Pairing: a waited barrier must be joined somewhere, and a
-//     compiler-minted barrier that is joined must also be waited
-//     somewhere (join+cancel-only synchronization does nothing and
-//     means a wait was lost).
-//  2. Joined-at-exit: at every thread-exiting terminator, the forward
-//     joined-barrier analysis (equation 1, cancels counted as clears,
-//     calls clearing the barriers their callee's entry waits on) must be
-//     empty — otherwise some path lets a lane exit while participating,
-//     i.e. a release is missing on that exit path.
-//  3. Rejoin discipline: a speculative barrier's wait on a looping path
-//     must be immediately followed by its rejoin (Figure 4(d)); without
-//     it, later iterations silently stop converging.
-//  4. Residual conflicts: re-running the §4.3 conflict analysis after
-//     deconfliction must find nothing.
+//  1. Pairing (SR1001/SR1003): a waited barrier must be joined
+//     somewhere, and a compiler-minted barrier that is joined must also
+//     be waited somewhere (join+cancel-only synchronization does
+//     nothing and means a wait was lost).
+//  2. Joined-at-exit (SR1002): at every thread-exiting terminator, the
+//     forward joined-barrier analysis (equation 1, cancels counted as
+//     clears, calls clearing the barriers their callee's entry waits
+//     on) must be empty — otherwise some path lets a lane exit while
+//     participating, i.e. a release is missing on that exit path.
+//  3. Rejoin discipline (SR1004): a speculative barrier's wait on a
+//     looping path must be immediately followed by its rejoin
+//     (Figure 4(d)); without it, later iterations silently stop
+//     converging.
+//  4. Residual conflicts (SR1005): re-running the §4.3 conflict
+//     analysis after deconfliction must find nothing.
 //
 // The verifier runs as the read-only "barrier-safety" pass, placed
 // before register allocation so violations are reported in virtual
-// barrier ids with their kinds.
+// barrier ids with their kinds. The analyzer's full report — warnings,
+// notes and static efficiency estimates included — is stored on the
+// Compilation as Diagnostics/StaticEff.
 
-// SafetyViolation is one property violation found by the verifier.
-type SafetyViolation struct {
-	Fn    string
-	Block string // empty for module-level violations
-	Msg   string
-}
-
-func (v SafetyViolation) String() string {
-	if v.Block == "" {
-		if v.Fn == "" {
-			return v.Msg
-		}
-		return fmt.Sprintf("%s: %s", v.Fn, v.Msg)
-	}
-	return fmt.Sprintf("%s.%s: %s", v.Fn, v.Block, v.Msg)
-}
+// SafetyViolation is one property violation found by the verifier — the
+// unified diagnostic type of internal/analyze, always error severity
+// when produced here.
+type SafetyViolation = analyze.Diagnostic
 
 // SafetyError aggregates every violation the verifier found; it
 // supports errors.As through the pass manager's wrapping.
@@ -79,60 +70,41 @@ func init() {
 		})
 }
 
-// verifyBarrierSafety runs all four checks over the module and returns a
-// *SafetyError when any violation is found, remarking each one.
-func (c *PassContext) verifyBarrierSafety() error {
-	m := c.Mod
-	var vs []SafetyViolation
+// classOfKind maps the pass manager's barrier provenance onto the
+// analyzer's class vocabulary.
+func classOfKind(k BarrierKind) analyze.BarrierClass {
+	switch k {
+	case KindPDOM:
+		return analyze.ClassPDOM
+	case KindSpec:
+		return analyze.ClassSpec
+	case KindExit:
+		return analyze.ClassExit
+	case KindSpecCall:
+		return analyze.ClassSpecCall
+	}
+	return analyze.ClassUser
+}
 
-	kindOf := func(bar int) BarrierKind {
+// barrierClassOf returns the analyzer ClassOf callback for the barriers
+// minted so far in this compilation.
+func (c *PassContext) barrierClassOf() func(int) analyze.BarrierClass {
+	return func(bar int) analyze.BarrierClass {
 		if bar >= 0 && bar < len(c.barriers) {
-			return c.barriers[bar].Kind
+			return classOfKind(c.barriers[bar].Kind)
 		}
-		return KindUser
+		return analyze.ClassUser
 	}
+}
 
-	vs = append(vs, pairingViolations(m, kindOf)...)
-
-	// Functions called from elsewhere return to their caller; only
-	// kernels' rets are thread exits (same convention as Lint).
-	called := map[string]bool{}
-	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			for i := range b.Instrs {
-				if in := &b.Instrs[i]; in.Op == ir.OpCall {
-					called[in.Callee] = true
-				}
-			}
-		}
-	}
-	entryWaits := calleeEntryWaits(m)
-	nb := moduleNumBarriers(m)
-
-	for _, f := range m.Funcs {
-		f.Reindex()
-		info := cfg.New(f)
-		at := joinedAtWithCalls(f, info, nb, entryWaits)
-		for _, b := range f.Blocks {
-			if !info.Reachable(b) || len(b.Instrs) == 0 {
-				continue
-			}
-			t := b.Terminator()
-			if t.Op != ir.OpExit && (t.Op != ir.OpRet || called[f.Name]) {
-				continue
-			}
-			at[b.Index][len(b.Instrs)-1].ForEach(func(bar int) {
-				vs = append(vs, SafetyViolation{
-					Fn: f.Name, Block: b.Name,
-					Msg: fmt.Sprintf("%s barrier b%d may still be joined when threads exit (missing release on this path)", kindOf(bar), bar),
-				})
-			})
-		}
-		vs = append(vs, rejoinViolations(f, info, kindOf)...)
-	}
-
-	vs = append(vs, c.residualConflictViolations()...)
-
+// verifyBarrierSafety runs the static analyzer with barrier provenance
+// and returns a *SafetyError when any error-severity diagnostic is
+// found, remarking each one. The full report is kept on the result.
+func (c *PassContext) verifyBarrierSafety() error {
+	rep := analyze.Analyze(c.Mod, analyze.Options{ClassOf: c.barrierClassOf()})
+	c.result.Diagnostics = rep.Diags
+	c.result.StaticEff = rep.Efficiency
+	vs := rep.Errors()
 	if len(vs) == 0 {
 		return nil
 	}
@@ -140,219 +112,6 @@ func (c *PassContext) verifyBarrierSafety() error {
 		c.Remarkf(v.Fn, v.Block, "%s", v.Msg)
 	}
 	return &SafetyError{Violations: vs}
-}
-
-// pairingViolations checks module-level join/wait pairing. Barrier
-// registers are warp state shared across the call graph, so pairing is
-// checked at module granularity like lintBarriers — but escalated to
-// violations, and extended with the wait-lost rule for compiler-minted
-// barriers.
-func pairingViolations(m *ir.Module, kindOf func(int) BarrierKind) []SafetyViolation {
-	nb := moduleNumBarriers(m)
-	joins := make([]bool, nb)
-	waits := make([]bool, nb)
-	where := make([]string, nb)
-	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			for i := range b.Instrs {
-				switch in := &b.Instrs[i]; in.Op {
-				case ir.OpJoin:
-					joins[in.Bar] = true
-					where[in.Bar] = f.Name + "." + b.Name
-				case ir.OpWait, ir.OpWaitN:
-					waits[in.Bar] = true
-					if where[in.Bar] == "" {
-						where[in.Bar] = f.Name + "." + b.Name
-					}
-				}
-			}
-		}
-	}
-	var vs []SafetyViolation
-	for bar := 0; bar < nb; bar++ {
-		if waits[bar] && !joins[bar] {
-			vs = append(vs, SafetyViolation{Fn: m.Name, Msg: fmt.Sprintf("b%d is waited on but never joined (lost JoinBarrier)", bar)})
-		}
-		if joins[bar] && !waits[bar] && kindOf(bar) != KindUser {
-			vs = append(vs, SafetyViolation{Fn: m.Name, Msg: fmt.Sprintf("%s barrier b%d is joined but never waited (lost WaitBarrier; joined at %s)", kindOf(bar), bar, where[bar])})
-		}
-	}
-	return vs
-}
-
-// moduleNumBarriers returns one more than the highest barrier register
-// used anywhere in the module (barriers span functions interprocedurally).
-func moduleNumBarriers(m *ir.Module) int {
-	nb := 1
-	for _, f := range m.Funcs {
-		if n := dataflow.NumBarriers(f); n > nb {
-			nb = n
-		}
-	}
-	return nb
-}
-
-// calleeEntryWaits maps each function to the barriers its entry block
-// waits on before any branch — the interprocedural reconvergence pattern
-// of §4.4. A call to such a function is guaranteed to clear those
-// barriers, which the joined-at-exit analysis must model or every
-// interprocedural prediction would be a false positive.
-func calleeEntryWaits(m *ir.Module) map[string][]int {
-	out := map[string][]int{}
-	for _, f := range m.Funcs {
-		if len(f.Blocks) == 0 {
-			continue
-		}
-		entry := f.Entry()
-		for i := range entry.Instrs {
-			in := &entry.Instrs[i]
-			if in.Op == ir.OpWait || in.Op == ir.OpWaitN {
-				out[f.Name] = append(out[f.Name], in.Bar)
-			}
-		}
-	}
-	return out
-}
-
-// joinedAtWithCalls runs the forward joined-barrier analysis of equation
-// (1) with cancels as clears and calls clearing their callee's
-// entry-waited barriers, refined to instruction granularity: the
-// returned [blockIndex][instrIndex] set is the joined set *before* that
-// instruction.
-func joinedAtWithCalls(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string][]int) [][]dataflow.Bits {
-	transfer := func(set dataflow.Bits, in *ir.Instr) {
-		switch in.Op {
-		case ir.OpJoin:
-			set.Set(in.Bar)
-		case ir.OpWait, ir.OpWaitN, ir.OpCancel:
-			set.Clear(in.Bar)
-		case ir.OpCall:
-			for _, bar := range entryWaits[in.Callee] {
-				set.Clear(bar)
-			}
-		}
-	}
-	res := dataflow.Solve(f, info, dataflow.Problem{
-		Dir:     dataflow.Forward,
-		NumBits: nb,
-		Gen: func(b *ir.Block) dataflow.Bits {
-			gen := dataflow.NewBits(nb)
-			for i := range b.Instrs {
-				transfer(gen, &b.Instrs[i])
-			}
-			return gen
-		},
-		Kill: func(b *ir.Block) dataflow.Bits {
-			kill := dataflow.NewBits(nb)
-			for i := range b.Instrs {
-				switch in := &b.Instrs[i]; in.Op {
-				case ir.OpJoin:
-					kill.Clear(in.Bar)
-				case ir.OpWait, ir.OpWaitN, ir.OpCancel:
-					kill.Set(in.Bar)
-				case ir.OpCall:
-					for _, bar := range entryWaits[in.Callee] {
-						kill.Set(bar)
-					}
-				}
-			}
-			return kill
-		},
-	})
-	out := make([][]dataflow.Bits, len(f.Blocks))
-	for _, b := range f.Blocks {
-		cur := res.In[b.Index].Clone()
-		rows := make([]dataflow.Bits, len(b.Instrs))
-		for i := range b.Instrs {
-			rows[i] = cur.Clone()
-			transfer(cur, &b.Instrs[i])
-		}
-		out[b.Index] = rows
-	}
-	return out
-}
-
-// rejoinViolations checks the Figure 4(d) wait+rejoin discipline: a wait
-// on a speculative (KindSpec) barrier inside a cycle — i.e. the wait can
-// execute again — must be immediately followed by a rejoin of the same
-// barrier, or later iterations' arrivals have no participants to
-// converge with.
-func rejoinViolations(f *ir.Function, info *cfg.Info, kindOf func(int) BarrierKind) []SafetyViolation {
-	var vs []SafetyViolation
-	for _, b := range f.Blocks {
-		if !info.Reachable(b) {
-			continue
-		}
-		var onCycle, cycleKnown bool
-		for i := range b.Instrs {
-			in := &b.Instrs[i]
-			if (in.Op != ir.OpWait && in.Op != ir.OpWaitN) || kindOf(in.Bar) != KindSpec {
-				continue
-			}
-			if !cycleKnown {
-				reach := cfg.CanReach(f, info, b)
-				for _, s := range b.Succs {
-					if reach[s.Index] {
-						onCycle = true
-						break
-					}
-				}
-				cycleKnown = true
-			}
-			if !onCycle {
-				continue
-			}
-			if i+1 >= len(b.Instrs) || b.Instrs[i+1].Op != ir.OpJoin || b.Instrs[i+1].Bar != in.Bar {
-				vs = append(vs, SafetyViolation{
-					Fn: f.Name, Block: b.Name,
-					Msg: fmt.Sprintf("speculative barrier b%d waits on a looping path without an immediate rejoin (lost RejoinBarrier)", in.Bar),
-				})
-			}
-		}
-	}
-	return vs
-}
-
-// residualConflictViolations re-runs the §4.3 conflict analysis over the
-// speculative waits recorded by the predict pass. After deconfliction no
-// conflict may remain; any that does would deadlock the warp at runtime.
-func (c *PassContext) residualConflictViolations() []SafetyViolation {
-	var vs []SafetyViolation
-	for _, fw := range c.specWaits {
-		specBars := make(map[int]bool)
-		for _, sw := range fw.waits {
-			if sw.interproc {
-				continue
-			}
-			specBars[sw.bar] = true
-			if sw.exitBar >= 0 {
-				specBars[sw.exitBar] = true
-			}
-		}
-		if len(specBars) == 0 {
-			continue
-		}
-		conflicts := findConflicts(fw.f, specBars)
-		specs := make([]int, 0, len(conflicts))
-		for spec := range conflicts {
-			specs = append(specs, spec)
-		}
-		sort.Ints(specs)
-		for _, spec := range specs {
-			others := make([]int, 0, len(conflicts[spec]))
-			for other := range conflicts[spec] {
-				others = append(others, other)
-			}
-			sort.Ints(others)
-			for _, other := range others {
-				vs = append(vs, SafetyViolation{
-					Fn:  fw.f.Name,
-					Msg: fmt.Sprintf("residual live-range conflict between b%d and b%d after deconfliction (would deadlock, §4.3)", spec, other),
-				})
-			}
-		}
-	}
-	return vs
 }
 
 // SafePipelineFor derives the default pipeline like PipelineFor but with

@@ -1,0 +1,105 @@
+package dataflow
+
+import (
+	"specrecon/internal/cfg"
+	"specrecon/internal/ir"
+)
+
+// Interprocedural refinements of the equation-1 analysis. Barrier
+// registers are warp state shared across the call graph, so module-level
+// consumers (lint, the barrier-safety verifier, the static analyzer)
+// need a module-wide barrier count and a model of what a call does to
+// the joined set.
+
+// ModuleNumBarriers returns one more than the highest barrier register
+// used anywhere in the module (barriers span functions
+// interprocedurally), at least 1.
+func ModuleNumBarriers(m *ir.Module) int {
+	nb := 1
+	for _, f := range m.Funcs {
+		if n := NumBarriers(f); n > nb {
+			nb = n
+		}
+	}
+	return nb
+}
+
+// CalleeEntryWaits maps each function to the barriers its entry block
+// waits on before any branch — the interprocedural reconvergence pattern
+// of §4.4. A call to such a function is guaranteed to clear those
+// barriers, which the joined-at-exit analysis must model or every
+// interprocedural prediction would be a false positive.
+func CalleeEntryWaits(m *ir.Module) map[string][]int {
+	out := map[string][]int{}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		entry := f.Entry()
+		for i := range entry.Instrs {
+			in := &entry.Instrs[i]
+			if in.Op == ir.OpWait || in.Op == ir.OpWaitN {
+				out[f.Name] = append(out[f.Name], in.Bar)
+			}
+		}
+	}
+	return out
+}
+
+// JoinedAtWithCalls runs the forward joined-barrier analysis of equation
+// (1) with cancels as clears and calls clearing their callee's
+// entry-waited barriers, refined to instruction granularity: the
+// returned [blockIndex][instrIndex] set is the joined set *before* that
+// instruction.
+func JoinedAtWithCalls(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string][]int) [][]Bits {
+	transfer := func(set Bits, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpJoin:
+			set.Set(in.Bar)
+		case ir.OpWait, ir.OpWaitN, ir.OpCancel:
+			set.Clear(in.Bar)
+		case ir.OpCall:
+			for _, bar := range entryWaits[in.Callee] {
+				set.Clear(bar)
+			}
+		}
+	}
+	res := Solve(f, info, Problem{
+		Dir:     Forward,
+		NumBits: nb,
+		Gen: func(b *ir.Block) Bits {
+			gen := NewBits(nb)
+			for i := range b.Instrs {
+				transfer(gen, &b.Instrs[i])
+			}
+			return gen
+		},
+		Kill: func(b *ir.Block) Bits {
+			kill := NewBits(nb)
+			for i := range b.Instrs {
+				switch in := &b.Instrs[i]; in.Op {
+				case ir.OpJoin:
+					kill.Clear(in.Bar)
+				case ir.OpWait, ir.OpWaitN, ir.OpCancel:
+					kill.Set(in.Bar)
+				case ir.OpCall:
+					for _, bar := range entryWaits[in.Callee] {
+						kill.Set(bar)
+					}
+				}
+			}
+			return kill
+		},
+	})
+	out := make([][]Bits, len(f.Blocks))
+	for _, b := range f.Blocks {
+		cur := res.In[b.Index].Clone()
+		rows := make([]Bits, len(b.Instrs))
+		for i := range b.Instrs {
+			rows[i] = cur.Clone()
+			transfer(cur, &b.Instrs[i])
+		}
+		out[b.Index] = rows
+	}
+	return out
+}

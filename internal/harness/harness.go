@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -81,6 +82,12 @@ type Comparison struct {
 	// instead; FallbackReason is the verifier's first complaint.
 	FellBack       bool
 	FallbackReason string
+	// StaticEff is the static analyzer's SIMT-efficiency prediction for
+	// the kernel (0 when the analyzer did not run); DiagCodes lists the
+	// distinct diagnostic codes it reported on the measured speculative
+	// build, sorted.
+	StaticEff float64
+	DiagCodes []string
 }
 
 // EffImprovement returns SpecEff / BaseEff (Figure 8's first series).
@@ -150,6 +157,15 @@ func CompareOpts(w *workloads.Workload, cfg workloads.BuildConfig, specOpts core
 	if comp.FellBack && comp.FallbackErr != nil {
 		c.FallbackReason, _, _ = strings.Cut(comp.FallbackErr.Error(), "\n")
 	}
+	c.StaticEff = comp.StaticEff[inst.Kernel]
+	seen := map[string]bool{}
+	for _, d := range comp.Diagnostics {
+		if d.Code != "" && !seen[string(d.Code)] {
+			seen[string(d.Code)] = true
+			c.DiagCodes = append(c.DiagCodes, string(d.Code))
+		}
+	}
+	sort.Strings(c.DiagCodes)
 	return c, nil
 }
 

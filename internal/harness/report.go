@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"specrecon/internal/workloads"
@@ -20,8 +21,8 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	}
 	fmt.Fprintln(out, "## Figure 7 — SIMT efficiency, programmer-annotated applications")
 	fmt.Fprintln(out)
-	fmt.Fprintln(out, "| benchmark | pattern | base eff | spec eff | threshold | fallback |")
-	fmt.Fprintln(out, "|-----------|---------|---------:|---------:|----------:|----------|")
+	fmt.Fprintln(out, "| benchmark | pattern | base eff | spec eff | static eff | threshold | diagnostics | fallback |")
+	fmt.Fprintln(out, "|-----------|---------|---------:|---------:|-----------:|----------:|-------------|----------|")
 	for _, r := range rows {
 		threshold := "hard"
 		if r.Threshold > 0 {
@@ -31,8 +32,12 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 		if r.FellBack {
 			fallback = "PDOM: " + r.FallbackReason
 		}
-		fmt.Fprintf(out, "| %s | %s | %.1f%% | %.1f%% | %s | %s |\n",
-			r.Name, r.Pattern, 100*r.BaseEff, 100*r.SpecEff, threshold, fallback)
+		diags := "—"
+		if len(r.DiagCodes) > 0 {
+			diags = strings.Join(r.DiagCodes, " ")
+		}
+		fmt.Fprintf(out, "| %s | %s | %.1f%% | %.1f%% | %.1f%% | %s | %s | %s |\n",
+			r.Name, r.Pattern, 100*r.BaseEff, 100*r.SpecEff, 100*r.StaticEff, threshold, diags, fallback)
 	}
 	fmt.Fprintln(out)
 

@@ -21,6 +21,9 @@
 package specrecon
 
 import (
+	"io"
+
+	"specrecon/internal/analyze"
 	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
 	"specrecon/internal/harness"
@@ -263,6 +266,59 @@ func DiffCheck(k DiffKernel, opts DiffOptions) DiffResult { return diffcheck.Che
 // reproducer that still fails at the same stage.
 func DiffMinimize(k DiffKernel, opts DiffOptions) (DiffKernel, DiffResult) {
 	return diffcheck.Minimize(k, opts)
+}
+
+// Static analysis layer (internal/analyze, cmd/sasmvet): the
+// barrier-state abstract interpreter, the unified SRxxxx diagnostics it
+// and the safety verifier share, and the static SIMT-efficiency
+// estimator.
+type (
+	// Diagnostic is the unified diagnostic record: stable SRxxxx code,
+	// severity, position (function, block, instruction) and an optional
+	// fix-it suggestion. core.Lint, the barrier-safety verifier and the
+	// "analyze" pass all produce this type.
+	Diagnostic = analyze.Diagnostic
+	// DiagnosticSeverity orders note < warning < error.
+	DiagnosticSeverity = analyze.Severity
+	// AnalyzeOptions configures Analyze (barrier provenance, efficiency
+	// note threshold).
+	AnalyzeOptions = analyze.Options
+	// AnalyzeReport is Analyze's full result: diagnostics plus the
+	// per-kernel static SIMT-efficiency estimates.
+	AnalyzeReport = analyze.Report
+)
+
+// Diagnostic severities.
+const (
+	SeverityNote    = analyze.SeverityNote
+	SeverityWarning = analyze.SeverityWarning
+	SeverityError   = analyze.SeverityError
+)
+
+// Analyze runs the full static analyzer — barrier pairing, the
+// barrier-state abstract interpreter (deadlock detection), rejoin and
+// conflict checks, hygiene warnings and the static SIMT-efficiency
+// estimate — over a raw module. Compiled modules get barrier
+// provenance via Diagnose or the "analyze" pass instead.
+func Analyze(m *Module, opts AnalyzeOptions) *AnalyzeReport { return analyze.Analyze(m, opts) }
+
+// Diagnose compiles m under opts with the "analyze" pass inserted
+// before register allocation, returning the compilation with
+// Diagnostics and StaticEff populated (provenance-aware: the class-
+// gated checks see which barriers are speculative, exit or PDOM).
+func Diagnose(m *Module, opts CompileOptions) (*Compilation, error) {
+	return core.Diagnose(m, opts)
+}
+
+// StaticEfficiency returns the analyzer's per-kernel SIMT-efficiency
+// prediction for every kernel in m — the screening estimate whose
+// ranking tracks the simulator's Figure-7 ordering.
+func StaticEfficiency(m *Module) map[string]float64 { return analyze.Efficiency(m) }
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log for editor and
+// CI integration (the format cmd/sasmvet emits with -sarif).
+func WriteSARIF(w io.Writer, toolName string, diags []Diagnostic) error {
+	return analyze.WriteSARIF(w, toolName, diags)
 }
 
 // LintWarning is a diagnostic from Lint.
