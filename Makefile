@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline fmt figures profile-smoke fuzz-smoke diffcheck-smoke vet-corpus
+.PHONY: all build test vet race check bench bench-baseline bench-scale fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus
 
 all: build
 
@@ -30,6 +30,7 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/harness
 	$(GO) test -race -count=1 ./internal/obs
+	$(MAKE) scale-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) diffcheck-smoke
 	$(MAKE) vet-corpus
@@ -84,6 +85,40 @@ fmt:
 
 figures:
 	$(GO) run ./cmd/figures -fig all
+
+# scale-smoke exercises the GPU-scale engine end to end: a multi-CTA
+# workload compiled under both builds and simulated as an 8-CTA grid
+# over 4 sharded SMs with the profiler and the per-SM Perfetto trace
+# attached, every artifact validated as well-formed JSON. The grid
+# determinism itself (sharded == serial, byte for byte) is pinned by
+# TestGridShardingDeterministic under -race above.
+scale-smoke:
+	rm -rf /tmp/specrecon-scale-smoke
+	mkdir -p /tmp/specrecon-scale-smoke
+	$(GO) run ./cmd/specrecon -kernel xsbench -mode both \
+		-grid 8 -ctasize 64 -sms 4 -workers 2 -profile \
+		-profile-json /tmp/specrecon-scale-smoke/profile.json \
+		-trace-out /tmp/specrecon-scale-smoke/trace.json
+	$(GO) run ./cmd/jsoncheck \
+		/tmp/specrecon-scale-smoke/profile-baseline.json \
+		/tmp/specrecon-scale-smoke/profile-spec.json \
+		/tmp/specrecon-scale-smoke/trace-baseline.json \
+		/tmp/specrecon-scale-smoke/trace-spec.json
+	rm -rf /tmp/specrecon-scale-smoke
+
+# bench-scale refreshes BENCH_6.json: the GPU-scale engine's
+# strong-scaling capture. A fixed 16-CTA RSBench grid runs at 1, 4 and 8
+# SMs, serial and sharded; sim_cycles shows the modeled strong scaling
+# while total_sm_cycles stays flat. On the single-core CI container the
+# sharded worker pool cannot improve wall-clock; the capture is about
+# the modeled cycles and the determinism of the merge.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkGPUScale' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGPUScale' -benchmem . | tee bench_scale_post.txt
+	$(GO) run ./cmd/benchjson -in bench_scale_post.txt \
+		-note "GPU-scale engine strong scaling: fixed 16-CTA RSBench grid at 1/4/8 SMs, serial vs sharded workers. sim_cycles = launch cycles (max over SMs), total_sm_cycles = summed per-SM work. Single-core container: worker sharding cannot improve wall-clock here; determinism is pinned by TestGridShardingDeterministic." \
+		-out BENCH_6.json
+	rm -f bench_scale_post.txt
 
 # profile-smoke runs one workload end to end with the profiler and the
 # trace exporter attached, then validates every emitted artifact is

@@ -449,3 +449,50 @@ func BenchmarkHarness(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkGPUScale measures the GPU-scale engine: the speculative build
+// of RSBench launched as a fixed 16-CTA grid while the SM count and the
+// worker shards scale — the strong-scaling capture behind BENCH_6.json.
+// Modeled sim_cycles drop as the CTAs spread over more SMs (each SM runs
+// its share concurrently and the launch takes the slowest SM's cycles);
+// wall-clock gains from -workers only appear on multi-core machines, and
+// the results are byte-identical at any worker count.
+func BenchmarkGPUScale(b *testing.B) {
+	w, err := specrecon.WorkloadByName("rsbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name         string
+		sms, workers int
+	}{
+		{"sm1", 1, 1},
+		{"sm4-serial", 4, 1},
+		{"sm4-sharded", 4, 4},
+		{"sm8-sharded", 8, 8},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			inst := w.Build(specrecon.WorkloadConfig{
+				Grid: 16, CTASize: 64, SMs: tc.sms, Workers: tc.workers,
+			})
+			comp, err := specrecon.Compile(inst.Module, specrecon.SpecReconOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var res *specrecon.RunResult
+			for i := 0; i < b.N; i++ {
+				res, err = specrecon.Run(comp.Module, specrecon.RunConfig{
+					Kernel: inst.Kernel, Seed: inst.Seed, Memory: inst.Memory, Strict: true,
+					Grid: inst.Grid, CTASize: inst.CTASize, SMs: inst.SMs, Workers: inst.Workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Metrics.Cycles), "sim_cycles")
+			b.ReportMetric(float64(res.Metrics.TotalSMCycles), "total_sm_cycles")
+			b.ReportMetric(100*res.Metrics.SIMTEfficiency(), "simt_eff_%")
+		})
+	}
+}

@@ -26,6 +26,10 @@ func main() {
 		threads  = flag.Int("threads", 0, "thread count (0 = default)")
 		apps     = flag.Int("apps", 520, "corpus size for the section 5.4 funnel")
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		grid     = flag.Int("grid", 0, "CTAs in a grid launch (0 = flat single-SM launch; overrides -threads)")
+		ctasize  = flag.Int("ctasize", 0, "threads per CTA for -grid (0 = one warp)")
+		sms      = flag.Int("sms", 0, "streaming multiprocessors for -grid (0 = 1)")
+		workers  = flag.Int("workers", 0, "goroutines simulating SMs (0 = serial; results are identical)")
 		markdown = flag.Bool("markdown", false, "emit the full suite as markdown tables (EXPERIMENTS.md style)")
 		traceDir = flag.String("trace-dir", "", "also dump per-workload Perfetto traces (baseline and spec) into this directory")
 		jobs     = flag.Int("j", 0, "worker-pool size for the experiment drivers (0 = GOMAXPROCS, 1 = serial)")
@@ -33,7 +37,10 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	cfg := workloads.BuildConfig{Threads: *threads, Seed: *seed}
+	cfg := workloads.BuildConfig{
+		Threads: *threads, Seed: *seed,
+		Grid: *grid, CTASize: *ctasize, SMs: *sms, Workers: *workers,
+	}
 
 	stopProf, err := prof.Start(*cpuprof, *memprof)
 	if err != nil {

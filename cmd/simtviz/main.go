@@ -20,11 +20,14 @@ import (
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "rsbench", "workload name")
-		mode   = flag.String("mode", "baseline", "baseline | spec")
-		rows   = flag.Int("rows", 80, "max timeline rows")
-		tasks  = flag.Int("tasks", 4, "tasks per thread (small values keep timelines readable)")
-		hist   = flag.Bool("hist", false, "also print the active-lane histogram")
+		kernel  = flag.String("kernel", "rsbench", "workload name")
+		mode    = flag.String("mode", "baseline", "baseline | spec")
+		rows    = flag.Int("rows", 80, "max timeline rows")
+		tasks   = flag.Int("tasks", 4, "tasks per thread (small values keep timelines readable)")
+		hist    = flag.Bool("hist", false, "also print the active-lane histogram")
+		grid    = flag.Int("grid", 0, "CTAs in a grid launch (0 = flat single-warp launch)")
+		ctasize = flag.Int("ctasize", 0, "threads per CTA for -grid (0 = one warp)")
+		sms     = flag.Int("sms", 0, "streaming multiprocessors for -grid (0 = 1)")
 	)
 	flag.Parse()
 
@@ -32,7 +35,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	inst := w.Build(workloads.BuildConfig{Threads: 32, Tasks: *tasks})
+	inst := w.Build(workloads.BuildConfig{
+		Threads: 32, Tasks: *tasks,
+		Grid: *grid, CTASize: *ctasize, SMs: *sms,
+	})
 
 	opts := core.BaselineOptions()
 	if *mode == "spec" {
@@ -51,6 +57,9 @@ func main() {
 		Memory:  inst.Memory,
 		Strict:  true,
 		Events:  tl,
+		Grid:    inst.Grid,
+		CTASize: inst.CTASize,
+		SMs:     inst.SMs,
 	})
 	if err != nil {
 		fail(err)

@@ -45,6 +45,10 @@ func main() {
 		interleave = flag.Bool("interleave", false, "interleave warps issue-by-issue (ITS engine only)")
 		threads    = flag.Int("threads", 0, "thread count (0 = workload default)")
 		tasks      = flag.Int("tasks", 0, "tasks per thread (0 = workload default)")
+		grid       = flag.Int("grid", 0, "CTAs in a grid launch (0 = flat single-SM launch; overrides -threads)")
+		ctasize    = flag.Int("ctasize", 0, "threads per CTA for -grid (0 = one warp)")
+		sms        = flag.Int("sms", 0, "streaming multiprocessors for -grid (0 = 1)")
+		workers    = flag.Int("workers", 0, "goroutines simulating SMs (0 = serial; results are identical)")
 		seed       = flag.Uint64("seed", 0, "seed (0 = workload default)")
 		printIR    = flag.Bool("print", false, "print the compiled IR")
 		dot        = flag.Bool("dot", false, "print the compiled kernel's CFG in Graphviz dot syntax")
@@ -102,7 +106,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	inst, err := loadInstance(*kernel, *threads, *tasks, *seed)
+	launch := workloads.BuildConfig{
+		Threads: *threads, Tasks: *tasks, Seed: *seed,
+		Grid: *grid, CTASize: *ctasize, SMs: *sms, Workers: *workers,
+	}
+	inst, err := loadInstance(*kernel, launch)
 	if err != nil {
 		fail(err)
 	}
@@ -260,6 +268,10 @@ func main() {
 			InterleaveWarps: *interleave,
 			Strict:          eng == simt.ModelITS,
 			Events:          simt.TeeSinks(sinks...),
+			Grid:            inst.Grid,
+			CTASize:         inst.CTASize,
+			SMs:             inst.SMs,
+			Workers:         inst.Workers,
 		}
 		if mo != "baseline" {
 			runCfg.SkipReleaseN = skipRelease
@@ -340,6 +352,7 @@ func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core
 	k := diffcheck.Kernel{
 		Name: inst.Module.Name, Module: inst.Module, Entry: inst.Kernel,
 		Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed,
+		Grid: inst.Grid, CTASize: inst.CTASize, SMs: inst.SMs, Workers: inst.Workers,
 	}
 	fault := inject
 	if strings.HasSuffix(path, ".sasm") {
@@ -383,6 +396,7 @@ func runSweep(inst *workloads.Instance, pol simt.Policy, dec core.DeconflictMode
 		res, err := simt.Run(comp.Module, simt.Config{
 			Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
 			Memory: inst.Memory, Policy: pol, Strict: true,
+			Grid: inst.Grid, CTASize: inst.CTASize, SMs: inst.SMs, Workers: inst.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -408,7 +422,7 @@ func runSweep(inst *workloads.Instance, pol simt.Policy, dec core.DeconflictMode
 	return nil
 }
 
-func loadInstance(kernel string, threads, tasks int, seed uint64) (*workloads.Instance, error) {
+func loadInstance(kernel string, cfg workloads.BuildConfig) (*workloads.Instance, error) {
 	if strings.HasSuffix(kernel, ".sasm") {
 		src, err := os.ReadFile(kernel)
 		if err != nil {
@@ -418,6 +432,7 @@ func loadInstance(kernel string, threads, tasks int, seed uint64) (*workloads.In
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kernel, err)
 		}
+		threads := cfg.Threads
 		if threads == 0 {
 			threads = ir.WarpWidth
 		}
@@ -425,14 +440,18 @@ func loadInstance(kernel string, threads, tasks int, seed uint64) (*workloads.In
 			Module:  mod,
 			Kernel:  mod.Funcs[0].Name,
 			Threads: threads,
-			Seed:    seed,
+			Seed:    cfg.Seed,
+			Grid:    cfg.Grid,
+			CTASize: cfg.CTASize,
+			SMs:     cfg.SMs,
+			Workers: cfg.Workers,
 		}, nil
 	}
 	w, err := workloads.Get(kernel)
 	if err != nil {
 		return nil, err
 	}
-	return w.Build(workloads.BuildConfig{Threads: threads, Tasks: tasks, Seed: seed}), nil
+	return w.Build(cfg), nil
 }
 
 // optionsFor returns the compile options and the module to compile for a

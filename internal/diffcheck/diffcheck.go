@@ -33,6 +33,14 @@ type Kernel struct {
 	Threads int
 	Memory  []uint64
 	Seed    uint64
+	// Grid, when positive, checks the kernel as a grid launch of Grid
+	// CTAs of CTASize threads over SMs streaming multiprocessors
+	// (simt.Config semantics; Threads is ignored). Workers shards the
+	// SMs — results are identical for any worker count.
+	Grid    int
+	CTASize int
+	SMs     int
+	Workers int
 }
 
 // Options configures one differential check.
@@ -169,6 +177,10 @@ func Check(k Kernel, opts Options) Result {
 		Strict:    true,
 		MaxIssues: opts.MaxIssues,
 		MaxCycles: opts.MaxCycles,
+		Grid:      k.Grid,
+		CTASize:   k.CTASize,
+		SMs:       k.SMs,
+		Workers:   k.Workers,
 	}
 	base, err := simt.Run(baseComp.Module, cfg)
 	if err != nil {
@@ -186,6 +198,12 @@ func Check(k Kernel, opts Options) Result {
 	}
 
 	if err := SameMemory(base.Memory, spec.Memory); err != nil {
+		return Result{
+			Stage: StageCompare, Err: err,
+			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
+		}
+	}
+	if err := SameShared(base.Shared, spec.Shared); err != nil {
 		return Result{
 			Stage: StageCompare, Err: err,
 			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
@@ -223,6 +241,22 @@ func SameMemory(a, b []uint64) error {
 			continue
 		}
 		return fmt.Errorf("memory word %d differs: %#x (%g) vs %#x (%g)", i, a[i], fa, b[i], fb)
+	}
+	return nil
+}
+
+// SameShared compares the per-CTA final shared-memory images of two
+// runs under the same tolerance as SameMemory. Both speculative
+// reconvergence and SM sharding must leave every CTA's shared segment
+// untouched relative to the baseline.
+func SameShared(a, b [][]uint64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("shared segment counts differ: %d vs %d CTAs", len(a), len(b))
+	}
+	for c := range a {
+		if err := SameMemory(a[c], b[c]); err != nil {
+			return fmt.Errorf("cta %d shared: %w", c, err)
+		}
 	}
 	return nil
 }

@@ -35,7 +35,13 @@ func WriteRepro(dir string, k Kernel, opts Options, res Result) (string, error) 
 		msg, _, _ := strings.Cut(res.Err.Error(), "\n")
 		fmt.Fprintf(&sb, "; repro-err: %s\n", msg)
 	}
-	fmt.Fprintf(&sb, "; repro-threads: %d\n", k.Threads)
+	if k.Grid > 0 {
+		fmt.Fprintf(&sb, "; repro-grid: %d\n", k.Grid)
+		fmt.Fprintf(&sb, "; repro-ctasize: %d\n", k.CTASize)
+		fmt.Fprintf(&sb, "; repro-sms: %d\n", k.SMs)
+	} else {
+		fmt.Fprintf(&sb, "; repro-threads: %d\n", k.Threads)
+	}
 	fmt.Fprintf(&sb, "; repro-seed: %d\n", k.Seed)
 	if k.Entry != "" {
 		fmt.Fprintf(&sb, "; repro-entry: %s\n", k.Entry)
@@ -134,6 +140,18 @@ func LoadRepro(path string) (Kernel, string, error) {
 		case "threads":
 			if n, err := strconv.Atoi(val); err == nil && n > 0 {
 				k.Threads = n
+			}
+		case "grid":
+			if n, err := strconv.Atoi(val); err == nil && n > 0 {
+				k.Grid = n
+			}
+		case "ctasize":
+			if n, err := strconv.Atoi(val); err == nil && n > 0 {
+				k.CTASize = n
+			}
+		case "sms":
+			if n, err := strconv.Atoi(val); err == nil && n > 0 {
+				k.SMs = n
 			}
 		case "seed":
 			if n, err := strconv.ParseUint(val, 10, 64); err == nil {

@@ -24,17 +24,28 @@ func Run(inst *workloads.Instance, opts core.Options) (*core.Compilation, *simt.
 	if err != nil {
 		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
 	}
-	res, err := simt.Run(comp.Module, simt.Config{
+	res, err := simt.Run(comp.Module, launchConfig(inst))
+	if err != nil {
+		return nil, nil, fmt.Errorf("run %s: %w", inst.Module.Name, err)
+	}
+	return comp, res, nil
+}
+
+// launchConfig maps an instance's launch shape onto the simulator
+// config: flat single-SM by default, a GPU-scale grid launch when the
+// instance was built with one.
+func launchConfig(inst *workloads.Instance) simt.Config {
+	return simt.Config{
 		Kernel:  inst.Kernel,
 		Threads: inst.Threads,
 		Seed:    inst.Seed,
 		Memory:  inst.Memory,
 		Strict:  true,
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("run %s: %w", inst.Module.Name, err)
+		Grid:    inst.Grid,
+		CTASize: inst.CTASize,
+		SMs:     inst.SMs,
+		Workers: inst.Workers,
 	}
-	return comp, res, nil
 }
 
 // RunSafe is Run through fail-safe compilation: when the static barrier
@@ -47,13 +58,7 @@ func RunSafe(inst *workloads.Instance, opts core.Options) (*core.SafeCompilation
 	if err != nil {
 		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
 	}
-	res, err := simt.Run(comp.Module, simt.Config{
-		Kernel:  inst.Kernel,
-		Threads: inst.Threads,
-		Seed:    inst.Seed,
-		Memory:  inst.Memory,
-		Strict:  true,
-	})
+	res, err := simt.Run(comp.Module, launchConfig(inst))
 	if err != nil {
 		return nil, nil, fmt.Errorf("run %s: %w", inst.Module.Name, err)
 	}
@@ -258,13 +263,7 @@ func Figure9(name string, cfg workloads.BuildConfig, thresholds []int, paralleli
 		if err != nil {
 			return fmt.Errorf("threshold %d: %w", t, err)
 		}
-		spec, err := simt.Run(comp.Module, simt.Config{
-			Kernel:  inst.Kernel,
-			Threads: inst.Threads,
-			Seed:    inst.Seed,
-			Memory:  inst.Memory,
-			Strict:  true,
-		})
+		spec, err := simt.Run(comp.Module, launchConfig(inst))
 		if err != nil {
 			return fmt.Errorf("threshold %d: %w", t, err)
 		}

@@ -23,13 +23,7 @@ func CollectProfile(inst *workloads.Instance) (map[string]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := simt.Run(comp.Module, simt.Config{
-		Kernel:  inst.Kernel,
-		Threads: inst.Threads,
-		Seed:    inst.Seed,
-		Memory:  inst.Memory,
-		Strict:  true,
-	})
+	res, err := simt.Run(comp.Module, launchConfig(inst))
 	if err != nil {
 		return nil, err
 	}

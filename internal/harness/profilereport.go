@@ -27,14 +27,9 @@ func runProfiled(inst *workloads.Instance, opts core.Options) (*obs.Profile, err
 		return nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
 	}
 	p := obs.NewProfile(comp.Module)
-	if _, err := simt.Run(comp.Module, simt.Config{
-		Kernel:  inst.Kernel,
-		Threads: inst.Threads,
-		Seed:    inst.Seed,
-		Memory:  inst.Memory,
-		Strict:  true,
-		Events:  p,
-	}); err != nil {
+	runCfg := launchConfig(inst)
+	runCfg.Events = p
+	if _, err := simt.Run(comp.Module, runCfg); err != nil {
 		return nil, fmt.Errorf("run %s: %w", inst.Module.Name, err)
 	}
 	return p, nil
@@ -128,14 +123,9 @@ func DumpTraces(dir string, cfg workloads.BuildConfig, parallelism int) ([]strin
 				return fmt.Errorf("compile %s: %w", ws[i].Name, err)
 			}
 			rec := obs.NewTraceRecorder()
-			if _, err := simt.Run(comp.Module, simt.Config{
-				Kernel:  inst.Kernel,
-				Threads: inst.Threads,
-				Seed:    inst.Seed,
-				Memory:  inst.Memory,
-				Strict:  true,
-				Events:  rec,
-			}); err != nil {
+			runCfg := launchConfig(inst)
+			runCfg.Events = rec
+			if _, err := simt.Run(comp.Module, runCfg); err != nil {
 				return fmt.Errorf("run %s: %w", ws[i].Name, err)
 			}
 			path := filepath.Join(dir, fmt.Sprintf("%s-%s.trace.json", ws[i].Name, build.tag))

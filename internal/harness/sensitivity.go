@@ -52,14 +52,9 @@ func CompareWithCache(w *workloads.Workload, cfg workloads.BuildConfig, cache si
 		if err != nil {
 			return nil, err
 		}
-		return simt.Run(comp.Module, simt.Config{
-			Kernel:  inst.Kernel,
-			Threads: inst.Threads,
-			Seed:    inst.Seed,
-			Memory:  inst.Memory,
-			Cache:   cache,
-			Strict:  true,
-		})
+		runCfg := launchConfig(inst)
+		runCfg.Cache = cache
+		return simt.Run(comp.Module, runCfg)
 	}
 	base, err := runC(core.BaselineOptions())
 	if err != nil {

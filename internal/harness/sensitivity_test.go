@@ -73,7 +73,7 @@ func TestNoMLPAblation(t *testing.T) {
 			// Un-annotated workload: let the detector annotate it.
 			core.AutoAnnotate(mod, core.DefaultAutoDetectOptions())
 		}
-		c, err := CompareWithCache(&workloads.Workload{Name: tc.name, Build: func(workloads.BuildConfig) *workloads.Instance {
+		c, err := CompareWithCache(&workloads.Workload{Name: tc.name, BuildFn: func(workloads.BuildConfig) *workloads.Instance {
 			return &workloads.Instance{Module: mod, Kernel: inst.Kernel, Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed}
 		}}, workloads.BuildConfig{}, v.Cache)
 		if err != nil {

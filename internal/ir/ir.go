@@ -179,6 +179,12 @@ type Module struct {
 	// MemWords is the size of global memory in 64-bit words that kernels
 	// of this module expect; the simulator allocates at least this much.
 	MemWords int
+
+	// SharedWords is the size of the per-CTA shared-memory segment in
+	// 64-bit words (the static shared allocation of the kernel). Zero
+	// means the module uses no shared memory; the simulator rejects
+	// shared-memory opcodes when no segment exists.
+	SharedWords int
 }
 
 // NewModule returns an empty module.
@@ -245,7 +251,7 @@ func (m *Module) MaxRegs() (nregs, nfregs int) {
 // Clone returns a deep copy of the module. Passes mutate IR in place, so
 // experiment harnesses clone the pristine module before each variant.
 func (m *Module) Clone() *Module {
-	out := &Module{Name: m.Name, MemWords: m.MemWords}
+	out := &Module{Name: m.Name, MemWords: m.MemWords, SharedWords: m.SharedWords}
 	for _, f := range m.Funcs {
 		out.Funcs = append(out.Funcs, f.Clone())
 	}

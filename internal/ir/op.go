@@ -103,6 +103,30 @@ const (
 	OpVoteAll // dst = 1 if every active lane's a != 0
 	OpBallot  // dst = bitmask of active lanes with a != 0
 
+	// CTA (workgroup) hierarchy. These only behave non-trivially on a
+	// grid launch (simt.Config.Grid > 0); on a flat launch the whole
+	// launch acts as one CTA.
+	OpCTAId   // dst = CTA index within the grid
+	OpCTATid  // dst = thread id within the CTA
+	OpCTASize // dst = threads per CTA (uniform)
+	// OpCTABar is the workgroup barrier (PTX bar.sync / __syncthreads):
+	// a lane blocks until every live lane of its CTA — across all of the
+	// CTA's warps — is blocked on the same named CTA barrier. The Bar
+	// field names one of the CTA's MaxBarriersPerCTA barriers; it is a
+	// different namespace from the warp's convergence-barrier registers
+	// (IsBarrierOp is false for this opcode).
+	OpCTABar
+
+	// Shared memory: the CTA-scoped address space (ld.shared/st.shared).
+	// Addresses are word indices into the CTA's shared segment, sized by
+	// the module's sharedwords attribute; the effective address is
+	// reg(A) + Imm. Shared accesses bypass the global-memory cache and
+	// coalescer and complete at a fixed latency.
+	OpSharedLoad   // dst = shared[a+imm]
+	OpSharedStore  // shared[a+imm] = b (int)
+	OpFSharedLoad  // fdst = shared[a+imm] as float
+	OpFSharedStore // shared[a+imm] = fb
+
 	// Control.
 	OpCall // call Instr.Callee; not a terminator, returns to the next instr
 	OpBr   // unconditional; Block.Succs[0]
@@ -143,7 +167,8 @@ type opInfo struct {
 	a, b, c regFile
 	bMayImm bool // B may be an immediate (Instr.BImm)
 	imm     immKind
-	bar     bool // uses Instr.Bar
+	bar     bool // uses Instr.Bar (warp convergence-barrier register)
+	wgbar   bool // uses Instr.Bar as a CTA workgroup-barrier name
 	call    bool // uses Instr.Callee
 	term    bool // block terminator
 	nsucc   int  // required successor count when term
@@ -225,6 +250,16 @@ var opTable = [numOpcodes]opInfo{
 	OpVoteAll:  {name: "voteall", dst: fileInt, a: fileInt, latency: 2},
 	OpBallot:   {name: "ballot", dst: fileInt, a: fileInt, latency: 2},
 
+	OpCTAId:   {name: "ctaid", dst: fileInt, latency: 1},
+	OpCTATid:  {name: "ctatid", dst: fileInt, latency: 1},
+	OpCTASize: {name: "ctasize", dst: fileInt, latency: 1},
+	OpCTABar:  {name: "ctabar", wgbar: true, latency: 1},
+
+	OpSharedLoad:   {name: "lds", dst: fileInt, a: fileInt, imm: immOffset, latency: 2},
+	OpSharedStore:  {name: "sts", a: fileInt, b: fileInt, imm: immOffset, latency: 2},
+	OpFSharedLoad:  {name: "flds", dst: fileFloat, a: fileInt, imm: immOffset, latency: 2},
+	OpFSharedStore: {name: "fsts", a: fileInt, b: fileFloat, imm: immOffset, latency: 2},
+
 	OpCall: {name: "call", call: true, latency: 2},
 	OpBr:   {name: "br", term: true, nsucc: 1, latency: 1},
 	OpCBr:  {name: "cbr", a: fileInt, term: true, nsucc: 2, latency: 1},
@@ -266,8 +301,14 @@ func (op Opcode) NumSuccs() int { return opTable[op].nsucc }
 // Latency returns the base issue latency in simulator cycles.
 func (op Opcode) Latency() int { return opTable[op].latency }
 
-// IsBarrierOp reports whether the opcode references a barrier register.
+// IsBarrierOp reports whether the opcode references a warp
+// convergence-barrier register. CTA workgroup barriers (OpCTABar) live
+// in a separate namespace and are excluded, so the barrier allocator and
+// the barrier-state analyses never confuse the two.
 func (op Opcode) IsBarrierOp() bool { return opTable[op].bar }
+
+// IsCTABarrier reports whether the opcode is the CTA workgroup barrier.
+func (op Opcode) IsCTABarrier() bool { return opTable[op].wgbar }
 
 // IsMemory reports whether the opcode accesses global memory.
 func (op Opcode) IsMemory() bool {
@@ -278,11 +319,22 @@ func (op Opcode) IsMemory() bool {
 	return false
 }
 
+// IsSharedMemory reports whether the opcode accesses the CTA's shared
+// memory segment. Shared accesses are not subject to the global-memory
+// coalescer or cache.
+func (op Opcode) IsSharedMemory() bool {
+	switch op {
+	case OpSharedLoad, OpSharedStore, OpFSharedLoad, OpFSharedStore:
+		return true
+	}
+	return false
+}
+
 // IsDivergenceSource reports whether the opcode produces a value that
 // differs across lanes regardless of its inputs.
 func (op Opcode) IsDivergenceSource() bool {
 	switch op {
-	case OpTid, OpLane, OpRand, OpFRand:
+	case OpTid, OpLane, OpRand, OpFRand, OpCTATid:
 		return true
 	}
 	return false

@@ -65,6 +65,12 @@ func (p *parser) module() (*Module, error) {
 				return nil, fmt.Errorf("memwords: %v", err)
 			}
 			m.MemWords = n
+		case "sharedwords":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("sharedwords: %v", err)
+			}
+			m.SharedWords = n
 		default:
 			return nil, fmt.Errorf("unknown module attribute %q", k)
 		}
@@ -306,14 +312,14 @@ func parseInstr(ln string) (Instr, []string, error) {
 
 	var err error
 	switch op {
-	case OpLoad, OpFLoad:
+	case OpLoad, OpFLoad, OpSharedLoad, OpFSharedLoad:
 		if in.Dst, err = reg(info.dst); err != nil {
 			return in, nil, err
 		}
 		if err = memOperand(); err != nil {
 			return in, nil, err
 		}
-	case OpStore, OpFStore:
+	case OpStore, OpFStore, OpSharedStore, OpFSharedStore:
 		if err = memOperand(); err != nil {
 			return in, nil, err
 		}
@@ -351,7 +357,7 @@ func parseInstr(ln string) (Instr, []string, error) {
 				return in, nil, err
 			}
 		}
-		if info.bar {
+		if info.bar || info.wgbar {
 			t, err := pop()
 			if err != nil {
 				return in, nil, err

@@ -27,7 +27,11 @@ import (
 // of their region-start block.
 func Print(m *Module) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "module %s memwords=%d\n", m.Name, m.MemWords)
+	fmt.Fprintf(&sb, "module %s memwords=%d", m.Name, m.MemWords)
+	if m.SharedWords > 0 {
+		fmt.Fprintf(&sb, " sharedwords=%d", m.SharedWords)
+	}
+	sb.WriteString("\n")
 	for _, f := range m.Funcs {
 		sb.WriteString("\n")
 		printFunction(&sb, f)
@@ -89,9 +93,9 @@ func FormatInstr(in *Instr, b *Block) string {
 	}
 
 	switch in.Op {
-	case OpLoad, OpFLoad:
+	case OpLoad, OpFLoad, OpSharedLoad, OpFSharedLoad:
 		ops = []string{regTok(in.Dst, info.dst), mem(in.A, in.Imm)}
-	case OpStore, OpFStore:
+	case OpStore, OpFStore, OpSharedStore, OpFSharedStore:
 		v := regTok(in.B, info.b)
 		if in.BImm {
 			v = immTok(in, info)
@@ -120,7 +124,7 @@ func FormatInstr(in *Instr, b *Block) string {
 		if info.c != fileNone {
 			ops = append(ops, regTok(in.C, info.c))
 		}
-		if info.bar {
+		if info.bar || info.wgbar {
 			ops = append(ops, fmt.Sprintf("b%d", in.Bar))
 		}
 		switch info.imm {

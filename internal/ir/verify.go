@@ -159,6 +159,9 @@ func verifyOperands(f *Function, b *Block, i int, in *Instr) []error {
 			at("negative barrier register %d", in.Bar)
 		}
 	}
+	if info.wgbar && (in.Bar < 0 || in.Bar >= NumBarrierRegs) {
+		at("workgroup barrier %d outside [0,%d)", in.Bar, NumBarrierRegs)
+	}
 	if in.Op == OpWaitN && (in.Imm < 0 || in.Imm > WarpWidth) {
 		at("waitn threshold %d outside [0,%d]", in.Imm, WarpWidth)
 	}

@@ -75,9 +75,54 @@ func NewProfile(m *ir.Module) *Profile {
 		if n := f.MaxBarrier() + 1; n > nbar {
 			nbar = n
 		}
+		// ctabar workgroup barriers live outside MaxBarrier (they are not
+		// convergence-barrier ops) but share the register numbering, so
+		// size the table to cover them too.
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if in := &b.Instrs[i]; in.Op.IsCTABarrier() && in.Bar+1 > nbar {
+					nbar = in.Bar + 1
+				}
+			}
+		}
 	}
 	p.barriers = make([]barCounters, nbar)
 	return p
+}
+
+// Merge folds o — a profile of the same module, typically one SM's
+// profile of a sharded grid launch — into p: every per-PC and
+// per-barrier counter adds, as do the launch-wide totals, so merging the
+// per-SM profiles in SM order reproduces the single profile a serial
+// run with one shared sink would have built. Transient lane-wait state
+// is not merged (a completed SM has none).
+func (p *Profile) Merge(o *Profile) {
+	for i := range p.counters {
+		if i >= len(o.counters) {
+			break
+		}
+		pc, oc := &p.counters[i], &o.counters[i]
+		pc.issues += oc.issues
+		pc.activeLanes += oc.activeLanes
+		pc.cycles += oc.cycles
+		pc.memStall += oc.memStall
+		pc.barStall += oc.barStall
+		pc.waits += oc.waits
+		pc.takenLanes += oc.takenLanes
+		pc.notTakenLanes += oc.notTakenLanes
+		pc.divergent += oc.divergent
+	}
+	for b := range p.barriers {
+		if b >= len(o.barriers) {
+			break
+		}
+		p.barriers[b].waits += o.barriers[b].waits
+		p.barriers[b].releases += o.barriers[b].releases
+		p.barriers[b].blocked += o.barriers[b].blocked
+	}
+	p.issues += o.issues
+	p.activeLanes += o.activeLanes
+	p.cycles += o.cycles
 }
 
 // warp returns (growing on demand) the wait state of warp w. Growth only
@@ -122,7 +167,10 @@ func (p *Profile) Event(ev simt.Event) {
 		if ev.Diverged() {
 			c.divergent++
 		}
-	case simt.EvBarrierWait:
+	case simt.EvBarrierWait, simt.EvCTABarWait:
+		// ctabar workgroup barriers share the register numbering with
+		// convergence barriers, so their wait/stall time lands in the
+		// same per-register rows.
 		if int(ev.Bar) >= len(p.barriers) {
 			return
 		}
@@ -138,7 +186,7 @@ func (p *Profile) Event(ev simt.Event) {
 		if ev.PC >= 0 && int(ev.PC) < len(p.counters) {
 			p.counters[ev.PC].waits += n
 		}
-	case simt.EvBarrierRelease:
+	case simt.EvBarrierRelease, simt.EvCTABarRelease:
 		if int(ev.Bar) >= len(p.barriers) {
 			return
 		}
@@ -203,7 +251,7 @@ func (p *Profile) MemStallCycles() int64 {
 }
 
 // BarrierStallCycles returns total lane-cycles spent blocked at
-// convergence barriers.
+// convergence barriers and ctabar workgroup barriers.
 func (p *Profile) BarrierStallCycles() int64 {
 	var n int64
 	for i := range p.barriers {

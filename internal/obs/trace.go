@@ -11,12 +11,14 @@ import (
 
 // Chrome trace-event / Perfetto export. WriteTrace renders a recorded
 // event stream in the Trace Event Format (the JSON flavor Perfetto's
-// ui.perfetto.dev opens directly): one process, and per warp one
-// execution track carrying block-residency spans plus divergence
-// instants, and one track per (warp, barrier register) carrying
-// barrier-wait spans. Timestamps are modeled cycles reported as
+// ui.perfetto.dev opens directly): one process (track group) per SM,
+// and per warp one execution track carrying block-residency spans plus
+// divergence instants, and one track per (warp, barrier register)
+// carrying barrier-wait spans (convergence barriers and ctabar
+// workgroup barriers alike). Timestamps are modeled cycles reported as
 // microseconds — the absolute unit is meaningless for a simulator, only
-// the ratios matter.
+// the ratios matter. A flat launch reports every event on SM 0, so its
+// trace keeps the single "simt" process of the pre-hierarchy exporter.
 
 // trackStride spaces the synthetic thread ids of one warp's tracks: tid
 // warp*trackStride is the execution track, warp*trackStride+1+b the
@@ -74,10 +76,15 @@ func (r *TraceRecorder) WriteTrace(w io.Writer) error {
 
 	// Track bookkeeping: open block spans per warp, open barrier-wait
 	// spans per (warp, barrier), and which tracks exist (for metadata).
+	// Warp indices are launch-wide unique, so per-warp maps need no SM
+	// qualifier; warpSM/maxSM remember each warp's home SM for the pid
+	// field and the per-SM process metadata.
 	execOpen := map[int32]*execSpan{}
 	barOpen := map[[2]int32]bool{}
 	seenExec := map[int32]bool{}
 	seenBar := map[[2]int32]bool{}
+	warpSM := map[int32]int32{}
+	var maxSM int32
 	var endCycle int64
 
 	execTid := func(warp int32) int { return int(warp) * trackStride }
@@ -87,6 +94,11 @@ func (r *TraceRecorder) WriteTrace(w io.Writer) error {
 		if c := ev.Cycle + ev.Cost; c > endCycle {
 			endCycle = c
 		}
+		warpSM[ev.Warp] = ev.SM
+		if ev.SM > maxSM {
+			maxSM = ev.SM
+		}
+		pid := int(ev.SM)
 		switch ev.Kind {
 		case simt.EvIssue:
 			seenExec[ev.Warp] = true
@@ -97,14 +109,14 @@ func (r *TraceRecorder) WriteTrace(w io.Writer) error {
 			}
 			if sp.open && (sp.fn != ev.Fn || sp.blk != ev.Blk) {
 				out = append(out, traceEvent{
-					Name: "block", Ph: "E", Ts: ev.Cycle, Pid: 0, Tid: execTid(ev.Warp),
+					Name: "block", Ph: "E", Ts: ev.Cycle, Pid: pid, Tid: execTid(ev.Warp),
 				})
 				sp.open = false
 			}
 			if !sp.open {
 				out = append(out, traceEvent{
 					Name: fmt.Sprintf("%s.%s", ev.FnName, ev.BlockName),
-					Ph:   "B", Ts: ev.Cycle, Pid: 0, Tid: execTid(ev.Warp),
+					Ph:   "B", Ts: ev.Cycle, Pid: pid, Tid: execTid(ev.Warp),
 					Args: map[string]any{"mask": fmt.Sprintf("%08x", ev.Mask)},
 				})
 				sp.fn, sp.blk, sp.open = ev.Fn, ev.Blk, true
@@ -115,71 +127,98 @@ func (r *TraceRecorder) WriteTrace(w io.Writer) error {
 			}
 			out = append(out, traceEvent{
 				Name: fmt.Sprintf("diverge %s.%s", ev.FnName, ev.BlockName),
-				Ph:   "i", Ts: ev.Cycle, Pid: 0, Tid: execTid(ev.Warp), S: "t",
+				Ph:   "i", Ts: ev.Cycle, Pid: pid, Tid: execTid(ev.Warp), S: "t",
 				Args: map[string]any{
 					"mask":  fmt.Sprintf("%08x", ev.Mask),
 					"taken": fmt.Sprintf("%08x", ev.Aux),
 				},
 			})
-		case simt.EvBarrierWait:
+		case simt.EvBarrierWait, simt.EvCTABarWait:
 			key := [2]int32{ev.Warp, int32(ev.Bar)}
 			seenBar[key] = true
 			if barOpen[key] {
 				continue // more lanes joined an already-open wait span
 			}
 			barOpen[key] = true
+			name := fmt.Sprintf("wait b%d", ev.Bar)
+			if ev.Kind == simt.EvCTABarWait {
+				name = fmt.Sprintf("ctabar b%d", ev.Bar)
+			}
 			out = append(out, traceEvent{
-				Name: fmt.Sprintf("wait b%d", ev.Bar),
-				Ph:   "B", Ts: ev.Cycle, Pid: 0, Tid: barTid(ev.Warp, ev.Bar),
+				Name: name,
+				Ph:   "B", Ts: ev.Cycle, Pid: pid, Tid: barTid(ev.Warp, ev.Bar),
 				Args: map[string]any{
 					"at":   fmt.Sprintf("%s.%s#%d", ev.FnName, ev.BlockName, ev.Ins),
 					"mask": fmt.Sprintf("%08x", ev.Mask),
 				},
 			})
-		case simt.EvBarrierRelease:
+		case simt.EvBarrierRelease, simt.EvCTABarRelease:
 			key := [2]int32{ev.Warp, int32(ev.Bar)}
 			if !barOpen[key] {
 				continue
 			}
 			barOpen[key] = false
+			name := fmt.Sprintf("wait b%d", ev.Bar)
+			if ev.Kind == simt.EvCTABarRelease {
+				name = fmt.Sprintf("ctabar b%d", ev.Bar)
+			}
 			out = append(out, traceEvent{
-				Name: fmt.Sprintf("wait b%d", ev.Bar),
-				Ph:   "E", Ts: ev.Cycle, Pid: 0, Tid: barTid(ev.Warp, ev.Bar),
+				Name: name,
+				Ph:   "E", Ts: ev.Cycle, Pid: pid, Tid: barTid(ev.Warp, ev.Bar),
 				Args: map[string]any{"released": fmt.Sprintf("%08x", ev.Mask)},
 			})
 		}
 	}
 
 	// Close every span still open at the end of the run.
-	for warp, sp := range sortedExec(execOpen) {
-		_ = warp
+	for _, sp := range sortedExec(execOpen) {
 		if sp.span.open {
-			out = append(out, traceEvent{Name: "block", Ph: "E", Ts: endCycle, Pid: 0, Tid: execTid(sp.warp)})
+			out = append(out, traceEvent{
+				Name: "block", Ph: "E", Ts: endCycle,
+				Pid: int(warpSM[sp.warp]), Tid: execTid(sp.warp),
+			})
 		}
 	}
 	for _, key := range sortedBarKeys(barOpen) {
 		if barOpen[key] {
 			out = append(out, traceEvent{
 				Name: fmt.Sprintf("wait b%d", key[1]), Ph: "E", Ts: endCycle,
-				Pid: 0, Tid: barTid(key[0], int16(key[1])),
+				Pid: int(warpSM[key[0]]), Tid: barTid(key[0], int16(key[1])),
 			})
 		}
 	}
 
-	// Track-name metadata, emitted ahead of the stream.
-	meta := []traceEvent{{
-		Name: "process_name", Ph: "M", Ts: 0, Pid: 0, Tid: 0,
-		Args: map[string]any{"name": "simt"},
-	}}
+	// Track-name metadata, emitted ahead of the stream. A single-SM
+	// stream keeps the historical "simt" process name; a multi-SM stream
+	// gets one named, sort-ordered process per SM.
+	var meta []traceEvent
+	if maxSM == 0 {
+		meta = append(meta, traceEvent{
+			Name: "process_name", Ph: "M", Ts: 0, Pid: 0, Tid: 0,
+			Args: map[string]any{"name": "simt"},
+		})
+	} else {
+		for s := int32(0); s <= maxSM; s++ {
+			meta = append(meta,
+				traceEvent{
+					Name: "process_name", Ph: "M", Ts: 0, Pid: int(s), Tid: 0,
+					Args: map[string]any{"name": fmt.Sprintf("sm %d", s)},
+				},
+				traceEvent{
+					Name: "process_sort_index", Ph: "M", Ts: 0, Pid: int(s), Tid: 0,
+					Args: map[string]any{"sort_index": int(s)},
+				})
+		}
+	}
 	for _, warp := range sortedWarps(seenExec) {
 		meta = append(meta, traceEvent{
-			Name: "thread_name", Ph: "M", Ts: 0, Pid: 0, Tid: execTid(warp),
+			Name: "thread_name", Ph: "M", Ts: 0, Pid: int(warpSM[warp]), Tid: execTid(warp),
 			Args: map[string]any{"name": fmt.Sprintf("warp %d", warp)},
 		})
 	}
 	for _, key := range sortedBarKeys(seenBar) {
 		meta = append(meta, traceEvent{
-			Name: "thread_name", Ph: "M", Ts: 0, Pid: 0, Tid: barTid(key[0], int16(key[1])),
+			Name: "thread_name", Ph: "M", Ts: 0, Pid: int(warpSM[key[0]]), Tid: barTid(key[0], int16(key[1])),
 			Args: map[string]any{"name": fmt.Sprintf("warp %d barrier b%d", key[0], key[1])},
 		})
 	}

@@ -51,3 +51,52 @@ func TestSteadyStateIssueAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestSteadyStateIssueAllocFreeGrid extends the allocation guard to the
+// GPU hierarchy: a multi-CTA wave resident on one SM, with shared-memory
+// traffic and a workgroup barrier in the hot loop, still issues with
+// zero heap allocations per round-robin pass — both bare and with a
+// per-SM profiler sink attached via Config.SMEvents (the lock-free path
+// a sharded run uses).
+func TestSteadyStateIssueAllocFreeGrid(t *testing.T) {
+	mod, err := ir.Parse(simt.AllocTestKernelGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		smEvents func() func(sm int) simt.EventSink
+	}{
+		{"bare", func() func(sm int) simt.EventSink { return nil }},
+		{"profile", func() func(sm int) simt.EventSink {
+			return func(sm int) simt.EventSink { return obs.NewProfile(mod) }
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := simt.Config{
+				Grid: 2, CTASize: 2 * ir.WarpWidth, SMs: 1,
+				Seed: 1, Strict: true, SMEvents: tc.smEvents(),
+			}
+			h, err := simt.NewHandSimGPU(mod, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepOnce := func() {
+				progress, err := h.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !progress {
+					t.Fatal("wave retired during measurement; extend the loop bound")
+				}
+			}
+			for i := 0; i < 2000; i++ {
+				stepOnce()
+			}
+			if avg := testing.AllocsPerRun(500, stepOnce); avg != 0 {
+				t.Fatalf("steady-state allocations per issue pass = %v, want 0", avg)
+			}
+		})
+	}
+}

@@ -22,13 +22,16 @@ type BarrierSnapshot struct {
 
 // BlockedLane records one lane that cannot proceed: its PC and, for
 // lanes blocked at a barrier wait, the barrier register it waits on
-// (Bar is -1 for lanes blocked at warpsync).
+// (Bar is -1 for lanes blocked at warpsync). CTABar marks a lane
+// blocked at a ctabar workgroup barrier; Bar then names the workgroup
+// barrier rather than a convergence-barrier register.
 type BlockedLane struct {
-	Lane  int
-	Fn    string
-	Block string
-	Ins   int
-	Bar   int
+	Lane   int
+	Fn     string
+	Block  string
+	Ins    int
+	Bar    int
+	CTABar bool
 }
 
 // DeadlockError reports that a warp has live lanes but none of them is
@@ -36,6 +39,11 @@ type BlockedLane struct {
 // speculative reconvergence without (correct) deconfliction.
 type DeadlockError struct {
 	Warp int
+	// SM and CTA locate the stalled warp in the GPU hierarchy on a grid
+	// launch; both are -1 on a flat launch (no hierarchy to name), which
+	// keeps the rendered diagnostic identical to the pre-hierarchy one.
+	SM  int
+	CTA int
 	// Barriers lists every barrier register with leftover participation
 	// or waiters.
 	Barriers []BarrierSnapshot
@@ -52,13 +60,19 @@ type DeadlockError struct {
 func (e *DeadlockError) Error() string {
 	var sb strings.Builder
 	sb.WriteString("deadlock: no runnable lanes;")
+	if e.SM >= 0 {
+		fmt.Fprintf(&sb, " sm%d cta%d;", e.SM, e.CTA)
+	}
 	for _, b := range e.Barriers {
 		fmt.Fprintf(&sb, " b%d{mask=%08x waiting=%08x}", b.Bar, b.Mask, b.Waiting)
 	}
 	for _, l := range e.Lanes {
-		if l.Bar >= 0 {
+		switch {
+		case l.CTABar:
+			fmt.Fprintf(&sb, " lane%d@%s.%s#%d(ctabar b%d)", l.Lane, l.Fn, l.Block, l.Ins, l.Bar)
+		case l.Bar >= 0:
 			fmt.Fprintf(&sb, " lane%d@%s.%s#%d(wait b%d)", l.Lane, l.Fn, l.Block, l.Ins, l.Bar)
-		} else {
+		default:
 			fmt.Fprintf(&sb, " lane%d(warpsync)", l.Lane)
 		}
 	}
@@ -81,6 +95,10 @@ func (e *DeadlockError) BlockedMask() uint32 {
 // before every lane exited — the simulator's livelock guard.
 type BudgetError struct {
 	Warp int
+	// SM and CTA locate the warp that hit the budget on a grid launch
+	// (budgets apply per SM there); both are -1 on a flat launch.
+	SM  int
+	CTA int
 	// MaxIssues/MaxCycles are the configured limits (a zero MaxCycles
 	// means the cycle budget was unlimited and the issue budget fired).
 	MaxIssues int64
@@ -100,6 +118,10 @@ func (e *BudgetError) Error() string {
 	if e.MaxCycles > 0 && e.Cycles >= e.MaxCycles {
 		kind, limit = "cycle", e.MaxCycles
 	}
-	return fmt.Sprintf("%s budget exhausted (%d); likely livelock (issues=%d cycles=%d last-progress-cycle=%d)",
-		kind, limit, e.Issues, e.Cycles, e.LastProgressCycle)
+	where := ""
+	if e.SM >= 0 {
+		where = fmt.Sprintf("sm%d cta%d: ", e.SM, e.CTA)
+	}
+	return fmt.Sprintf("%s%s budget exhausted (%d); likely livelock (issues=%d cycles=%d last-progress-cycle=%d)",
+		where, kind, limit, e.Issues, e.Cycles, e.LastProgressCycle)
 }

@@ -45,6 +45,14 @@ const (
 	// EvRet fires when a group executes ret (including returns that exit
 	// the kernel's bottom frame).
 	EvRet
+	// EvCTABarWait fires when lanes block at a ctabar workgroup barrier.
+	// Mask is the newly blocked cohort of one warp; Bar the workgroup
+	// barrier name. ITS engine only.
+	EvCTABarWait
+	// EvCTABarRelease fires, once per warp with released lanes, when a
+	// workgroup barrier opens (every live lane of the CTA arrived). The
+	// release has no single instruction site, so PC/Fn/Blk/Ins are -1.
+	EvCTABarRelease
 )
 
 func (k EventKind) String() string {
@@ -63,6 +71,10 @@ func (k EventKind) String() string {
 		return "call"
 	case EvRet:
 		return "ret"
+	case EvCTABarWait:
+		return "ctabar-wait"
+	case EvCTABarRelease:
+		return "ctabar-release"
 	}
 	return "event(?)"
 }
@@ -73,7 +85,12 @@ func (k EventKind) String() string {
 type Event struct {
 	Kind EventKind
 	Bar  int16 // barrier register for barrier events, else -1
+	// Warp is the launch-wide warp index (unique across CTAs and SMs);
+	// SM and CTA locate the warp in the GPU hierarchy. Flat launches
+	// report SM 0 and CTA 0, so pre-hierarchy consumers are unaffected.
 	Warp int32
+	SM   int32
+	CTA  int32
 	// PC is the dense static-instruction index (BuildPCTable order);
 	// Fn/Blk/Ins locate the same instruction structurally.
 	PC           int32

@@ -46,7 +46,7 @@ func (ws *warpState) issue(g group) error {
 
 	if sink != nil {
 		ev := Event{
-			Kind: EvIssue, Bar: -1, Warp: int32(ws.index), PC: im.pcid,
+			Kind: EvIssue, Bar: -1, Warp: int32(ws.index), SM: s.smIndex, CTA: ws.ctaIndex, PC: im.pcid,
 			Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
 			FnName: f.Name, BlockName: blk.Name,
 			Issue: s.metrics.Issues, Cycle: s.metrics.Cycles, Cost: cost,
@@ -89,7 +89,7 @@ func (ws *warpState) issue(g group) error {
 		}
 		if sink != nil && blocked != 0 {
 			sink.Event(Event{
-				Kind: EvBarrierWait, Bar: int16(in.Bar), Warp: int32(ws.index),
+				Kind: EvBarrierWait, Bar: int16(in.Bar), Warp: int32(ws.index), SM: s.smIndex, CTA: ws.ctaIndex,
 				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
 				FnName: f.Name, BlockName: blk.Name,
 				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
@@ -101,6 +101,33 @@ func (ws *warpState) issue(g group) error {
 		} else {
 			ws.releaseCheck(in.Bar)
 		}
+	case ir.OpCTABar:
+		// Workgroup barrier: the active lanes block until every live
+		// lane of the CTA (across all its warps) arrives at barrier
+		// in.Bar; the barrier then opens for the whole CTA at once.
+		var blocked uint32
+		for l := 0; l < ir.WarpWidth; l++ {
+			if g.mask&(1<<l) == 0 {
+				continue
+			}
+			ln := ws.lanes[l]
+			ln.status = laneCTAWaiting
+			ln.waitBar = in.Bar
+			blocked |= 1 << l
+		}
+		n := popcount(blocked)
+		ws.cta.blockOnBar(in.Bar, n)
+		s.metrics.CTABarWaits += int64(n)
+		if sink != nil && blocked != 0 {
+			sink.Event(Event{
+				Kind: EvCTABarWait, Bar: int16(in.Bar), Warp: int32(ws.index), SM: s.smIndex, CTA: ws.ctaIndex,
+				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
+				FnName: f.Name, BlockName: blk.Name,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: blocked,
+			})
+		}
+		ws.cta.barCheck(s, in.Bar)
 	case ir.OpWarpSync:
 		for l := 0; l < ir.WarpWidth; l++ {
 			if g.mask&(1<<l) != 0 {
@@ -136,7 +163,7 @@ func (ws *warpState) issue(g group) error {
 		}
 		if sink != nil {
 			sink.Event(Event{
-				Kind: EvCall, Bar: -1, Warp: int32(ws.index),
+				Kind: EvCall, Bar: -1, Warp: int32(ws.index), SM: s.smIndex, CTA: ws.ctaIndex,
 				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
 				FnName: f.Name, BlockName: blk.Name,
 				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
@@ -167,7 +194,7 @@ func (ws *warpState) issue(g group) error {
 		}
 		if sink != nil {
 			sink.Event(Event{
-				Kind: EvBranch, Bar: -1, Warp: int32(ws.index),
+				Kind: EvBranch, Bar: -1, Warp: int32(ws.index), SM: s.smIndex, CTA: ws.ctaIndex,
 				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
 				FnName: f.Name, BlockName: blk.Name,
 				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
@@ -191,7 +218,7 @@ func (ws *warpState) issue(g group) error {
 		}
 		if sink != nil {
 			sink.Event(Event{
-				Kind: EvRet, Bar: -1, Warp: int32(ws.index),
+				Kind: EvRet, Bar: -1, Warp: int32(ws.index), SM: s.smIndex, CTA: ws.ctaIndex,
 				PC: im.pcid, Fn: int32(g.pc.fn), Blk: int32(g.pc.blk), Ins: int32(g.pc.ins),
 				FnName: f.Name, BlockName: blk.Name,
 				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
@@ -290,6 +317,23 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 			return 0, fmt.Errorf("memory access out of bounds: address %d (memory %d words)", a, len(s.mem))
 		}
 		return a, nil
+	}
+	// saddr bounds-checks a CTA shared-memory address; a module without
+	// a sharedwords declaration has a zero-length segment, so any shared
+	// access is rejected.
+	saddr := func() (int64, error) {
+		a := ln.regs[in.A] + in.Imm
+		if a < 0 || a >= int64(len(ws.cta.shared)) {
+			return 0, fmt.Errorf("shared memory access out of bounds: address %d (shared %d words)", a, len(ws.cta.shared))
+		}
+		return a, nil
+	}
+	// markDirty records a global-memory store for the cross-SM merge of
+	// a sharded grid launch (s.dirty is nil on flat launches).
+	markDirty := func(a int64) {
+		if s.dirty != nil {
+			s.dirty[a>>6] |= 1 << (uint(a) & 63)
+		}
 	}
 
 	switch in.Op {
@@ -414,9 +458,15 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 	case ir.OpTid:
 		ln.regs[in.Dst] = int64(ln.id)
 	case ir.OpLane:
-		ln.regs[in.Dst] = int64(ln.id % ir.WarpWidth)
+		ln.regs[in.Dst] = int64(ln.lane)
 	case ir.OpNumThreads:
 		ln.regs[in.Dst] = int64(s.cfg.Threads)
+	case ir.OpCTAId:
+		ln.regs[in.Dst] = int64(ln.cta)
+	case ir.OpCTATid:
+		ln.regs[in.Dst] = int64(ln.ctatid)
+	case ir.OpCTASize:
+		ln.regs[in.Dst] = int64(s.ctaSize)
 	case ir.OpRand:
 		ln.regs[in.Dst] = ln.rng.Int63()
 	case ir.OpFRand:
@@ -434,6 +484,7 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 			return err
 		}
 		s.mem[a] = uint64(ib())
+		markDirty(a)
 	case ir.OpFLoad:
 		a, err := addr()
 		if err != nil {
@@ -446,6 +497,7 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 			return err
 		}
 		s.mem[a] = math.Float64bits(fb())
+		markDirty(a)
 	case ir.OpAtomAdd:
 		a, err := addr()
 		if err != nil {
@@ -454,6 +506,7 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 		old := int64(s.mem[a])
 		s.mem[a] = uint64(old + ib())
 		ln.regs[in.Dst] = old
+		markDirty(a)
 	case ir.OpFAtomAdd:
 		a, err := addr()
 		if err != nil {
@@ -462,6 +515,36 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 		old := math.Float64frombits(s.mem[a])
 		s.mem[a] = math.Float64bits(old + fb())
 		ln.fregs[in.Dst] = old
+		markDirty(a)
+
+	case ir.OpSharedLoad:
+		a, err := saddr()
+		if err != nil {
+			return err
+		}
+		ln.regs[in.Dst] = int64(ws.cta.shared[a])
+		s.metrics.SharedAccesses++
+	case ir.OpSharedStore:
+		a, err := saddr()
+		if err != nil {
+			return err
+		}
+		ws.cta.shared[a] = uint64(ib())
+		s.metrics.SharedAccesses++
+	case ir.OpFSharedLoad:
+		a, err := saddr()
+		if err != nil {
+			return err
+		}
+		ln.fregs[in.Dst] = math.Float64frombits(ws.cta.shared[a])
+		s.metrics.SharedAccesses++
+	case ir.OpFSharedStore:
+		a, err := saddr()
+		if err != nil {
+			return err
+		}
+		ws.cta.shared[a] = math.Float64bits(fb())
+		s.metrics.SharedAccesses++
 
 	case ir.OpArrived:
 		ln.regs[in.Dst] = int64(popcount(ws.waiting[in.Bar]))

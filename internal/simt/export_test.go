@@ -1,6 +1,10 @@
 package simt
 
-import "specrecon/internal/ir"
+import (
+	"fmt"
+
+	"specrecon/internal/ir"
+)
 
 // Seams for external tests (package simt_test). The steady-state
 // allocation guard lives outside the package so it can attach an
@@ -62,3 +66,99 @@ func NewHandSim(m *ir.Module, cfg Config) (*HandSim, error) {
 
 // Step issues one slot on warp 0; done reports warp completion.
 func (h *HandSim) Step() (done bool, err error) { return h.ws.step() }
+
+// AllocTestKernelGrid is the grid-launch variant of AllocTestKernel: the
+// same divergent loop with a shared-memory store/load pair and a ctabar
+// workgroup barrier in the hot path, so the allocation guard covers the
+// CTA-hierarchy issue shapes too.
+const AllocTestKernelGrid = `module tg memwords=4096 sharedwords=64
+func @k nregs=8 nfregs=1 {
+entry:
+  ctatid r0
+  tid r6
+  const r1, #0
+  br header
+header:
+  setlt r2, r1, #1000000
+  cbr r2, body, done
+body:
+  sts [r0], r1
+  ctabar b0
+  join b0
+  and r3, r0, #3
+  cbr r3, left, right
+left:
+  lds r4, [r0+0]
+  call @leaf
+  br merge
+right:
+  st [r6], r1
+  br merge
+merge:
+  wait b0
+  add r1, r1, #1
+  br header
+done:
+  exit
+}
+func @leaf nregs=8 nfregs=1 {
+e:
+  add r5, r0, #1
+  ret
+}
+`
+
+// HandSimGPU steps one SM of a grid launch by hand: SM 0 is forked with
+// its first occupancy wave of CTAs resident, and Step makes one
+// round-robin issue pass over the resident warps — the same inner loop
+// the SM driver runs, minus the wave scheduling.
+type HandSimGPU struct {
+	sm    *sim
+	warps []*warpState
+}
+
+// NewHandSimGPU builds a grid simulator over m and makes SM 0's first
+// CTA wave resident. cfg must be a grid config (Grid > 0).
+func NewHandSimGPU(m *ir.Module, cfg Config) (*HandSimGPU, error) {
+	s, err := newSim(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !s.gridMode {
+		return nil, fmt.Errorf("NewHandSimGPU requires a grid config (Grid > 0)")
+	}
+	warpsPerCTA := (s.cfg.CTASize + ir.WarpWidth - 1) / ir.WarpWidth
+	var sink EventSink
+	if s.cfg.SMEvents != nil {
+		sink = s.cfg.SMEvents(0)
+	} else {
+		sink = s.cfg.Events
+	}
+	sm := s.forkSM(0, sink)
+	occ := sm.occupancy(warpsPerCTA)
+	var warps []*warpState
+	for c := 0; c < s.cfg.Grid && len(warps)/warpsPerCTA < occ; c += s.cfg.SMs {
+		cta := newCTAState(c, sm.ctaSize, sm.mod.SharedWords)
+		sm.ctas = append(sm.ctas, cta)
+		for wi := 0; wi < warpsPerCTA; wi++ {
+			warps = append(warps, sm.newCTAWarp(cta, wi))
+		}
+	}
+	return &HandSimGPU{sm: sm, warps: warps}, nil
+}
+
+// Step makes one round-robin issue pass over the resident warps;
+// progress=false means the wave retired (or stalled).
+func (h *HandSimGPU) Step() (progress bool, err error) {
+	issuedAny := false
+	for _, ws := range h.warps {
+		issued, _, err := ws.tryStep()
+		if err != nil {
+			return false, err
+		}
+		if issued {
+			issuedAny = true
+		}
+	}
+	return issuedAny, nil
+}

@@ -1,0 +1,370 @@
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"specrecon/internal/ir"
+)
+
+// GPU-scale execution: the GPU → SM → CTA → warp hierarchy.
+//
+// A grid launch (Config.Grid > 0) distributes Grid CTAs round-robin
+// over Config.SMs streaming multiprocessors: CTA c runs on SM c%SMs.
+// Each SM is an independent machine — its own global-memory copy,
+// cache, metrics, issue budget and event sink — executing its CTAs in
+// occupancy-limited waves; within a wave the resident warps issue
+// round-robin, so warps of co-resident CTAs contend for the SM's cache
+// exactly as under the flat engine's InterleaveWarps. A CTA owns a
+// shared-memory segment (ir.Module.SharedWords words) and up to
+// NumCTABarriers ctabar workgroup barriers scoped to its warps.
+//
+// Determinism under sharding. SMs never share mutable state: each runs
+// over a private copy of the initial global memory and records the
+// words it stores in a dirty bitmap. After every SM retires, the final
+// memory is the initial image overwritten by each SM's dirty words in
+// SM-index order, per-SM metrics are merged in SM order (counters add,
+// the launch cycle count is the slowest SM's), and per-SM event streams
+// are delivered in SM order — so a run sharded over any number of
+// worker goroutines is byte-identical to the serial run. Words written
+// by several SMs with disagreeing values are counted as
+// Metrics.CrossSMConflicts, mirroring real GPUs' lack of inter-CTA
+// write coherence within a launch: kernels must communicate across CTAs
+// through disjoint addresses (and atomics are atomic only within an
+// SM).
+
+// Volta-scale hardware limits (GV100: 80 SMs, 64 warps and 2048
+// threads per SM, 96 KiB shared memory per SM, 32 CTAs per SM, 16
+// workgroup barriers per CTA).
+const (
+	// MaxSMs is the number of streaming multiprocessors on a full chip.
+	MaxSMs = 80
+	// MaxWarpsPerSM bounds the warps resident on one SM.
+	MaxWarpsPerSM = 64
+	// MaxThreadsPerSM bounds the threads resident on one SM.
+	MaxThreadsPerSM = MaxWarpsPerSM * ir.WarpWidth
+	// MaxCTAsPerSM bounds the CTAs co-resident on one SM.
+	MaxCTAsPerSM = 32
+	// MaxThreadsPerCTA bounds the threads of one CTA.
+	MaxThreadsPerCTA = 1024
+	// SharedMemWordsPerSM is the SM's shared memory in 64-bit words
+	// (96 KiB); co-resident CTAs' segments must fit in it.
+	SharedMemWordsPerSM = 96 * 1024 / 8
+	// NumCTABarriers is the number of named ctabar workgroup barriers
+	// available to one CTA.
+	NumCTABarriers = ir.NumBarrierRegs
+)
+
+// ctaState is one CTA: a shared-memory segment, the workgroup-barrier
+// arrival counters, and the warps executing its threads. A flat launch
+// has a single implicit ctaState spanning the whole launch.
+type ctaState struct {
+	index  int // CTA index within the grid
+	live   int // lanes that have not exited
+	shared []uint64
+	warps  []*warpState
+	// arrived[b] counts lanes currently blocked at workgroup barrier b;
+	// the barrier opens when every live lane of the CTA has arrived.
+	arrived [NumCTABarriers]int32
+}
+
+func newCTAState(index, size, sharedWords int) *ctaState {
+	return &ctaState{index: index, live: size, shared: make([]uint64, sharedWords)}
+}
+
+// blockOnBar records that count lanes blocked on workgroup barrier b.
+func (c *ctaState) blockOnBar(b, count int) { c.arrived[b] += int32(count) }
+
+// barCheck opens workgroup barrier b once every live lane of the CTA
+// has arrived, releasing the blocked lanes of every warp at once.
+func (c *ctaState) barCheck(s *sim, b int) {
+	if c.live == 0 || int(c.arrived[b]) < c.live {
+		return
+	}
+	sink := s.cfg.Events
+	for _, ws := range c.warps {
+		var released uint32
+		for l, ln := range ws.lanes {
+			if ln.status == laneCTAWaiting && ln.waitBar == b {
+				ln.status = laneRunning
+				ln.pc.ins++ // step past the ctabar
+				released |= 1 << l
+			}
+		}
+		if released != 0 && sink != nil {
+			sink.Event(Event{
+				Kind: EvCTABarRelease, Bar: int16(b),
+				Warp: int32(ws.index), SM: s.smIndex, CTA: int32(c.index),
+				PC: -1, Fn: -1, Blk: -1, Ins: -1,
+				Issue: s.metrics.Issues, Cycle: s.metrics.Cycles,
+				Mask: released,
+			})
+		}
+	}
+	c.arrived[b] = 0
+	s.metrics.CTABarSyncs++
+	s.lastProgressCycle = s.metrics.Cycles
+}
+
+// laneExited updates the CTA after a lane exit: a smaller live count
+// may satisfy a workgroup barrier the remaining lanes are blocked on
+// (a thread that returns never arrives, so the barrier waits only on
+// the live ones — the progress model of a non-blocking __syncthreads).
+func (c *ctaState) laneExited(s *sim) {
+	c.live--
+	for b := range c.arrived {
+		if c.arrived[b] > 0 {
+			c.barCheck(s, b)
+		}
+	}
+}
+
+// forkSM clones the launch template into SM i's private machine state:
+// its own copy of the initial global memory, dirty bitmap, cache,
+// metrics, budgets and event sink, sharing the immutable module and
+// decode tables.
+func (s *sim) forkSM(i int, sink EventSink) *sim {
+	sm := &sim{
+		mod:      s.mod,
+		cfg:      s.cfg,
+		fnIndex:  s.fnIndex,
+		meta:     s.meta,
+		entryIdx: s.entryIdx,
+		nbar:     s.nbar,
+		nregs:    s.nregs,
+		nfregs:   s.nfregs,
+		smIndex:  int32(i),
+		gridMode: true,
+		ctaSize:  s.ctaSize,
+		mem:      make([]uint64, len(s.mem)),
+		dirty:    make([]uint64, (len(s.mem)+63)/64),
+		cache:    newCache(s.cfg.Cache.withDefaults()),
+	}
+	copy(sm.mem, s.mem)
+	sm.cfg.Events = sink
+	return sm
+}
+
+// occupancy returns how many CTAs fit on one SM at once, limited by the
+// CTA slot count, the resident-warp budget and the shared-memory
+// capacity.
+func (s *sim) occupancy(warpsPerCTA int) int {
+	occ := MaxCTAsPerSM
+	if w := MaxWarpsPerSM / warpsPerCTA; w < occ {
+		occ = w
+	}
+	if sw := s.mod.SharedWords; sw > 0 {
+		if c := SharedMemWordsPerSM / sw; c < occ {
+			occ = c
+		}
+	}
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// bufferSink records one SM's event stream for in-order replay after
+// the launch; it is the fallback when a grid launch has only a plain
+// Config.Events sink (Config.SMEvents is the buffer-free path).
+type bufferSink struct {
+	events []Event
+}
+
+func (b *bufferSink) Event(ev Event) { b.events = append(b.events, ev) }
+
+// runGrid executes a grid launch: fork one sim per SM, run the SMs
+// (serially or over Workers goroutines), then merge memory, metrics and
+// event streams in SM order.
+func (s *sim) runGrid() (*Result, error) {
+	cfg := s.cfg
+	warpsPerCTA := (cfg.CTASize + ir.WarpWidth - 1) / ir.WarpWidth
+	occ := s.occupancy(warpsPerCTA)
+
+	sms := make([]*sim, cfg.SMs)
+	buffers := make([]*bufferSink, cfg.SMs)
+	for i := range sms {
+		var sink EventSink
+		switch {
+		case cfg.SMEvents != nil:
+			sink = cfg.SMEvents(i)
+		case cfg.Events != nil:
+			buffers[i] = &bufferSink{}
+			sink = buffers[i]
+		}
+		sms[i] = s.forkSM(i, sink)
+	}
+
+	var shared [][]uint64
+	if s.mod.SharedWords > 0 {
+		shared = make([][]uint64, cfg.Grid)
+	}
+	err := forEachSM(cfg.Workers, cfg.SMs, func(i int) error {
+		return sms[i].runSM(occ, warpsPerCTA, shared)
+	})
+	if cfg.Events != nil && cfg.SMEvents == nil {
+		for _, b := range buffers {
+			for i := range b.events {
+				cfg.Events.Event(b.events[i])
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.mergeSMs(sms, warpsPerCTA, shared), nil
+}
+
+// runSM executes every CTA assigned to this SM, in occupancy-limited
+// waves; shared collects each retired CTA's final shared segment (SMs
+// write disjoint grid indices).
+func (s *sim) runSM(occ, warpsPerCTA int, shared [][]uint64) error {
+	cfg := s.cfg
+	var mine []int
+	for c := int(s.smIndex); c < cfg.Grid; c += cfg.SMs {
+		mine = append(mine, c)
+	}
+	resident := make([]*warpState, 0, occ*warpsPerCTA)
+	for start := 0; start < len(mine); start += occ {
+		end := min(start+occ, len(mine))
+		resident = resident[:0]
+		for _, c := range mine[start:end] {
+			cta := newCTAState(c, s.ctaSize, s.mod.SharedWords)
+			s.ctas = append(s.ctas, cta)
+			if shared != nil {
+				shared[c] = cta.shared
+			}
+			for wi := 0; wi < warpsPerCTA; wi++ {
+				resident = append(resident, s.newCTAWarp(cta, wi))
+			}
+		}
+		if err := s.runResident(resident); err != nil {
+			return err
+		}
+	}
+	s.metrics.Threads = len(mine) * s.ctaSize
+	s.metrics.Warps = len(mine) * warpsPerCTA
+	s.metrics.CTAs = len(mine)
+	s.metrics.SMs = 1
+	s.metrics.TotalSMCycles = s.metrics.Cycles
+	return nil
+}
+
+// runResident issues round-robin over one wave of resident warps until
+// all retire. A warp with live but unrunnable lanes is skipped (another
+// warp of its CTA may release its ctabar); the SM is deadlocked only
+// when a full pass issues nothing while live lanes remain.
+func (s *sim) runResident(warps []*warpState) error {
+	for {
+		issuedAny := false
+		allDone := true
+		for _, ws := range warps {
+			issued, done, err := ws.tryStep()
+			if err != nil {
+				return fmt.Errorf("simt: sm %d: warp %d: %w", s.smIndex, ws.index, err)
+			}
+			if issued {
+				issuedAny = true
+			}
+			if !done {
+				allDone = false
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if !issuedAny {
+			return s.smDeadlock(warps)
+		}
+	}
+}
+
+// smDeadlock reports the SM-level deadlock through the first stalled
+// warp's diagnostic (its blocked lanes and barrier snapshots).
+func (s *sim) smDeadlock(warps []*warpState) error {
+	for _, ws := range warps {
+		if ws.done {
+			continue
+		}
+		if _, anyLive := ws.groups(); anyLive {
+			return fmt.Errorf("simt: sm %d: warp %d: %w", s.smIndex, ws.index, ws.deadlockError())
+		}
+	}
+	return fmt.Errorf("simt: sm %d: deadlock with no live warps", s.smIndex)
+}
+
+// mergeSMs folds the per-SM machines into the launch result, in SM
+// order: dirty global-memory words overwrite the initial image (words
+// several SMs wrote with disagreeing values count as cross-SM
+// conflicts), and metrics merge with Cycles = max over SMs.
+func (s *sim) mergeSMs(sms []*sim, warpsPerCTA int, shared [][]uint64) *Result {
+	final := s.mem // the template's untouched initial image
+	written := make([]uint64, (len(final)+63)/64)
+	perSM := make([]Metrics, len(sms))
+	for i, sm := range sms {
+		s.metrics.merge(&sm.metrics)
+		for wi, mask := range sm.dirty {
+			for m := mask; m != 0; m &= m - 1 {
+				bit := uint(bits.TrailingZeros64(m))
+				a := wi*64 + int(bit)
+				if written[wi]&(1<<bit) != 0 && final[a] != sm.mem[a] {
+					s.metrics.CrossSMConflicts++
+				}
+				final[a] = sm.mem[a]
+				written[wi] |= 1 << bit
+			}
+		}
+		perSM[i] = sm.metrics
+		perSM[i].finalize()
+	}
+	s.metrics.Threads = s.cfg.Threads
+	s.metrics.Warps = s.cfg.Grid * warpsPerCTA
+	s.metrics.CTAs = s.cfg.Grid
+	s.metrics.SMs = s.cfg.SMs
+	s.metrics.finalize()
+	return &Result{Metrics: s.metrics, Memory: final, Shared: shared, PerSM: perSM}
+}
+
+// forEachSM runs fn(0..n-1) over at most workers goroutines. Jobs are
+// independent; every job runs to completion — even after another job
+// errors, and even in the serial case — and the lowest-index error is
+// returned, so both the error and the buffered event streams are
+// identical for every worker count.
+func forEachSM(workers, n int, fn func(i int) error) error {
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,6 +12,11 @@ import (
 type Metrics struct {
 	Threads int
 	Warps   int
+	// CTAs and SMs record the launch shape: the number of CTAs in the
+	// grid and the number of SMs it ran on. Flat launches report one of
+	// each (the whole launch acts as a single CTA on a single SM).
+	CTAs int
+	SMs  int
 
 	// Issues is the number of warp instructions issued; ActiveLaneSum
 	// is the total of active lanes over those issues.
@@ -19,17 +24,39 @@ type Metrics struct {
 	ActiveLaneSum int64
 
 	// Cycles is the modeled runtime: the sum of per-issue costs
-	// (opcode latency plus memory transaction costs).
-	Cycles int64
+	// (opcode latency plus memory transaction costs). On a multi-SM
+	// launch the SMs run concurrently, so Cycles is the slowest SM's
+	// cycle count and TotalSMCycles the sum over SMs (the aggregate
+	// machine work).
+	Cycles        int64
+	TotalSMCycles int64
 
 	MemTransactions int64
 	CacheHits       int64
 	CacheMisses     int64
 
+	// SharedAccesses counts per-lane accesses to CTA shared memory
+	// (which bypasses the global-memory coalescer and cache).
+	SharedAccesses int64
+
+	// CrossSMConflicts counts global-memory words written by more than
+	// one SM with disagreeing final values. SMs execute over private
+	// copies of global memory merged in SM order, mirroring real GPUs'
+	// lack of inter-CTA write coherence within a launch; a nonzero count
+	// flags a kernel whose CTAs communicate through overlapping
+	// addresses.
+	CrossSMConflicts int64
+
 	// BarrierWaits counts lane-block events at wait instructions;
 	// BarrierReleases counts lane-release events.
 	BarrierWaits    int64
 	BarrierReleases int64
+
+	// CTABarWaits counts lane-block events at ctabar workgroup
+	// barriers; CTABarSyncs counts workgroup-barrier releases (one per
+	// barrier opening, not per lane).
+	CTABarWaits int64
+	CTABarSyncs int64
 
 	// OpClassIssues breaks issued instructions down by class: "alu",
 	// "mem", "barrier", "control", "special". It is materialized from
@@ -69,13 +96,13 @@ var opClassNames = [numOpClasses]string{"alu", "mem", "barrier", "control", "spe
 // OpClassOf maps an opcode to its reporting class index.
 func OpClassOf(op ir.Opcode) OpClassID {
 	switch {
-	case op.IsBarrierOp() || op == ir.OpWarpSync:
+	case op.IsBarrierOp() || op == ir.OpWarpSync || op.IsCTABarrier():
 		return opClassBarrier
-	case op.IsMemory():
+	case op.IsMemory() || op.IsSharedMemory():
 		return opClassMem
 	case op == ir.OpBr || op == ir.OpCBr || op == ir.OpCall || op == ir.OpRet || op == ir.OpExit:
 		return opClassControl
-	case op.IsDivergenceSource() || op == ir.OpNumThreads:
+	case op.IsDivergenceSource() || op == ir.OpNumThreads || op == ir.OpCTAId || op == ir.OpCTASize:
 		return opClassSpecial
 	default:
 		return opClassALU
@@ -85,6 +112,38 @@ func OpClassOf(op ir.Opcode) OpClassID {
 // OpClass maps an opcode to its reporting class name.
 func OpClass(op ir.Opcode) string {
 	return opClassNames[OpClassOf(op)]
+}
+
+// merge folds one SM's metrics into the launch aggregate. Counters are
+// additive; Cycles takes the max (SMs run concurrently, so the launch
+// finishes with its slowest SM) while the per-SM cycle sum accumulates
+// into TotalSMCycles. Call before finalize — merging materialized maps
+// would double-count.
+func (m *Metrics) merge(o *Metrics) {
+	m.Issues += o.Issues
+	m.ActiveLaneSum += o.ActiveLaneSum
+	if o.Cycles > m.Cycles {
+		m.Cycles = o.Cycles
+	}
+	m.TotalSMCycles += o.Cycles
+	m.MemTransactions += o.MemTransactions
+	m.CacheHits += o.CacheHits
+	m.CacheMisses += o.CacheMisses
+	m.SharedAccesses += o.SharedAccesses
+	m.BarrierWaits += o.BarrierWaits
+	m.BarrierReleases += o.BarrierReleases
+	m.CTABarWaits += o.CTABarWaits
+	m.CTABarSyncs += o.CTABarSyncs
+	for c, n := range o.opClassCounts {
+		m.opClassCounts[c] += n
+	}
+	for fn, rows := range o.blockVisits {
+		for blk, lanes := range rows {
+			if lanes != 0 {
+				m.addBlockVisit(fn, blk, lanes)
+			}
+		}
+	}
 }
 
 // finalize materializes the exported views of the hot-path accumulators.

@@ -113,11 +113,39 @@ func (c CacheConfig) withDefaults() CacheConfig {
 const DefaultMaxIssues = 1 << 28
 
 // Config controls one kernel launch.
+//
+// Launch shapes. A flat launch (Grid == 0) is the original single-SM
+// model: Threads threads in one implicit CTA on one SM, with every
+// existing driver (sequential warps, InterleaveWarps, the stack engine)
+// behaving exactly as before. A grid launch (Grid > 0) runs Grid CTAs
+// of CTASize threads over SMs streaming multiprocessors: CTAs are
+// assigned round-robin (CTA c runs on SM c%SMs), each SM executes its
+// resident warps round-robin in occupancy-limited waves, and each CTA
+// owns a shared-memory segment and its ctabar workgroup barriers.
 type Config struct {
 	Kernel  string // entry function (default: first function)
-	Threads int    // total threads (default: one warp)
+	Threads int    // total threads (default: one warp; grid launches derive it)
 	Seed    uint64
 	Policy  Policy
+	// Grid, when positive, launches a grid of Grid CTAs of CTASize
+	// threads each (CTASize defaults to one warp, capped at
+	// MaxThreadsPerCTA) across SMs streaming multiprocessors (default 1,
+	// capped at MaxSMs). Threads is derived as Grid*CTASize. Grid
+	// launches require the ITS engine.
+	Grid    int
+	CTASize int
+	SMs     int
+	// Workers bounds the goroutines simulating SMs concurrently (default
+	// 1 = serial). Each SM runs over private machine state and results
+	// are merged in SM order, so any worker count produces byte-identical
+	// metrics, memory, profiles and event streams.
+	Workers int
+	// SMEvents, when non-nil on a grid launch, supplies one EventSink per
+	// SM so sharded runs keep a lock-free, allocation-free issue path;
+	// it is called once per SM index before simulation starts. When only
+	// Events is set, grid launches buffer each SM's stream and replay the
+	// buffers into Events in SM order after the launch completes.
+	SMEvents func(sm int) EventSink
 	// Model selects the execution engine: Volta-style independent
 	// thread scheduling (default) or the pre-Volta reconvergence stack.
 	Model Model
@@ -164,14 +192,22 @@ type Config struct {
 type Result struct {
 	Metrics Metrics
 	Memory  []uint64
+	// Shared holds each CTA's final shared-memory image, indexed by CTA,
+	// when the module declares a shared segment (nil otherwise). A flat
+	// launch with shared memory reports its single implicit CTA.
+	Shared [][]uint64
+	// PerSM holds each SM's own metrics on a grid launch (nil on flat
+	// launches); Metrics is their deterministic merge.
+	PerSM []Metrics
 }
 
 type laneStatus uint8
 
 const (
-	laneRunning laneStatus = iota
-	laneWaiting            // blocked at wait/waitn on waitBar
-	laneSyncing            // blocked at warpsync
+	laneRunning    laneStatus = iota
+	laneWaiting               // blocked at wait/waitn on waitBar
+	laneSyncing               // blocked at warpsync
+	laneCTAWaiting            // blocked at a ctabar workgroup barrier on waitBar
 	laneDone
 )
 
@@ -187,6 +223,9 @@ type frame struct {
 
 type lane struct {
 	id      int // global thread id
+	lane    int // lane index within the warp
+	cta     int // CTA index within the grid (0 on flat launches)
+	ctatid  int // thread id within the CTA (== id on flat launches)
 	pc      pcT
 	status  laneStatus
 	waitBar int
@@ -198,8 +237,13 @@ type lane struct {
 
 // warpState is the per-warp machine state.
 type warpState struct {
-	sim      *sim
-	index    int
+	sim   *sim
+	index int // launch-wide warp index (unique across CTAs and SMs)
+	// cta is the owning CTA (the implicit whole-launch CTA on a flat
+	// launch); ctaIndex caches its index for event emission.
+	cta      *ctaState
+	ctaIndex int32
+	done     bool // every lane exited (set by the SM driver)
 	lanes    [ir.WarpWidth]*lane
 	masks    []uint32 // barrier participation masks
 	waiting  []uint32 // lanes blocked at a wait per barrier
@@ -211,7 +255,11 @@ type warpState struct {
 	addrBuf  [ir.WarpWidth]int64
 }
 
-// sim holds launch-wide state.
+// sim is one SM's machine state plus the launch-wide immutable decode
+// tables. A flat launch runs on a single sim exactly as before the GPU
+// hierarchy existed; a grid launch forks one sim per SM (sharing the
+// module, config and decode tables, with private memory, cache, metrics
+// and budgets) and merges them deterministically in SM order.
 type sim struct {
 	mod     *ir.Module
 	cfg     Config
@@ -222,6 +270,20 @@ type sim struct {
 	cache   *cache
 	metrics Metrics
 	issues  int64
+	// smIndex is this SM's index (0 on flat launches); gridMode marks a
+	// grid launch, where errors carry SM/CTA identity and stores mark
+	// the dirty bitmap for the cross-SM memory merge.
+	smIndex  int32
+	gridMode bool
+	// ctaSize is the thread count of one CTA (the whole launch on flat
+	// launches); it backs the ctasize opcode.
+	ctaSize int
+	// dirty is the bitmap of global-memory words this SM wrote (grid
+	// launches only; nil and unused on flat launches).
+	dirty []uint64
+	// ctas are the CTAs that ran on this SM, in launch order (flat
+	// launches hold the single implicit CTA).
+	ctas []*ctaState
 	// releases counts barrier-cohort release events launch-wide; the
 	// SkipReleaseN fault injector compares against it.
 	releases int64
@@ -251,6 +313,39 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 	if entry == nil {
 		return nil, fmt.Errorf("simt: kernel %q not found", cfg.Kernel)
 	}
+	if cfg.Grid < 0 {
+		return nil, fmt.Errorf("simt: negative grid size %d", cfg.Grid)
+	}
+	if cfg.Grid > 0 {
+		if cfg.Model == ModelStack {
+			return nil, fmt.Errorf("simt: grid launches require the ITS engine")
+		}
+		if cfg.InterleaveWarps {
+			return nil, fmt.Errorf("simt: InterleaveWarps does not apply to grid launches (SMs always interleave their resident warps)")
+		}
+		if cfg.CTASize == 0 {
+			cfg.CTASize = ir.WarpWidth
+		}
+		if cfg.CTASize < 1 || cfg.CTASize > MaxThreadsPerCTA {
+			return nil, fmt.Errorf("simt: CTA size %d outside [1,%d]", cfg.CTASize, MaxThreadsPerCTA)
+		}
+		if cfg.SMs == 0 {
+			cfg.SMs = 1
+		}
+		if cfg.SMs < 1 || cfg.SMs > MaxSMs {
+			return nil, fmt.Errorf("simt: SM count %d outside [1,%d]", cfg.SMs, MaxSMs)
+		}
+		if m.SharedWords > SharedMemWordsPerSM {
+			return nil, fmt.Errorf("simt: module shared segment (%d words) exceeds SM shared memory (%d words)", m.SharedWords, SharedMemWordsPerSM)
+		}
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+		if cfg.Workers > cfg.SMs {
+			cfg.Workers = cfg.SMs
+		}
+		cfg.Threads = cfg.Grid * cfg.CTASize
+	}
 	if cfg.Threads == 0 {
 		cfg.Threads = ir.WarpWidth
 	}
@@ -275,11 +370,20 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 	copy(mem, cfg.Memory)
 
 	s := &sim{
-		mod:     m,
-		cfg:     cfg,
-		fnIndex: make(map[string]int, len(m.Funcs)),
-		mem:     mem,
-		cache:   newCache(cfg.Cache.withDefaults()),
+		mod:      m,
+		cfg:      cfg,
+		fnIndex:  make(map[string]int, len(m.Funcs)),
+		mem:      mem,
+		cache:    newCache(cfg.Cache.withDefaults()),
+		gridMode: cfg.Grid > 0,
+		ctaSize:  cfg.Threads,
+	}
+	if s.gridMode {
+		s.ctaSize = cfg.CTASize
+	} else {
+		// Flat launch: the whole launch acts as one implicit CTA, which
+		// gives ctabar and shared memory their degenerate-case meaning.
+		s.ctas = []*ctaState{newCTAState(0, cfg.Threads, m.SharedWords)}
 	}
 	for i, f := range m.Funcs {
 		s.fnIndex[f.Name] = i
@@ -303,30 +407,74 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 	return s, nil
 }
 
-// newWarp builds warp w's initial machine state.
+// newWarp builds warp w's initial machine state on a flat launch, where
+// every warp belongs to the single implicit CTA.
 func (s *sim) newWarp(w int) *warpState {
 	var lanes [ir.WarpWidth]*lane
 	for l := 0; l < ir.WarpWidth; l++ {
 		tid := w*ir.WarpWidth + l
 		ln := &lane{
-			id:    tid,
-			pc:    pcT{fn: s.entryIdx},
-			regs:  make([]int64, s.nregs),
-			fregs: make([]float64, s.nfregs),
-			rng:   rng.Split(s.cfg.Seed, uint64(tid)),
+			id:     tid,
+			lane:   l,
+			ctatid: tid,
+			pc:     pcT{fn: s.entryIdx},
+			regs:   make([]int64, s.nregs),
+			fregs:  make([]float64, s.nfregs),
+			rng:    rng.Split(s.cfg.Seed, uint64(tid)),
 		}
 		if tid >= s.cfg.Threads {
 			ln.status = laneDone
 		}
 		lanes[l] = ln
 	}
-	return &warpState{
+	ws := &warpState{
 		sim:     s,
 		index:   w,
+		cta:     s.ctas[0],
 		lanes:   lanes,
 		masks:   make([]uint32, s.nbar),
 		waiting: make([]uint32, s.nbar),
 	}
+	ws.cta.warps = append(ws.cta.warps, ws)
+	return ws
+}
+
+// newCTAWarp builds warp wi of cta on a grid launch. Lane tids are
+// CTA-relative-first: ctatid = wi*WarpWidth+lane, tid = cta*CTASize +
+// ctatid, so a CTA whose size is not a warp multiple ends with a
+// partial warp.
+func (s *sim) newCTAWarp(cta *ctaState, wi int) *warpState {
+	warpsPerCTA := (s.ctaSize + ir.WarpWidth - 1) / ir.WarpWidth
+	var lanes [ir.WarpWidth]*lane
+	for l := 0; l < ir.WarpWidth; l++ {
+		ctatid := wi*ir.WarpWidth + l
+		tid := cta.index*s.ctaSize + ctatid
+		ln := &lane{
+			id:     tid,
+			lane:   l,
+			cta:    cta.index,
+			ctatid: ctatid,
+			pc:     pcT{fn: s.entryIdx},
+			regs:   make([]int64, s.nregs),
+			fregs:  make([]float64, s.nfregs),
+			rng:    rng.Split(s.cfg.Seed, uint64(tid)),
+		}
+		if ctatid >= s.ctaSize {
+			ln.status = laneDone
+		}
+		lanes[l] = ln
+	}
+	ws := &warpState{
+		sim:      s,
+		index:    cta.index*warpsPerCTA + wi,
+		cta:      cta,
+		ctaIndex: int32(cta.index),
+		lanes:    lanes,
+		masks:    make([]uint32, s.nbar),
+		waiting:  make([]uint32, s.nbar),
+	}
+	cta.warps = append(cta.warps, ws)
+	return ws
 }
 
 // Run launches the module's kernel under cfg and simulates it to
@@ -338,6 +486,9 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	s, err := newSim(m, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if s.gridMode {
+		return s.runGrid()
 	}
 	cfg = s.cfg
 	nwarps := (cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
@@ -376,8 +527,15 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	}
 	s.metrics.Threads = cfg.Threads
 	s.metrics.Warps = nwarps
+	s.metrics.CTAs = 1
+	s.metrics.SMs = 1
+	s.metrics.TotalSMCycles = s.metrics.Cycles
 	s.metrics.finalize()
-	return &Result{Metrics: s.metrics, Memory: s.mem}, nil
+	res := &Result{Metrics: s.metrics, Memory: s.mem}
+	if m.SharedWords > 0 {
+		res.Shared = [][]uint64{s.ctas[0].shared}
+	}
+	return res, nil
 }
 
 // run drives one warp to completion.
@@ -406,12 +564,39 @@ func (ws *warpState) step() (bool, error) {
 	}
 	g := ws.pick(groups)
 	if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
-		return false, s.budgetError(ws.index)
+		return false, s.budgetError(ws.index, -1)
 	}
 	if err := ws.issue(g); err != nil {
 		return false, err
 	}
 	return false, nil
+}
+
+// tryStep is the SM driver's stall-aware variant of step: a warp with
+// live but unrunnable lanes reports issued=false instead of declaring
+// deadlock, because another warp of its CTA may still release a ctabar
+// it is blocked on. The SM detects deadlock only when a full pass over
+// its resident warps issues nothing (see runResident).
+func (ws *warpState) tryStep() (issued, done bool, err error) {
+	if ws.done {
+		return false, true, nil
+	}
+	s := ws.sim
+	groups, anyLive := ws.groups()
+	if len(groups) == 0 {
+		if !anyLive {
+			ws.done = true
+			return false, true, nil
+		}
+		return false, false, nil // stalled; SM-level deadlock detection decides
+	}
+	if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
+		return false, false, s.budgetError(ws.index, int(ws.ctaIndex))
+	}
+	if err := ws.issue(ws.pick(groups)); err != nil {
+		return false, false, err
+	}
+	return true, false, nil
 }
 
 // group is a set of runnable lanes sharing a PC.
@@ -431,7 +616,7 @@ func (ws *warpState) groups() ([]group, bool) {
 	anyLive := false
 	for l, ln := range ws.lanes {
 		switch ln.status {
-		case laneWaiting, laneSyncing:
+		case laneWaiting, laneSyncing, laneCTAWaiting:
 			anyLive = true
 		case laneRunning:
 			anyLive = true
@@ -502,7 +687,13 @@ func popcount(m uint32) int {
 func (ws *warpState) deadlockError() error {
 	e := &DeadlockError{
 		Warp:   ws.index,
+		SM:     -1,
+		CTA:    -1,
 		Cycles: ws.sim.metrics.Cycles,
+	}
+	if ws.sim.gridMode {
+		e.SM = int(ws.sim.smIndex)
+		e.CTA = int(ws.ctaIndex)
 	}
 	if since := ws.sim.metrics.Cycles - ws.sim.lastProgressCycle; since > 0 {
 		e.CyclesSinceProgress = since
@@ -514,29 +705,41 @@ func (ws *warpState) deadlockError() error {
 		e.Barriers = append(e.Barriers, BarrierSnapshot{Bar: b, Mask: ws.masks[b], Waiting: ws.waiting[b]})
 	}
 	for l, ln := range ws.lanes {
-		if ln.status == laneWaiting {
+		switch ln.status {
+		case laneWaiting:
 			f := ws.sim.mod.Funcs[ln.pc.fn]
 			e.Lanes = append(e.Lanes, BlockedLane{
 				Lane: l, Fn: f.Name, Block: f.Blocks[ln.pc.blk].Name, Ins: ln.pc.ins, Bar: ln.waitBar,
 			})
-		}
-		if ln.status == laneSyncing {
+		case laneCTAWaiting:
+			f := ws.sim.mod.Funcs[ln.pc.fn]
+			e.Lanes = append(e.Lanes, BlockedLane{
+				Lane: l, Fn: f.Name, Block: f.Blocks[ln.pc.blk].Name, Ins: ln.pc.ins, Bar: ln.waitBar, CTABar: true,
+			})
+		case laneSyncing:
 			e.Lanes = append(e.Lanes, BlockedLane{Lane: l, Bar: -1})
 		}
 	}
 	return e
 }
 
-// budgetError builds the typed budget-exhaustion diagnostic.
-func (s *sim) budgetError(warp int) error {
-	return &BudgetError{
+// budgetError builds the typed budget-exhaustion diagnostic. cta is the
+// CTA of the warp that hit the limit, or -1 on a flat launch.
+func (s *sim) budgetError(warp, cta int) error {
+	e := &BudgetError{
 		Warp:              warp,
+		SM:                -1,
+		CTA:               cta,
 		MaxIssues:         s.cfg.MaxIssues,
 		MaxCycles:         s.cfg.MaxCycles,
 		Issues:            s.issues,
 		Cycles:            s.metrics.Cycles,
 		LastProgressCycle: s.lastProgressCycle,
 	}
+	if s.gridMode {
+		e.SM = int(s.smIndex)
+	}
+	return e
 }
 
 // liveMask returns the lanes that have not exited.
@@ -605,7 +808,7 @@ func (ws *warpState) release(b int, cohort uint32) {
 		ws.sim.lastProgressCycle = ws.sim.metrics.Cycles
 		if sink := ws.sim.cfg.Events; sink != nil {
 			sink.Event(Event{
-				Kind: EvBarrierRelease, Bar: int16(b), Warp: int32(ws.index),
+				Kind: EvBarrierRelease, Bar: int16(b), Warp: int32(ws.index), SM: ws.sim.smIndex, CTA: ws.ctaIndex,
 				PC: -1, Fn: -1, Blk: -1, Ins: -1,
 				Issue: ws.sim.metrics.Issues, Cycle: ws.sim.metrics.Cycles,
 				Mask: released,
@@ -654,5 +857,8 @@ func (ws *warpState) exitLane(l int) error {
 		return fmt.Errorf("lane %d exited while participating in barriers %v (missing CancelBarrier)", l, leaked)
 	}
 	ws.syncCheck()
+	// The exit shrinks the CTA's live-lane count, which may satisfy a
+	// ctabar the remaining lanes are blocked on.
+	ws.cta.laneExited(ws.sim)
 	return nil
 }

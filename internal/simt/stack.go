@@ -75,7 +75,7 @@ type stackWarp struct {
 // runStackWarp executes one warp to completion under ModelStack.
 func (s *sim) runStackWarp(index int, lanes [ir.WarpWidth]*lane) error {
 	ws := &stackWarp{sim: s, index: index, lanes: lanes}
-	ws.shim = warpState{sim: s, masks: make([]uint32, 1), waiting: make([]uint32, 1)}
+	ws.shim = warpState{sim: s, cta: s.ctas[0], masks: make([]uint32, 1), waiting: make([]uint32, 1)}
 	ws.ipdomOf = make([][]int, len(s.mod.Funcs))
 	for fi, f := range s.mod.Funcs {
 		f.Reindex()
@@ -117,7 +117,7 @@ func (s *sim) runStackWarp(index int, lanes [ir.WarpWidth]*lane) error {
 			continue
 		}
 		if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
-			return s.budgetError(index)
+			return s.budgetError(index, -1)
 		}
 		if err := ws.step(); err != nil {
 			return err
@@ -176,8 +176,11 @@ func (ws *stackWarp) step() error {
 	s.metrics.Cycles += cost
 
 	switch in.Op {
-	case ir.OpJoin, ir.OpWait, ir.OpWaitN, ir.OpCancel, ir.OpWarpSync:
-		// Convergence barriers do not exist pre-Volta: no-ops.
+	case ir.OpJoin, ir.OpWait, ir.OpWaitN, ir.OpCancel, ir.OpWarpSync, ir.OpCTABar:
+		// Convergence barriers do not exist pre-Volta: no-ops. The
+		// ctabar workgroup barrier is likewise a no-op here — the stack
+		// engine is a flat-launch-only ablation with no CTA scheduling
+		// to synchronize (grid launches reject ModelStack).
 		top.pc.ins++
 	case ir.OpArrived:
 		// No barrier state to observe; reads as zero.

@@ -105,6 +105,6 @@ func init() {
 		Description: "Microbenchmark for the common-function-call pattern of Figure 2(c): both sides of a divergent branch call the same expensive function.",
 		Pattern:     "common-call",
 		Annotated:   true,
-		Build:       buildCallMicro,
+		BuildFn:     buildCallMicro,
 	})
 }

@@ -104,6 +104,6 @@ func init() {
 		Description: "Simulates photon transport in turbid media (MCML hop/drop/spin) with Russian-roulette termination.",
 		Pattern:     "loop-merge",
 		Annotated:   true,
-		Build:       buildGPUMCML,
+		BuildFn:     buildGPUMCML,
 	})
 }

@@ -106,6 +106,6 @@ func init() {
 			"Simulates a simplified variant of the heuristic transport equation.",
 		Pattern:   "loop-merge",
 		Annotated: true,
-		Build:     buildMCB,
+		BuildFn:   buildMCB,
 	})
 }

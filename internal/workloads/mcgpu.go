@@ -104,6 +104,6 @@ func init() {
 			"of x-rays for CT scans of the human anatomy.",
 		Pattern:   "loop-merge",
 		Annotated: true,
-		Build:     buildMCGPU,
+		BuildFn:   buildMCGPU,
 	})
 }

@@ -104,6 +104,6 @@ func init() {
 		Description: "Performs MD5 hash reverses; a load-imbalanced, compute-heavy inner loop makes it the ideal candidate for Loop Merge (auto-detected).",
 		Pattern:     "loop-merge",
 		Annotated:   false,
-		Build:       buildMeiyaMD5,
+		BuildFn:     buildMeiyaMD5,
 	})
 }

@@ -107,6 +107,6 @@ func init() {
 		Description: "A parallel sequence alignment kernel used for genome sequencing.",
 		Pattern:     "loop-merge",
 		Annotated:   true,
-		Build:       buildMUMmer,
+		BuildFn:     buildMUMmer,
 	})
 }

@@ -136,7 +136,7 @@ func init() {
 				"BVH traversal with divergent depth and an expensive leaf-intersection path (auto-detected).", v.name[6:]),
 			Pattern:   "iteration-delay",
 			Annotated: false,
-			Build:     buildOptix(v),
+			BuildFn:   buildOptix(v),
 		})
 	}
 }

@@ -130,6 +130,6 @@ func init() {
 			"of spheres in a Cornell box. Has loop trip count divergence.",
 		Pattern:   "loop-merge",
 		Annotated: true,
-		Build:     buildPathTracer,
+		BuildFn:   buildPathTracer,
 	})
 }

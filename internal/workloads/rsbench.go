@@ -138,6 +138,6 @@ func init() {
 			"thread coarsening increases work per thread.",
 		Pattern:   "loop-merge",
 		Annotated: true,
-		Build:     buildRSBench,
+		BuildFn:   buildRSBench,
 	})
 }

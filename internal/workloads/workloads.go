@@ -39,9 +39,19 @@ type BuildConfig struct {
 	// by 4 at default scale). Full-scale runs take minutes; see
 	// TestRSBenchFullScale.
 	FullScale bool
+	// Grid, when positive, builds the workload for a grid launch of
+	// Grid CTAs of CTASize threads (default one warp) over SMs
+	// streaming multiprocessors simulated by Workers goroutines;
+	// Threads is derived as Grid*CTASize. Zero keeps the flat
+	// single-SM launch.
+	Grid    int
+	CTASize int
+	SMs     int
+	Workers int
 }
 
 func (c BuildConfig) withDefaults(tasks int) BuildConfig {
+	c = c.normalizeLaunch()
 	if c.Threads == 0 {
 		c.Threads = 2 * ir.WarpWidth
 	}
@@ -54,13 +64,35 @@ func (c BuildConfig) withDefaults(tasks int) BuildConfig {
 	return c
 }
 
-// Instance is a ready-to-run workload build.
+// normalizeLaunch resolves the grid-launch defaults so builders size
+// their tables for the derived thread count.
+func (c BuildConfig) normalizeLaunch() BuildConfig {
+	if c.Grid <= 0 {
+		return c
+	}
+	if c.CTASize == 0 {
+		c.CTASize = ir.WarpWidth
+	}
+	if c.SMs == 0 {
+		c.SMs = 1
+	}
+	c.Threads = c.Grid * c.CTASize
+	return c
+}
+
+// Instance is a ready-to-run workload build. Grid/CTASize/SMs/Workers
+// carry the launch shape when the build targets a grid launch (all zero
+// on a flat build); they map 1:1 onto simt.Config.
 type Instance struct {
 	Module  *ir.Module
 	Kernel  string
 	Threads int
 	Memory  []uint64
 	Seed    uint64
+	Grid    int
+	CTASize int
+	SMs     int
+	Workers int
 }
 
 // Workload describes one benchmark.
@@ -71,7 +103,18 @@ type Workload struct {
 	// Annotated reports whether the build carries manual predictions
 	// (section 5.2) or is a target of automatic detection (section 5.4).
 	Annotated bool
-	Build     func(BuildConfig) *Instance
+	// BuildFn constructs the instance; call Build, which also stamps
+	// the launch shape from the config onto the instance.
+	BuildFn func(BuildConfig) *Instance
+}
+
+// Build builds the workload and records cfg's (normalized) launch shape
+// on the instance, so drivers can forward it to simt.Config verbatim.
+func (w *Workload) Build(cfg BuildConfig) *Instance {
+	inst := w.BuildFn(cfg)
+	n := cfg.normalizeLaunch()
+	inst.Grid, inst.CTASize, inst.SMs, inst.Workers = n.Grid, n.CTASize, n.SMs, n.Workers
+	return inst
 }
 
 var registry []*Workload

@@ -149,6 +149,6 @@ func init() {
 			"an expensive epilog.",
 		Pattern:   "loop-merge",
 		Annotated: true,
-		Build:     buildXSBench,
+		BuildFn:   buildXSBench,
 	})
 }
