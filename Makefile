@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline bench-scale fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus
+.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus
 
 all: build
 
@@ -34,6 +34,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) diffcheck-smoke
 	$(MAKE) vet-corpus
+	$(MAKE) cache-smoke
 
 # fuzz-smoke gives each fuzz target a short budget on top of the checked-in
 # seed corpus: enough to catch shallow parser/pipeline regressions without
@@ -119,6 +120,50 @@ bench-scale:
 		-note "GPU-scale engine strong scaling: fixed 16-CTA RSBench grid at 1/4/8 SMs, serial vs sharded workers. sim_cycles = launch cycles (max over SMs), total_sm_cycles = summed per-SM work. Single-core container: worker sharding cannot improve wall-clock here; determinism is pinned by TestGridShardingDeterministic." \
 		-out BENCH_6.json
 	rm -f bench_scale_post.txt
+
+# cache-smoke proves the compile cache is both used and invisible: the
+# vetter walks a 120-kernel compiled corpus twice with the cache on —
+# the second pass must be pure hits (stats JSON, enforced at exit-code
+# level by -min-cache-hits) — and once more without the cache, and the
+# two SARIF reports must be byte-identical: memoized compilation may
+# never change a diagnostic.
+cache-smoke:
+	rm -rf /tmp/specrecon-cache-smoke
+	mkdir -p /tmp/specrecon-cache-smoke
+	$(GO) run ./cmd/sasmvet -q -compiled -corpus 120 -corpus-seed 42 \
+		-compile-cache -repeat 2 -min-cache-hits 120 \
+		-cache-stats /tmp/specrecon-cache-smoke/stats.json \
+		-sarif /tmp/specrecon-cache-smoke/cached.sarif
+	$(GO) run ./cmd/sasmvet -q -compiled -corpus 120 -corpus-seed 42 \
+		-sarif /tmp/specrecon-cache-smoke/fresh.sarif
+	cmp /tmp/specrecon-cache-smoke/cached.sarif /tmp/specrecon-cache-smoke/fresh.sarif
+	$(GO) run ./cmd/jsoncheck /tmp/specrecon-cache-smoke/stats.json
+	rm -rf /tmp/specrecon-cache-smoke
+
+# bench-sweep refreshes BENCH_7.json: the sweep-scale capture behind the
+# compile cache, the reusable launch arenas and copy-on-write SM memory.
+# A smoke pass first, then a timed pass converted to JSON against the
+# committed pre-optimization capture (testdata/bench_sweep_pre.txt), then
+# benchguard enforces the acceptance ratios from the committed JSON:
+# repeated same-compilation launches allocate >=5x less, the 8-SM bench's
+# bytes/op is decoupled from the 512 KiB memory image, and the cached
+# corpus sweep beats fresh compilation on wall clock. The long -benchtime
+# amortizes one-time Machine construction into the per-op numbers.
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'BenchmarkGPUScale|BenchmarkLaunchReuse|BenchmarkCorpusSweep' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGPUScale|BenchmarkLaunchReuse|BenchmarkCorpusSweep' -benchtime=20x -benchmem . | tee bench_sweep_post.txt
+	$(GO) run ./cmd/benchjson -in bench_sweep_post.txt \
+		-pre testdata/bench_sweep_pre.txt \
+		-note "pre = commit before the sweep-scale layer (fresh Run and direct compilation per point); post = Machine reuse + CoW SM memory + compile cache. LaunchReuse relaunches one compilation via specrecon.Machine; CorpusSweep re-diagnoses 40 corpus apps x 3 option sets through the content-addressed cache. Single-core container: wins come from allocation and copy elimination, not parallelism." \
+		-out BENCH_7.json
+	$(GO) run ./cmd/benchguard -in BENCH_7.json \
+		-assert "LaunchReuse/flat allocs_ratio <= 0.2" \
+		-assert "LaunchReuse/sm8 allocs_ratio <= 0.2" \
+		-assert "LaunchReuse/sm8 bytes_ratio <= 0.5" \
+		-assert "GPUScale/sm8-sharded bytes_ratio <= 0.85" \
+		-assert "CorpusSweep/apps40 speedup >= 2" \
+		-assert "CorpusSweep/apps40 allocs_ratio <= 0.25"
+	rm -f bench_sweep_post.txt
 
 # profile-smoke runs one workload end to end with the profiler and the
 # trace exporter attached, then validates every emitted artifact is

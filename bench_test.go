@@ -24,6 +24,7 @@ import (
 	"testing"
 
 	"specrecon"
+	"specrecon/internal/corpus"
 )
 
 // runOnce compiles and simulates one build of a workload instance.
@@ -410,6 +411,96 @@ func BenchmarkCompile(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkLaunchReuse measures the steady-state cost of relaunching
+// one compilation — the inner loop of every sweep — through a reusable
+// specrecon.Machine. The pre capture (testdata/bench_sweep_pre.txt) ran
+// the same launches through fresh specrecon.Run calls; the arena keeps
+// warp scratch, per-SM machines, event buffers and metrics alive, so
+// allocs/op is the per-launch arena overhead, not the construction cost,
+// and the 8-SM variant's bytes/op no longer scales with the full
+// memory-image size (copy-on-write SM memory pays per dirty page).
+func BenchmarkLaunchReuse(b *testing.B) {
+	b.Run("flat", func(b *testing.B) {
+		inst := buildNamed(b, "xsbench")
+		comp, err := specrecon.Compile(inst.Module, specrecon.SpecReconOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := specrecon.RunConfig{
+			Kernel: inst.Kernel, Threads: inst.Threads, Seed: inst.Seed,
+			Memory: inst.Memory, Strict: true,
+		}
+		m, err := specrecon.NewMachine(comp.Module, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sm8", func(b *testing.B) {
+		w, err := specrecon.WorkloadByName("rsbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst := w.Build(specrecon.WorkloadConfig{Grid: 16, CTASize: 64, SMs: 8, Workers: 1})
+		comp, err := specrecon.Compile(inst.Module, specrecon.SpecReconOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := specrecon.RunConfig{
+			Kernel: inst.Kernel, Seed: inst.Seed, Memory: inst.Memory, Strict: true,
+			Grid: inst.Grid, CTASize: inst.CTASize, SMs: inst.SMs, Workers: inst.Workers,
+		}
+		m, err := specrecon.NewMachine(comp.Module, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCorpusSweep measures a diagnostics sweep over a synthetic
+// corpus — 40 generated applications, each compiled under the baseline
+// and two speculative threshold points — through the content-addressed
+// compile cache. The pre capture ran the identical sweep with direct
+// compilation; with the cache installed, every iteration after the first
+// is pure hits, so ns/op converges to the lookup cost and the pre/post
+// ratio is the per-point compile tax a threshold study stops paying.
+func BenchmarkCorpusSweep(b *testing.B) {
+	b.Run("apps40", func(b *testing.B) {
+		apps := corpus.Generate(40, 42)
+		at := func(t int) specrecon.CompileOptions {
+			o := specrecon.SpecReconOptions()
+			o.ThresholdOverride = t
+			return o
+		}
+		variants := []specrecon.CompileOptions{specrecon.BaselineOptions(), at(8), at(24)}
+		cache := specrecon.NewCompileCache(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, app := range apps {
+				for _, opts := range variants {
+					if _, err := cache.Diagnose(app.Module, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
 }
 
 // harnessJ bounds the worker pool of BenchmarkHarness

@@ -1,0 +1,182 @@
+// Command benchguard asserts performance properties over a benchjson
+// baseline (BENCH_*.json): each -assert names one benchmark record, a
+// field, a comparison operator and a bound, and the guard fails when
+// any assertion does not hold — a benchstat-style regression gate that
+// runs from the committed JSON instead of re-timing anything.
+//
+// Assertions take the form "<benchmark> <field> <op> <value>", e.g.
+//
+//	benchguard -in BENCH_7.json \
+//	  -assert "LaunchReuse/flat allocs_ratio <= 0.2" \
+//	  -assert "LaunchReuse/sm8 bytes_per_op <= 500000" \
+//	  -assert "CorpusSweep/apps40 speedup >= 1.1"
+//
+// Fields: ns_per_op, bytes_per_op, allocs_per_op, the pre-change
+// numbers (pre_ns_per_op, pre_bytes_per_op, pre_allocs_per_op), the
+// derived ratios (speedup = pre/post wall time, allocs_ratio and
+// bytes_ratio = post/pre), and any custom metric by its unit name
+// (e.g. sim_cycles). Operators: <, <=, >, >=.
+//
+// Exit status: 0 when every assertion holds, 1 when one fails, 2 on
+// usage errors or assertions naming unknown benchmarks or fields —
+// a silently vacuous guard would defeat its purpose.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record mirrors the benchjson schema (cmd/benchjson.Record).
+type record struct {
+	Name       string             `json:"name"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Pre        *struct {
+		NsPerOp    float64 `json:"ns_per_op"`
+		BytesPerOp float64 `json:"bytes_per_op"`
+		AllocsOp   float64 `json:"allocs_per_op"`
+	} `json:"pre"`
+	SpeedupVsPre float64 `json:"speedup_vs_pre"`
+	AllocRatio   float64 `json:"allocs_vs_pre"`
+}
+
+type baseline struct {
+	Records []record `json:"benchmarks"`
+}
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, "; ") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var (
+		in      = flag.String("in", "", "benchjson baseline to check (required)")
+		asserts stringList
+	)
+	flag.Var(&asserts, "assert", "assertion \"<benchmark> <field> <op> <value>\" (repeatable)")
+	flag.Parse()
+	if *in == "" || len(asserts) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -in BENCH.json -assert \"<benchmark> <field> <op> <value>\" ...")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fail(fmt.Errorf("%s: %w", *in, err))
+	}
+	byName := make(map[string]*record, len(base.Records))
+	for i := range base.Records {
+		byName[base.Records[i].Name] = &base.Records[i]
+	}
+
+	failures := 0
+	for _, a := range asserts {
+		parts := strings.Fields(a)
+		if len(parts) != 4 {
+			fail(fmt.Errorf("bad assertion %q: want \"<benchmark> <field> <op> <value>\"", a))
+		}
+		name, field, op, valStr := parts[0], parts[1], parts[2], parts[3]
+		bound, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad bound in %q: %w", a, err))
+		}
+		rec, ok := byName[name]
+		if !ok {
+			fail(fmt.Errorf("assertion %q: no benchmark %q in %s", a, name, *in))
+		}
+		got, err := fieldValue(rec, field)
+		if err != nil {
+			fail(fmt.Errorf("assertion %q: %w", a, err))
+		}
+		ok, err = compare(got, op, bound)
+		if err != nil {
+			fail(fmt.Errorf("assertion %q: %w", a, err))
+		}
+		if ok {
+			fmt.Printf("ok   %s %s = %g %s %g\n", name, field, got, op, bound)
+		} else {
+			fmt.Printf("FAIL %s %s = %g, want %s %g\n", name, field, got, op, bound)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchguard: %d of %d assertion(s) failed\n", failures, len(asserts))
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d assertion(s) hold\n", len(asserts))
+}
+
+func fieldValue(r *record, field string) (float64, error) {
+	switch field {
+	case "ns_per_op":
+		return r.NsPerOp, nil
+	case "bytes_per_op":
+		return r.BytesPerOp, nil
+	case "allocs_per_op":
+		return r.AllocsOp, nil
+	case "speedup":
+		if r.Pre == nil {
+			return 0, fmt.Errorf("benchmark %q has no pre record", r.Name)
+		}
+		return r.SpeedupVsPre, nil
+	case "allocs_ratio":
+		if r.Pre == nil {
+			return 0, fmt.Errorf("benchmark %q has no pre record", r.Name)
+		}
+		return r.AllocRatio, nil
+	case "bytes_ratio":
+		if r.Pre == nil || r.Pre.BytesPerOp == 0 {
+			return 0, fmt.Errorf("benchmark %q has no pre bytes/op", r.Name)
+		}
+		return r.BytesPerOp / r.Pre.BytesPerOp, nil
+	case "pre_ns_per_op", "pre_bytes_per_op", "pre_allocs_per_op":
+		if r.Pre == nil {
+			return 0, fmt.Errorf("benchmark %q has no pre record", r.Name)
+		}
+		switch field {
+		case "pre_ns_per_op":
+			return r.Pre.NsPerOp, nil
+		case "pre_bytes_per_op":
+			return r.Pre.BytesPerOp, nil
+		default:
+			return r.Pre.AllocsOp, nil
+		}
+	default:
+		if v, ok := r.Metrics[field]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("benchmark %q has no field or metric %q", r.Name, field)
+	}
+}
+
+func compare(got float64, op string, bound float64) (bool, error) {
+	switch op {
+	case "<":
+		return got < bound, nil
+	case "<=":
+		return got <= bound, nil
+	case ">":
+		return got > bound, nil
+	case ">=":
+		return got >= bound, nil
+	default:
+		return false, fmt.Errorf("unknown operator %q (want < <= > >=)", op)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

@@ -25,28 +25,53 @@ import (
 	"runtime"
 	"sync"
 
+	"specrecon/internal/ccache"
 	"specrecon/internal/corpus"
 	"specrecon/internal/diffcheck"
 )
 
 func main() {
 	var (
-		n         = flag.Int("n", 500, "number of corpus applications to generate")
-		seed      = flag.Uint64("seed", 42, "corpus generation seed")
-		jobs      = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
-		matrix    = flag.Bool("matrix", false, "also run the fault-injection matrix and require every fault detected")
-		mutate    = flag.Int("mutate", 0, "additionally check up to this many structural mutants per kernel")
-		maxIssues = flag.Int64("max-issues", 0, "per-run issue budget (0 = checker default)")
-		repros    = flag.String("repros", "testdata/repros", "directory for minimized .sasm repros of findings")
-		verbose   = flag.Bool("v", false, "print one line per kernel")
+		n          = flag.Int("n", 500, "number of corpus applications to generate")
+		seed       = flag.Uint64("seed", 42, "corpus generation seed")
+		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+		matrix     = flag.Bool("matrix", false, "also run the fault-injection matrix and require every fault detected")
+		mutate     = flag.Int("mutate", 0, "additionally check up to this many structural mutants per kernel")
+		maxIssues  = flag.Int64("max-issues", 0, "per-run issue budget (0 = checker default)")
+		repros     = flag.String("repros", "testdata/repros", "directory for minimized .sasm repros of findings")
+		verbose    = flag.Bool("v", false, "print one line per kernel")
+		useCache   = flag.Bool("compile-cache", false, "memoize baseline/speculative compilations across the campaign")
+		cacheStats = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
+
+	var cache *ccache.Cache
+	if *useCache {
+		cache = ccache.New(0)
+	}
 
 	failures := 0
 	if *matrix {
 		failures += runMatrix(*verbose)
 	}
-	failures += runCampaign(*n, *seed, *jobs, *mutate, *maxIssues, *repros, *verbose)
+	failures += runCampaign(*n, *seed, *jobs, *mutate, *maxIssues, *repros, *verbose, cache)
+
+	if *cacheStats != "" {
+		w := os.Stderr
+		if *cacheStats != "-" {
+			f, err := os.Create(*cacheStats)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "diffhunt: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := cache.WriteStatsJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "diffhunt: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -92,7 +117,7 @@ type finding struct {
 
 // runCampaign checks every corpus kernel (plus mutants when requested)
 // and returns the number of findings.
-func runCampaign(n int, seed uint64, jobs, mutate int, maxIssues int64, reproDir string, verbose bool) int {
+func runCampaign(n int, seed uint64, jobs, mutate int, maxIssues int64, reproDir string, verbose bool, cache *ccache.Cache) int {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -100,6 +125,7 @@ func runCampaign(n int, seed uint64, jobs, mutate int, maxIssues int64, reproDir
 		MaxIssues:    maxIssues,
 		AutoAnnotate: true,
 		Verify:       true,
+		Cache:        cache,
 	}
 
 	apps := corpus.Generate(n, seed)

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"specrecon/internal/analyze"
+	"specrecon/internal/ccache"
 	"specrecon/internal/core"
 	"specrecon/internal/corpus"
 	"specrecon/internal/ir"
@@ -38,6 +39,10 @@ func main() {
 		effFlag      = flag.Bool("eff", false, "print the static SIMT-efficiency estimate per kernel")
 		effBelow     = flag.Float64("eff-below", 0, "note kernels with static efficiency below this threshold (0 disables)")
 		quiet        = flag.Bool("q", false, "suppress per-diagnostic text output (summary and exit code only)")
+		useCache     = flag.Bool("compile-cache", false, "memoize -compiled pipeline runs in a content-addressed compile cache")
+		cacheStats   = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
+		repeatN      = flag.Int("repeat", 1, "vet the module set this many times (cache warm-up exercise; diagnostics are reported from the last pass only)")
+		minCacheHits = flag.Int64("min-cache-hits", 0, "exit 2 unless the compile cache recorded at least this many hits")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sasmvet [flags] [file.sasm | glob ...]\n\nFlags:\n")
@@ -62,25 +67,64 @@ func main() {
 		os.Exit(2)
 	}
 
+	var cache *ccache.Cache
+	if *useCache {
+		cache = ccache.New(0)
+	}
+	if *repeatN < 1 {
+		*repeatN = 1
+	}
+
+	// Diagnostics and efficiencies are recorded from the last pass only,
+	// so a -repeat N warm-up run reports exactly what a single pass would
+	// — the cache-smoke check diffs the SARIF outputs to prove it.
 	var all []analyze.Diagnostic
 	effs := map[string]float64{}
-	for _, vm := range mods {
-		diags, eff, err := vet(vm, *compiled, *effBelow)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sasmvet: %s: %v\n", vm.label, err)
+	for pass := 0; pass < *repeatN; pass++ {
+		all = all[:0]
+		clear(effs)
+		last := pass == *repeatN-1
+		for _, vm := range mods {
+			diags, eff, err := vet(vm, *compiled, *effBelow, cache)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sasmvet: %s: %v\n", vm.label, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				if d.Fn == "" {
+					d.Fn = vm.label
+				}
+				all = append(all, d)
+				if !*quiet && last {
+					fmt.Printf("%s: %s\n", d.Severity, d)
+				}
+			}
+			for fn, e := range eff {
+				effs[vm.label+"/"+fn] = e
+			}
+		}
+	}
+
+	if *cacheStats != "" {
+		w := os.Stderr
+		if *cacheStats != "-" {
+			f, err := os.Create(*cacheStats)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := cache.WriteStatsJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			if d.Fn == "" {
-				d.Fn = vm.label
-			}
-			all = append(all, d)
-			if !*quiet {
-				fmt.Printf("%s: %s\n", d.Severity, d)
-			}
-		}
-		for fn, e := range eff {
-			effs[vm.label+"/"+fn] = e
+	}
+	if *minCacheHits > 0 {
+		if hits := cache.Stats().Hits; hits < *minCacheHits {
+			fmt.Fprintf(os.Stderr, "sasmvet: compile cache recorded %d hit(s), want >= %d\n", hits, *minCacheHits)
+			os.Exit(2)
 		}
 	}
 
@@ -192,13 +236,15 @@ func collectModules(args []string, vetWorkloads bool, corpusN int, corpusSeed ui
 
 // vet analyzes one module: raw (no barrier provenance — the class-gated
 // checks are skipped) or compiled through the speculative pipeline with
-// the "analyze" pass before allocation.
-func vet(vm vetModule, compiled bool, effBelow float64) ([]analyze.Diagnostic, map[string]float64, error) {
+// the "analyze" pass before allocation, memoized by cache when one is
+// installed (nil runs the pipeline directly; the pipeline clones the
+// module before transforming, so vm.mod is never written either way).
+func vet(vm vetModule, compiled bool, effBelow float64, cache *ccache.Cache) ([]analyze.Diagnostic, map[string]float64, error) {
 	if !compiled {
 		rep := analyze.Analyze(vm.mod, analyze.Options{EffNoteBelow: effBelow})
 		return rep.Diags, rep.Efficiency, nil
 	}
-	comp, err := core.Diagnose(vm.mod.Clone(), vm.opts)
+	comp, err := cache.Diagnose(vm.mod, vm.opts)
 	if err != nil {
 		return nil, nil, err
 	}

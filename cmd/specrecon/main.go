@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"specrecon/internal/analyze"
+	"specrecon/internal/ccache"
 	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
 	"specrecon/internal/ir"
@@ -75,6 +76,9 @@ func main() {
 
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file")
+
+		useCache   = flag.Bool("compile-cache", false, "memoize compilations (sweeps, diffcheck, diagnostics) in a content-addressed compile cache")
+		cacheStats = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -84,6 +88,27 @@ func main() {
 	}
 	defer stopProf()
 	profStop = stopProf
+
+	if *useCache {
+		compCache = ccache.New(0)
+	}
+	if *cacheStats != "" {
+		defer func() {
+			w := os.Stderr
+			if *cacheStats != "-" {
+				f, err := os.Create(*cacheStats)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "specrecon: %v\n", err)
+					return
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := compCache.WriteStatsJSON(w); err != nil {
+				fmt.Fprintf(os.Stderr, "specrecon: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -124,7 +149,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		dcomp, err := core.CompilePipeline(inst.Module, core.Options{SkipAllocation: true}, dpipe)
+		dcomp, err := compCache.CompilePipeline(inst.Module, core.Options{SkipAllocation: true}, dpipe)
 		if err != nil {
 			fail(err)
 		}
@@ -200,7 +225,7 @@ func main() {
 		}
 		var comp *core.Compilation
 		if *safe && mo != "baseline" {
-			sc, err := core.CompileSafe(mod, opts)
+			sc, err := compCache.CompileSafe(mod, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -375,6 +400,7 @@ func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core
 		AutoAnnotate:      true,
 		Faults:            plan,
 		SkipReleaseN:      skipRelease,
+		Cache:             compCache,
 	})
 	if res.OK {
 		fmt.Printf("diffcheck: ok (base cycles %d, spec cycles %d)\n",
@@ -389,7 +415,7 @@ func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core
 // runSweep measures the kernel across soft-barrier thresholds.
 func runSweep(inst *workloads.Instance, pol simt.Policy, dec core.DeconflictMode) error {
 	runAt := func(opts core.Options) (*simt.Metrics, error) {
-		comp, err := core.Compile(inst.Module, opts)
+		comp, err := compCache.Compile(inst.Module, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -519,6 +545,11 @@ func parseDeconflict(s string) (core.DeconflictMode, error) {
 // profStop finishes any active profiles before fail's os.Exit, which
 // would otherwise skip the deferred stop in main.
 var profStop = func() {}
+
+// compCache is the optional -compile-cache memoizer. Nil (the default)
+// forwards every compile straight to core, so call sites below thread
+// it unconditionally.
+var compCache *ccache.Cache
 
 func fail(err error) {
 	profStop()

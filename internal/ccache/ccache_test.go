@@ -1,0 +1,231 @@
+package ccache_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specrecon/internal/ccache"
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+	"specrecon/internal/simt"
+)
+
+const divergentKernel = `module cachetest memwords=256
+func @k nregs=8 nfregs=0 {
+entry:
+  .predict merge
+  tid r0
+  and r1, r0, #3
+  setlt r2, r1, #2
+  cbr r2, left, right
+left:
+  ld r3, [r0]
+  add r3, r3, #1
+  st [r0], r3
+  br merge
+right:
+  st [r0], r1
+  br merge
+merge:
+  exit
+}
+`
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCachedCompilationIdenticalToFresh pins the cache's correctness
+// contract: a cached compilation is the same immutable object on every
+// hit, its module prints byte-identically to a fresh compile's, and
+// simulating both yields identical results.
+func TestCachedCompilationIdenticalToFresh(t *testing.T) {
+	mod := parse(t, divergentKernel)
+	for _, opts := range []core.Options{core.BaselineOptions(), core.SpecReconOptions()} {
+		cache := ccache.New(0)
+		first, err := cache.Compile(mod, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := cache.Compile(mod, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != second {
+			t.Error("second Compile returned a different object; want the cached one")
+		}
+		fresh, err := core.Compile(mod, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ir.Print(second.Module), ir.Print(fresh.Module); got != want {
+			t.Errorf("cached module prints differently from fresh compile:\n%s\nvs\n%s", got, want)
+		}
+		cfg := simt.Config{Threads: 64, Seed: 9}
+		cachedRes, err := simt.Run(second.Module, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshRes, err := simt.Run(fresh.Module, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cachedRes.Metrics, freshRes.Metrics) ||
+			!reflect.DeepEqual(cachedRes.Memory, freshRes.Memory) {
+			t.Error("simulation over the cached compilation diverges from the fresh one")
+		}
+		st := cache.Stats()
+		if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+			t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+		}
+	}
+}
+
+// TestKeySeparation: different options, pipelines, entry points and
+// modules must not collide.
+func TestKeySeparation(t *testing.T) {
+	cache := ccache.New(0)
+	mod := parse(t, divergentKernel)
+	if _, err := cache.Compile(mod, core.BaselineOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Compile(mod, core.SpecReconOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Diagnose(mod, core.BaselineOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.CompileSafe(mod, core.BaselineOptions()); err != nil {
+		t.Fatal(err)
+	}
+	mod2 := parse(t, divergentKernel)
+	mod2.Funcs[0].Blocks[0].Instrs[1].Imm = 7 // and r1, r0, #7
+	if _, err := cache.Compile(mod2, core.BaselineOptions()); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != 5 || st.Entries != 5 {
+		t.Errorf("stats = %+v, want 0 hits / 5 misses / 5 entries", st)
+	}
+	// Threshold sweeps vary only ThresholdOverride; each point is its own
+	// entry, and repeats hit.
+	for _, th := range []int{0, 8, 24} {
+		opts := core.SpecReconOptions()
+		opts.ThresholdOverride = th
+		for i := 0; i < 2; i++ {
+			if _, err := cache.Compile(mod, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st = cache.Stats()
+	if st.Hits != 3 || st.Misses != 8 {
+		t.Errorf("after threshold sweep: stats = %+v, want 3 hits / 8 misses", st)
+	}
+}
+
+// TestKeyHashCoversStructure pins the binary module hasher against the
+// text renderer it replaced: any semantic edit — a successor edge, a
+// prediction's threshold or target, a float immediate, a block name, a
+// module geometry field — must miss, and re-parsing the identical
+// source must hit (content addressing, not pointer identity).
+func TestKeyHashCoversStructure(t *testing.T) {
+	edits := []struct {
+		name string
+		edit func(m *ir.Module)
+	}{
+		{"swap-succs", func(m *ir.Module) {
+			b := m.Funcs[0].Blocks[0] // entry: cbr left, right
+			b.Succs[0], b.Succs[1] = b.Succs[1], b.Succs[0]
+		}},
+		{"prediction-threshold", func(m *ir.Module) {
+			m.Funcs[0].Predictions[0].Threshold = 13
+		}},
+		{"prediction-target", func(m *ir.Module) {
+			m.Funcs[0].Predictions[0].Label = m.Funcs[0].Blocks[1]
+		}},
+		{"drop-prediction", func(m *ir.Module) {
+			m.Funcs[0].Predictions = nil
+		}},
+		{"block-name", func(m *ir.Module) {
+			m.Funcs[0].Blocks[2].Name = "right2"
+		}},
+		{"memwords", func(m *ir.Module) {
+			m.MemWords = 512
+		}},
+		{"nregs", func(m *ir.Module) {
+			m.Funcs[0].NRegs = 9
+		}},
+	}
+	for _, tc := range edits {
+		t.Run(tc.name, func(t *testing.T) {
+			cache := ccache.New(0)
+			if _, err := cache.Diagnose(parse(t, divergentKernel), core.BaselineOptions()); err != nil {
+				t.Fatal(err)
+			}
+			// Identical content from a fresh parse must hit.
+			if _, err := cache.Diagnose(parse(t, divergentKernel), core.BaselineOptions()); err != nil {
+				t.Fatal(err)
+			}
+			if st := cache.Stats(); st.Hits != 1 {
+				t.Fatalf("re-parsed identical module: stats = %+v, want 1 hit", st)
+			}
+			edited := parse(t, divergentKernel)
+			tc.edit(edited)
+			if _, err := cache.Diagnose(edited, core.BaselineOptions()); err != nil {
+				t.Fatal(err)
+			}
+			if st := cache.Stats(); st.Misses != 2 {
+				t.Errorf("edited module: stats = %+v, want 2 misses (edit must change the key)", st)
+			}
+		})
+	}
+}
+
+// TestEviction: a tiny byte budget holds only the most recent entries
+// and counts evictions.
+func TestEviction(t *testing.T) {
+	cache := ccache.New(1) // smaller than any single entry: keep-last behavior
+	mod := parse(t, divergentKernel)
+	if _, err := cache.Compile(mod, core.BaselineOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Compile(mod, core.SpecReconOptions()); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (budget smaller than one entry keeps only the newest)", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// The surviving entry is the most recent one.
+	if _, err := cache.Compile(mod, core.SpecReconOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (most recent entry survived eviction)", st.Hits)
+	}
+}
+
+// TestNilCacheForwards: a nil *Cache is a transparent pass-through.
+func TestNilCacheForwards(t *testing.T) {
+	var cache *ccache.Cache
+	mod := parse(t, divergentKernel)
+	comp, err := cache.Compile(mod, core.SpecReconOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp == nil {
+		t.Fatal("nil cache returned nil compilation")
+	}
+	if st := cache.Stats(); st != (ccache.Stats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", st)
+	}
+}

@@ -1,0 +1,143 @@
+package ccache
+
+import (
+	"fmt"
+	"hash"
+	"math"
+	"sync"
+
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+)
+
+// The cache key must hash the module's full semantic content on every
+// lookup — that is what content addressing means — but rendering the
+// textual assembly per lookup made key() cost more than a corpus
+// kernel's compile. hashModule instead streams a canonical binary
+// encoding of the IR straight into the hasher: every variable-length
+// sequence and string is length-prefixed, so the encoding is injective
+// over (name, geometry, instruction fields, successor edges,
+// predictions) — the same facts ir.Print round-trips through the
+// parser.
+
+// moduleHasher is the reusable encoder scratch: one append-only buffer
+// flushed to the hasher in a single Write, and a per-function block
+// index for encoding successor and prediction targets positionally.
+type moduleHasher struct {
+	buf []byte
+	idx map[*ir.Block]int
+}
+
+var hasherPool = sync.Pool{
+	New: func() any { return &moduleHasher{idx: map[*ir.Block]int{}} },
+}
+
+func (e *moduleHasher) u64(v uint64) {
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func (e *moduleHasher) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *moduleHasher) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *moduleHasher) boolean(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// blockRef encodes a block pointer as its position in the current
+// function's block list (-1 for nil or foreign blocks, which the
+// verifier rejects anyway).
+func (e *moduleHasher) blockRef(b *ir.Block) {
+	if i, ok := e.idx[b]; ok {
+		e.i64(int64(i))
+		return
+	}
+	e.i64(-1)
+}
+
+// hashModule writes the canonical binary encoding of m into h.
+func hashModule(h hash.Hash, m *ir.Module) {
+	e := hasherPool.Get().(*moduleHasher)
+	e.buf = e.buf[:0]
+
+	e.str(m.Name)
+	e.i64(int64(m.MemWords))
+	e.i64(int64(m.SharedWords))
+	e.i64(int64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		e.str(f.Name)
+		e.i64(int64(f.NRegs))
+		e.i64(int64(f.NFRegs))
+		e.i64(int64(len(f.Blocks)))
+		e.i64(int64(len(f.Predictions)))
+		clear(e.idx)
+		for i, b := range f.Blocks {
+			e.idx[b] = i
+		}
+		for _, b := range f.Blocks {
+			e.str(b.Name)
+			e.i64(int64(len(b.Succs)))
+			for _, s := range b.Succs {
+				e.blockRef(s)
+			}
+			e.i64(int64(len(b.Instrs)))
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				e.u64(uint64(in.Op))
+				e.i64(int64(in.Dst))
+				e.i64(int64(in.A))
+				e.i64(int64(in.B))
+				e.i64(int64(in.C))
+				e.boolean(in.BImm)
+				e.i64(in.Imm)
+				e.u64(math.Float64bits(in.FImm))
+				e.i64(int64(in.Bar))
+				e.str(in.Callee)
+			}
+		}
+		for _, p := range f.Predictions {
+			e.blockRef(p.At)
+			e.blockRef(p.Label)
+			e.str(p.Callee)
+			e.i64(int64(p.Threshold))
+		}
+	}
+
+	h.Write(e.buf)
+	hasherPool.Put(e)
+}
+
+// optionsFingerprint canonicalizes opts. Options is a comparable struct
+// of value fields, so %#v is a faithful rendering — but it reflects over
+// every field on every call, so the rendering is memoized per distinct
+// value (sweeps use a handful: one per threshold point). The map is
+// capped as a precaution; past the cap, unseen values render directly.
+func optionsFingerprint(opts core.Options) string {
+	optsFPMu.Lock()
+	s, ok := optsFP[opts]
+	optsFPMu.Unlock()
+	if ok {
+		return s
+	}
+	s = fmt.Sprintf("%#v", opts)
+	optsFPMu.Lock()
+	if len(optsFP) < 4096 {
+		optsFP[opts] = s
+	}
+	optsFPMu.Unlock()
+	return s
+}
+
+var (
+	optsFPMu sync.Mutex
+	optsFP   = map[core.Options]string{}
+)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"specrecon/internal/ccache"
 	"specrecon/internal/core"
 	"specrecon/internal/ir"
 	"specrecon/internal/simt"
@@ -69,6 +70,12 @@ type Options struct {
 	// SkipReleaseN injects the simulator-layer fault into the
 	// speculative run: the Nth barrier-cohort release is lost.
 	SkipReleaseN int64
+	// Cache, when non-nil, memoizes the baseline and speculative
+	// compilations: a campaign re-checking one kernel under many
+	// thresholds or fault plans compiles each distinct build once.
+	// AutoAnnotate results are keyed by the annotated module's content,
+	// so cached and fresh campaigns report identically.
+	Cache *ccache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -144,7 +151,7 @@ func Check(k Kernel, opts Options) Result {
 		}
 	}
 
-	baseComp, err := core.Compile(mod, core.BaselineOptions())
+	baseComp, err := opts.Cache.Compile(mod, core.BaselineOptions())
 	if err != nil {
 		return Result{Stage: StageCompileBase, Err: err, Annotated: annotated}
 	}
@@ -158,12 +165,12 @@ func Check(k Kernel, opts Options) Result {
 	}
 	var specComp *core.Compilation
 	if opts.Verify {
-		specComp, err = core.CompilePipeline(mod, specOpts, core.SafePipelineFor(specOpts))
+		specComp, err = opts.Cache.CompilePipeline(mod, specOpts, core.SafePipelineFor(specOpts))
 		if err != nil {
 			return Result{Stage: StageVerify, Err: err, Annotated: annotated}
 		}
 	} else {
-		specComp, err = core.Compile(mod, specOpts)
+		specComp, err = opts.Cache.Compile(mod, specOpts)
 		if err != nil {
 			return Result{Stage: StageCompileSpec, Err: err, Annotated: annotated}
 		}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"specrecon/internal/ccache"
+	"specrecon/internal/core"
+	"specrecon/internal/ir"
+)
+
+// The harness compiles the same modules over and over — per threshold
+// point, per figure, per funnel stage — so every compile in this
+// package routes through an optional process-wide compile cache. The
+// pointer is atomic because figure drivers compile from worker
+// goroutines; ccache.Cache itself is concurrency-safe and nil-safe, so
+// the helpers below need no conditionals.
+var compileCache atomic.Pointer[ccache.Cache]
+
+// UseCompileCache installs (or, with nil, removes) the compile cache
+// every harness driver compiles through. It returns the previous cache
+// so callers can restore it.
+func UseCompileCache(c *ccache.Cache) *ccache.Cache {
+	return compileCache.Swap(c)
+}
+
+// CompileCacheStats snapshots the installed cache's counters (zero
+// stats when none is installed).
+func CompileCacheStats() ccache.Stats {
+	return compileCache.Load().Stats()
+}
+
+func compile(m *ir.Module, opts core.Options) (*core.Compilation, error) {
+	return compileCache.Load().Compile(m, opts)
+}
+
+func compileSafe(m *ir.Module, opts core.Options) (*core.SafeCompilation, error) {
+	return compileCache.Load().CompileSafe(m, opts)
+}

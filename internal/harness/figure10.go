@@ -69,7 +69,7 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 	outcomes := make([]funnelOutcome, len(apps))
 	err := forEach(parallelism, len(apps), func(i int) error {
 		app := apps[i]
-		baseComp, err := core.Compile(app.Module, core.BaselineOptions())
+		baseComp, err := compile(app.Module, core.BaselineOptions())
 		if err != nil {
 			return fmt.Errorf("%s: baseline compile: %w", app.Name, err)
 		}
@@ -96,7 +96,7 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 		// Fail-safe compilation: a detector-annotated kernel the static
 		// verifier rejects is measured as its PDOM fallback (and counted)
 		// instead of killing the whole campaign.
-		specComp, err := core.CompileSafe(annotated, core.SpecReconOptions())
+		specComp, err := compileSafe(annotated, core.SpecReconOptions())
 		if err != nil {
 			return fmt.Errorf("%s: auto compile: %w", app.Name, err)
 		}

@@ -20,7 +20,7 @@ import (
 
 // Run compiles one workload instance with the given options and runs it.
 func Run(inst *workloads.Instance, opts core.Options) (*core.Compilation, *simt.Result, error) {
-	comp, err := core.Compile(inst.Module, opts)
+	comp, err := compile(inst.Module, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
 	}
@@ -54,7 +54,7 @@ func launchConfig(inst *workloads.Instance) simt.Config {
 // built from RunSafe therefore always complete, with fallbacks reported
 // rather than aborting the whole figure.
 func RunSafe(inst *workloads.Instance, opts core.Options) (*core.SafeCompilation, *simt.Result, error) {
-	comp, err := core.CompileSafe(inst.Module, opts)
+	comp, err := compileSafe(inst.Module, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("compile %s: %w", inst.Module.Name, err)
 	}
@@ -259,7 +259,7 @@ func Figure9(name string, cfg workloads.BuildConfig, thresholds []int, paralleli
 		specOpts := core.SpecReconOptions()
 		specOpts.ThresholdOverride = t
 		specOpts.AssumeVerified = true
-		comp, err := core.Compile(inst.Module, specOpts)
+		comp, err := compile(inst.Module, specOpts)
 		if err != nil {
 			return fmt.Errorf("threshold %d: %w", t, err)
 		}

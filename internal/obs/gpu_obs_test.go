@@ -40,17 +40,19 @@ func TestProfileMergePerSM(t *testing.T) {
 	// first warp wait (and nonzero stall time is attributed).
 	cfg := simt.Config{Grid: 4, CTASize: 2 * ir.WarpWidth, SMs: 2, Seed: 5}
 
+	// One NewProfile derives the PC table; the per-SM sinks fork it.
+	proto := obs.NewProfile(m)
 	perSM := make([]*obs.Profile, cfg.SMs)
 	cfgSharded := cfg
 	cfgSharded.Workers = 2
 	cfgSharded.SMEvents = func(sm int) simt.EventSink {
-		perSM[sm] = obs.NewProfile(m)
+		perSM[sm] = proto.Fork()
 		return perSM[sm]
 	}
 	if _, err := simt.Run(m, cfgSharded); err != nil {
 		t.Fatalf("sharded Run: %v", err)
 	}
-	merged := obs.NewProfile(m)
+	merged := proto.Fork()
 	for _, p := range perSM {
 		merged.Merge(p)
 	}

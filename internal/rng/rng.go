@@ -35,6 +35,13 @@ func Split(seed, stream uint64) *Source {
 	return &Source{state: mix(seed ^ mix(stream))}
 }
 
+// Reseed resets s in place to the exact state Split(seed, stream) would
+// construct, so pooled per-lane sources can be reused across launches
+// without reallocating.
+func (s *Source) Reseed(seed, stream uint64) {
+	s.state = mix(seed ^ mix(stream))
+}
+
 func mix(z uint64) uint64 {
 	z += golden
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -313,8 +313,8 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 	}
 	addr := func() (int64, error) {
 		a := ln.regs[in.A] + in.Imm
-		if a < 0 || a >= int64(len(s.mem)) {
-			return 0, fmt.Errorf("memory access out of bounds: address %d (memory %d words)", a, len(s.mem))
+		if a < 0 || a >= int64(s.memLen) {
+			return 0, fmt.Errorf("memory access out of bounds: address %d (memory %d words)", a, s.memLen)
 		}
 		return a, nil
 	}
@@ -328,14 +328,6 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 		}
 		return a, nil
 	}
-	// markDirty records a global-memory store for the cross-SM merge of
-	// a sharded grid launch (s.dirty is nil on flat launches).
-	markDirty := func(a int64) {
-		if s.dirty != nil {
-			s.dirty[a>>6] |= 1 << (uint(a) & 63)
-		}
-	}
-
 	switch in.Op {
 	case ir.OpConst:
 		ln.regs[in.Dst] = in.Imm
@@ -477,45 +469,41 @@ func (ws *warpState) execScalar(ln *lane, in *ir.Instr) error {
 		if err != nil {
 			return err
 		}
-		ln.regs[in.Dst] = int64(s.mem[a])
+		ln.regs[in.Dst] = int64(s.loadWord(a))
 	case ir.OpStore:
 		a, err := addr()
 		if err != nil {
 			return err
 		}
-		s.mem[a] = uint64(ib())
-		markDirty(a)
+		s.storeWord(a, uint64(ib()))
 	case ir.OpFLoad:
 		a, err := addr()
 		if err != nil {
 			return err
 		}
-		ln.fregs[in.Dst] = math.Float64frombits(s.mem[a])
+		ln.fregs[in.Dst] = math.Float64frombits(s.loadWord(a))
 	case ir.OpFStore:
 		a, err := addr()
 		if err != nil {
 			return err
 		}
-		s.mem[a] = math.Float64bits(fb())
-		markDirty(a)
+		s.storeWord(a, math.Float64bits(fb()))
 	case ir.OpAtomAdd:
 		a, err := addr()
 		if err != nil {
 			return err
 		}
-		old := int64(s.mem[a])
-		s.mem[a] = uint64(old + ib())
+		old := int64(s.loadWord(a))
+		s.storeWord(a, uint64(old+ib()))
 		ln.regs[in.Dst] = old
-		markDirty(a)
 	case ir.OpFAtomAdd:
 		a, err := addr()
 		if err != nil {
 			return err
 		}
-		old := math.Float64frombits(s.mem[a])
-		s.mem[a] = math.Float64bits(old + fb())
+		old := math.Float64frombits(s.loadWord(a))
+		s.storeWord(a, math.Float64bits(old+fb()))
 		ln.fregs[in.Dst] = old
-		markDirty(a)
 
 	case ir.OpSharedLoad:
 		a, err := saddr()

@@ -48,6 +48,15 @@ e:
 }
 `
 
+// WithFullCopySM returns cfg with the copy-on-write SM fork disabled:
+// every SM gets a full private copy of the initial memory image plus a
+// whole-image dirty bitmap (the reference pre-CoW behavior). Tests pin
+// the CoW merge byte-for-byte against it.
+func WithFullCopySM(cfg Config) Config {
+	cfg.fullCopySM = true
+	return cfg
+}
+
 // HandSim steps a single warp one issue slot at a time, bypassing Run's
 // driver loop, so tests can measure per-step behavior directly.
 type HandSim struct {
@@ -138,7 +147,7 @@ func NewHandSimGPU(m *ir.Module, cfg Config) (*HandSimGPU, error) {
 	occ := sm.occupancy(warpsPerCTA)
 	var warps []*warpState
 	for c := 0; c < s.cfg.Grid && len(warps)/warpsPerCTA < occ; c += s.cfg.SMs {
-		cta := newCTAState(c, sm.ctaSize, sm.mod.SharedWords)
+		cta := sm.newCTA(c, sm.ctaSize)
 		sm.ctas = append(sm.ctas, cta)
 		for wi := 0; wi < warpsPerCTA; wi++ {
 			warps = append(warps, sm.newCTAWarp(cta, wi))

@@ -121,9 +121,13 @@ func (c *ctaState) laneExited(s *sim) {
 }
 
 // forkSM clones the launch template into SM i's private machine state:
-// its own copy of the initial global memory, dirty bitmap, cache,
-// metrics, budgets and event sink, sharing the immutable module and
-// decode tables.
+// a private view of the initial global memory, its own cache, metrics,
+// budgets and event sink, sharing the immutable module and decode
+// tables. The memory view is copy-on-write by default — the template
+// image is shared read-only and pages materialize on first store — so
+// forking cost scales with the SM's write set, not the image size;
+// cfg.fullCopySM selects the reference full-copy fork with a
+// whole-image dirty bitmap.
 func (s *sim) forkSM(i int, sink EventSink) *sim {
 	sm := &sim{
 		mod:      s.mod,
@@ -137,13 +141,43 @@ func (s *sim) forkSM(i int, sink EventSink) *sim {
 		smIndex:  int32(i),
 		gridMode: true,
 		ctaSize:  s.ctaSize,
-		mem:      make([]uint64, len(s.mem)),
-		dirty:    make([]uint64, (len(s.mem)+63)/64),
+		memLen:   s.memLen,
 		cache:    newCache(s.cfg.Cache.withDefaults()),
 	}
-	copy(sm.mem, s.mem)
+	if s.cfg.fullCopySM {
+		sm.mem = make([]uint64, len(s.mem))
+		sm.dirty = make([]uint64, (len(s.mem)+63)/64)
+		copy(sm.mem, s.mem)
+	} else {
+		sm.cow = newCowMem(s.mem)
+	}
 	sm.cfg.Events = sink
 	return sm
+}
+
+// resetSM rewinds a pooled SM fork for the next launch of the same
+// Machine: the memory view is restored to the template image (CoW pages
+// dropped, or the full copy re-copied), the cache, metrics and budgets
+// clear in place, and the arena cursors rewind.
+func (sm *sim) resetSM(tpl *sim, sink EventSink) {
+	sm.cfg = tpl.cfg
+	sm.cfg.Events = sink
+	if sm.cow != nil {
+		sm.cow.reset()
+	} else {
+		copy(sm.mem, tpl.mem)
+		for i := range sm.dirty {
+			sm.dirty[i] = 0
+		}
+	}
+	sm.cache.reset()
+	sm.metrics.reset()
+	sm.issues = 0
+	sm.releases = 0
+	sm.lastProgressCycle = 0
+	sm.poolWarp = 0
+	sm.poolCTA = 0
+	sm.ctas = sm.ctas[:0]
 }
 
 // occupancy returns how many CTAs fit on one SM at once, limited by the
@@ -182,23 +216,47 @@ func (s *sim) runGrid() (*Result, error) {
 	warpsPerCTA := (cfg.CTASize + ir.WarpWidth - 1) / ir.WarpWidth
 	occ := s.occupancy(warpsPerCTA)
 
-	sms := make([]*sim, cfg.SMs)
-	buffers := make([]*bufferSink, cfg.SMs)
+	sms := s.smPool
+	buffers := s.bufPool
+	fresh := sms == nil
+	if fresh {
+		sms = make([]*sim, cfg.SMs)
+		buffers = make([]*bufferSink, cfg.SMs)
+	}
 	for i := range sms {
 		var sink EventSink
 		switch {
 		case cfg.SMEvents != nil:
 			sink = cfg.SMEvents(i)
 		case cfg.Events != nil:
-			buffers[i] = &bufferSink{}
+			if buffers[i] == nil {
+				buffers[i] = &bufferSink{}
+			}
 			sink = buffers[i]
 		}
-		sms[i] = s.forkSM(i, sink)
+		if b := buffers[i]; b != nil {
+			b.events = b.events[:0]
+		}
+		if fresh {
+			sms[i] = s.forkSM(i, sink)
+		} else {
+			sms[i].resetSM(s, sink)
+		}
+	}
+	if s.reuse && fresh {
+		s.smPool, s.bufPool = sms, buffers
 	}
 
 	var shared [][]uint64
 	if s.mod.SharedWords > 0 {
-		shared = make([][]uint64, cfg.Grid)
+		if s.sharedBuf != nil {
+			shared = s.sharedBuf[:cfg.Grid]
+		} else {
+			shared = make([][]uint64, cfg.Grid)
+			if s.reuse {
+				s.sharedBuf = shared
+			}
+		}
 	}
 	err := forEachSM(cfg.Workers, cfg.SMs, func(i int) error {
 		return sms[i].runSM(occ, warpsPerCTA, shared)
@@ -230,7 +288,7 @@ func (s *sim) runSM(occ, warpsPerCTA int, shared [][]uint64) error {
 		end := min(start+occ, len(mine))
 		resident = resident[:0]
 		for _, c := range mine[start:end] {
-			cta := newCTAState(c, s.ctaSize, s.mod.SharedWords)
+			cta := s.newCTA(c, s.ctaSize)
 			s.ctas = append(s.ctas, cta)
 			if shared != nil {
 				shared[c] = cta.shared
@@ -295,24 +353,47 @@ func (s *sim) smDeadlock(warps []*warpState) error {
 }
 
 // mergeSMs folds the per-SM machines into the launch result, in SM
-// order: dirty global-memory words overwrite the initial image (words
-// several SMs wrote with disagreeing values count as cross-SM
-// conflicts), and metrics merge with Cycles = max over SMs.
+// order: stored global-memory words overwrite the initial image in
+// ascending address order (words several SMs wrote with disagreeing
+// values count as cross-SM conflicts), and metrics merge with Cycles =
+// max over SMs. CoW forks merge their materialized pages; full-copy
+// forks walk the whole-image dirty bitmap — both visit the same
+// addresses in the same order.
 func (s *sim) mergeSMs(sms []*sim, warpsPerCTA int, shared [][]uint64) *Result {
 	final := s.mem // the template's untouched initial image
-	written := make([]uint64, (len(final)+63)/64)
-	perSM := make([]Metrics, len(sms))
+	written := s.writtenBuf
+	if written == nil {
+		written = make([]uint64, (len(final)+63)/64)
+		if s.reuse {
+			s.writtenBuf = written
+		}
+	} else {
+		for i := range written {
+			written[i] = 0
+		}
+	}
+	perSM := s.perSMBuf
+	if perSM == nil {
+		perSM = make([]Metrics, len(sms))
+		if s.reuse {
+			s.perSMBuf = perSM
+		}
+	}
 	for i, sm := range sms {
 		s.metrics.merge(&sm.metrics)
-		for wi, mask := range sm.dirty {
-			for m := mask; m != 0; m &= m - 1 {
-				bit := uint(bits.TrailingZeros64(m))
-				a := wi*64 + int(bit)
-				if written[wi]&(1<<bit) != 0 && final[a] != sm.mem[a] {
-					s.metrics.CrossSMConflicts++
+		if sm.cow != nil {
+			sm.cow.mergeInto(final, written, &s.metrics)
+		} else {
+			for wi, mask := range sm.dirty {
+				for m := mask; m != 0; m &= m - 1 {
+					bit := uint(bits.TrailingZeros64(m))
+					a := wi*64 + int(bit)
+					if written[wi]&(1<<bit) != 0 && final[a] != sm.mem[a] {
+						s.metrics.CrossSMConflicts++
+					}
+					final[a] = sm.mem[a]
+					written[wi] |= 1 << bit
 				}
-				final[a] = sm.mem[a]
-				written[wi] |= 1 << bit
 			}
 		}
 		perSM[i] = sm.metrics

@@ -13,10 +13,22 @@ type cache struct {
 
 func newCache(cfg CacheConfig) *cache {
 	c := &cache{cfg: cfg, sets: make([][]int64, cfg.Sets)}
+	// One backing array carved into fixed-capacity per-set windows:
+	// touch never grows a set past Ways, so the windows cannot collide,
+	// and forking an SM costs three allocations instead of Sets+2.
+	backing := make([]int64, cfg.Sets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]int64, 0, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : i*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c
+}
+
+// reset empties every set without dropping its backing array, so a
+// reused launch arena starts from a cold cache with zero allocations.
+func (c *cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
 }
 
 // access coalesces the active lanes' addresses into line transactions,

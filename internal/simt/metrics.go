@@ -146,6 +146,25 @@ func (m *Metrics) merge(o *Metrics) {
 	}
 }
 
+// reset zeroes every counter while keeping the map storage behind
+// blockVisits and OpClassIssues alive, so a reused launch arena records
+// a fresh run without reallocating the profile tables.
+func (m *Metrics) reset() {
+	bv := m.blockVisits
+	oci := m.OpClassIssues
+	*m = Metrics{}
+	for _, rows := range bv {
+		for i := range rows {
+			rows[i] = 0
+		}
+	}
+	m.blockVisits = bv
+	for k := range oci {
+		delete(oci, k)
+	}
+	m.OpClassIssues = oci
+}
+
 // finalize materializes the exported views of the hot-path accumulators.
 // Run calls it once after the last warp retires; repeated calls are
 // no-ops so a second finalize cannot double-count OpClassIssues.

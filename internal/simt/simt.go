@@ -186,6 +186,12 @@ type Config struct {
 	// cache accesses, calls and returns) from both execution engines.
 	// See events.go; combine several observers with TeeSinks.
 	Events EventSink
+	// fullCopySM disables the copy-on-write SM fork and gives every SM a
+	// full private copy of the initial memory image plus a whole-image
+	// dirty bitmap — the pre-CoW behavior. Test-only seam (see
+	// WithFullCopySM in export_test.go) kept so the CoW merge can be
+	// pinned byte-for-byte against the reference implementation.
+	fullCopySM bool
 }
 
 // Result is the outcome of a launch.
@@ -265,8 +271,16 @@ type sim struct {
 	cfg     Config
 	fnIndex map[string]int
 	// meta is the decode-time side table, indexed [fn][blk][ins].
-	meta    [][][]instrMeta
-	mem     []uint64
+	meta [][][]instrMeta
+	// mem is the global-memory image (the initial template on a grid
+	// launch's root sim, a full private copy on a fullCopySM fork, nil on
+	// a CoW fork, whose view lives in cow). memLen is the image length in
+	// words on every sim — the bounds check the hot path uses.
+	mem    []uint64
+	memLen int
+	// cow is the copy-on-write view of the template image on a grid
+	// launch's SM forks (nil on flat launches and fullCopySM forks).
+	cow     *cowMem
 	cache   *cache
 	metrics Metrics
 	issues  int64
@@ -296,47 +310,86 @@ type sim struct {
 	nbar              int
 	nregs             int
 	nfregs            int
+
+	// Launch-arena pools. Warp and CTA state objects are always recorded
+	// in these pools as they are built; poolWarp/poolCTA are the cursors
+	// into them. A fresh launch allocates through the pool (one append
+	// per object); a Machine relaunch rewinds the cursors and takeWarp/
+	// newCTA hand back the existing objects reset in place, so
+	// steady-state launches allocate (almost) nothing.
+	warpPool []*warpState
+	ctaPool  []*ctaState
+	poolWarp int
+	poolCTA  int
+	// reuse marks a Machine-owned sim: runGrid stashes its per-SM forks,
+	// event replay buffers and merge scratch on the fields below and
+	// resets them on the next launch instead of reallocating.
+	reuse      bool
+	smPool     []*sim
+	bufPool    []*bufferSink
+	sharedBuf  [][]uint64
+	perSMBuf   []Metrics
+	writtenBuf []uint64
 }
 
-// newSim validates the module and configuration and builds the
-// launch-wide state, including the decode-time side tables the issue
-// loop runs on. Run drives it; the allocation-guard test constructs sims
-// directly to step warps by hand.
-func newSim(m *ir.Module, cfg Config) (*sim, error) {
-	if err := ir.VerifyModule(m); err != nil {
-		return nil, fmt.Errorf("simt: module invalid: %w", err)
+// loadWord reads global-memory word a (bounds already checked).
+func (s *sim) loadWord(a int64) uint64 {
+	if s.cow != nil {
+		return s.cow.load(a)
 	}
+	return s.mem[a]
+}
+
+// storeWord writes global-memory word a, faulting in the CoW page or
+// marking the full-copy dirty bitmap as the fork style requires.
+func (s *sim) storeWord(a int64, v uint64) {
+	if s.cow != nil {
+		s.cow.store(a, v)
+		return
+	}
+	s.mem[a] = v
+	if s.dirty != nil {
+		s.dirty[a>>6] |= 1 << (uint(a) & 63)
+	}
+}
+
+// normalizeConfig validates cfg against m and fills in every default
+// (kernel name, CTA size, SM and worker counts, derived thread count,
+// issue budget), returning the normalized config and the global-memory
+// image size in words. newSim and Machine.Run share it so a relaunch
+// config is normalized exactly like a fresh one.
+func normalizeConfig(m *ir.Module, cfg Config) (Config, int, error) {
 	if cfg.Kernel == "" {
 		cfg.Kernel = m.Funcs[0].Name
 	}
 	entry := m.FuncByName(cfg.Kernel)
 	if entry == nil {
-		return nil, fmt.Errorf("simt: kernel %q not found", cfg.Kernel)
+		return cfg, 0, fmt.Errorf("simt: kernel %q not found", cfg.Kernel)
 	}
 	if cfg.Grid < 0 {
-		return nil, fmt.Errorf("simt: negative grid size %d", cfg.Grid)
+		return cfg, 0, fmt.Errorf("simt: negative grid size %d", cfg.Grid)
 	}
 	if cfg.Grid > 0 {
 		if cfg.Model == ModelStack {
-			return nil, fmt.Errorf("simt: grid launches require the ITS engine")
+			return cfg, 0, fmt.Errorf("simt: grid launches require the ITS engine")
 		}
 		if cfg.InterleaveWarps {
-			return nil, fmt.Errorf("simt: InterleaveWarps does not apply to grid launches (SMs always interleave their resident warps)")
+			return cfg, 0, fmt.Errorf("simt: InterleaveWarps does not apply to grid launches (SMs always interleave their resident warps)")
 		}
 		if cfg.CTASize == 0 {
 			cfg.CTASize = ir.WarpWidth
 		}
 		if cfg.CTASize < 1 || cfg.CTASize > MaxThreadsPerCTA {
-			return nil, fmt.Errorf("simt: CTA size %d outside [1,%d]", cfg.CTASize, MaxThreadsPerCTA)
+			return cfg, 0, fmt.Errorf("simt: CTA size %d outside [1,%d]", cfg.CTASize, MaxThreadsPerCTA)
 		}
 		if cfg.SMs == 0 {
 			cfg.SMs = 1
 		}
 		if cfg.SMs < 1 || cfg.SMs > MaxSMs {
-			return nil, fmt.Errorf("simt: SM count %d outside [1,%d]", cfg.SMs, MaxSMs)
+			return cfg, 0, fmt.Errorf("simt: SM count %d outside [1,%d]", cfg.SMs, MaxSMs)
 		}
 		if m.SharedWords > SharedMemWordsPerSM {
-			return nil, fmt.Errorf("simt: module shared segment (%d words) exceeds SM shared memory (%d words)", m.SharedWords, SharedMemWordsPerSM)
+			return cfg, 0, fmt.Errorf("simt: module shared segment (%d words) exceeds SM shared memory (%d words)", m.SharedWords, SharedMemWordsPerSM)
 		}
 		if cfg.Workers < 1 {
 			cfg.Workers = 1
@@ -350,13 +403,13 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 		cfg.Threads = ir.WarpWidth
 	}
 	if cfg.Threads < 0 {
-		return nil, fmt.Errorf("simt: negative thread count %d", cfg.Threads)
+		return cfg, 0, fmt.Errorf("simt: negative thread count %d", cfg.Threads)
 	}
 	if cfg.MaxIssues == 0 {
 		cfg.MaxIssues = DefaultMaxIssues
 	}
 	if cfg.InterleaveWarps && cfg.Model == ModelStack {
-		return nil, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
+		return cfg, 0, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
 	}
 
 	memWords := m.MemWords
@@ -366,6 +419,21 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 	if len(cfg.Memory) > memWords {
 		memWords = len(cfg.Memory)
 	}
+	return cfg, memWords, nil
+}
+
+// newSim validates the module and configuration and builds the
+// launch-wide state, including the decode-time side tables the issue
+// loop runs on. Run drives it; the allocation-guard test constructs sims
+// directly to step warps by hand.
+func newSim(m *ir.Module, cfg Config) (*sim, error) {
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("simt: module invalid: %w", err)
+	}
+	cfg, memWords, err := normalizeConfig(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	mem := make([]uint64, memWords)
 	copy(mem, cfg.Memory)
 
@@ -374,16 +442,10 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 		cfg:      cfg,
 		fnIndex:  make(map[string]int, len(m.Funcs)),
 		mem:      mem,
+		memLen:   memWords,
 		cache:    newCache(cfg.Cache.withDefaults()),
 		gridMode: cfg.Grid > 0,
 		ctaSize:  cfg.Threads,
-	}
-	if s.gridMode {
-		s.ctaSize = cfg.CTASize
-	} else {
-		// Flat launch: the whole launch acts as one implicit CTA, which
-		// gives ctabar and shared memory their degenerate-case meaning.
-		s.ctas = []*ctaState{newCTAState(0, cfg.Threads, m.SharedWords)}
 	}
 	for i, f := range m.Funcs {
 		s.fnIndex[f.Name] = i
@@ -404,36 +466,106 @@ func newSim(m *ir.Module, cfg Config) (*sim, error) {
 	if s.nfregs < 1 {
 		s.nfregs = 1
 	}
+	if s.gridMode {
+		s.ctaSize = cfg.CTASize
+	} else {
+		// Flat launch: the whole launch acts as one implicit CTA, which
+		// gives ctabar and shared memory their degenerate-case meaning.
+		s.ctas = append(s.ctas, s.newCTA(0, cfg.Threads))
+	}
 	return s, nil
+}
+
+// takeWarp hands out the next warpState from the launch arena: past the
+// pool cursor it allocates (recording the object in the pool), behind it
+// — only after a Machine relaunch rewound the cursor — it rewinds the
+// existing object's per-warp state in place. Lane registers, stacks and
+// RNG streams are reinitialized per warp by resetLane.
+func (s *sim) takeWarp() *warpState {
+	if s.poolWarp < len(s.warpPool) {
+		ws := s.warpPool[s.poolWarp]
+		s.poolWarp++
+		ws.done = false
+		ws.rrCursor = 0
+		for b := range ws.masks {
+			ws.masks[b] = 0
+			ws.waiting[b] = 0
+		}
+		return ws
+	}
+	ws := &warpState{sim: s}
+	for l := 0; l < ir.WarpWidth; l++ {
+		ws.lanes[l] = &lane{
+			lane:  l,
+			regs:  make([]int64, s.nregs),
+			fregs: make([]float64, s.nfregs),
+			rng:   &rng.Source{},
+		}
+	}
+	ws.masks = make([]uint32, s.nbar)
+	ws.waiting = make([]uint32, s.nbar)
+	s.warpPool = append(s.warpPool, ws)
+	s.poolWarp++
+	return ws
+}
+
+// resetLane (re)initializes lane l of ws to the state a freshly
+// constructed lane would have: zero registers, empty call stack, entry
+// PC, and the RNG stream rng.Split(seed, tid) derives.
+func (ws *warpState) resetLane(l, id, cta, ctatid int, done bool) {
+	s := ws.sim
+	ln := ws.lanes[l]
+	ln.id = id
+	ln.cta = cta
+	ln.ctatid = ctatid
+	ln.pc = pcT{fn: s.entryIdx}
+	ln.status = laneRunning
+	if done {
+		ln.status = laneDone
+	}
+	ln.waitBar = 0
+	for i := range ln.regs {
+		ln.regs[i] = 0
+	}
+	for i := range ln.fregs {
+		ln.fregs[i] = 0
+	}
+	ln.stack = ln.stack[:0]
+	ln.rng.Reseed(s.cfg.Seed, uint64(id))
+}
+
+// newCTA hands out the next ctaState from the launch arena, mirroring
+// takeWarp: fresh launches allocate through the pool, Machine relaunches
+// reuse the pooled object with its shared segment zeroed in place.
+func (s *sim) newCTA(index, size int) *ctaState {
+	if s.poolCTA < len(s.ctaPool) {
+		c := s.ctaPool[s.poolCTA]
+		s.poolCTA++
+		c.index = index
+		c.live = size
+		for i := range c.shared {
+			c.shared[i] = 0
+		}
+		c.warps = c.warps[:0]
+		c.arrived = [NumCTABarriers]int32{}
+		return c
+	}
+	c := newCTAState(index, size, s.mod.SharedWords)
+	s.ctaPool = append(s.ctaPool, c)
+	s.poolCTA++
+	return c
 }
 
 // newWarp builds warp w's initial machine state on a flat launch, where
 // every warp belongs to the single implicit CTA.
 func (s *sim) newWarp(w int) *warpState {
-	var lanes [ir.WarpWidth]*lane
+	ws := s.takeWarp()
+	ws.index = w
+	ws.cta = s.ctas[0]
+	ws.ctaIndex = 0
 	for l := 0; l < ir.WarpWidth; l++ {
 		tid := w*ir.WarpWidth + l
-		ln := &lane{
-			id:     tid,
-			lane:   l,
-			ctatid: tid,
-			pc:     pcT{fn: s.entryIdx},
-			regs:   make([]int64, s.nregs),
-			fregs:  make([]float64, s.nfregs),
-			rng:    rng.Split(s.cfg.Seed, uint64(tid)),
-		}
-		if tid >= s.cfg.Threads {
-			ln.status = laneDone
-		}
-		lanes[l] = ln
-	}
-	ws := &warpState{
-		sim:     s,
-		index:   w,
-		cta:     s.ctas[0],
-		lanes:   lanes,
-		masks:   make([]uint32, s.nbar),
-		waiting: make([]uint32, s.nbar),
+		ws.resetLane(l, tid, 0, tid, tid >= s.cfg.Threads)
 	}
 	ws.cta.warps = append(ws.cta.warps, ws)
 	return ws
@@ -445,33 +577,14 @@ func (s *sim) newWarp(w int) *warpState {
 // partial warp.
 func (s *sim) newCTAWarp(cta *ctaState, wi int) *warpState {
 	warpsPerCTA := (s.ctaSize + ir.WarpWidth - 1) / ir.WarpWidth
-	var lanes [ir.WarpWidth]*lane
+	ws := s.takeWarp()
+	ws.index = cta.index*warpsPerCTA + wi
+	ws.cta = cta
+	ws.ctaIndex = int32(cta.index)
 	for l := 0; l < ir.WarpWidth; l++ {
 		ctatid := wi*ir.WarpWidth + l
 		tid := cta.index*s.ctaSize + ctatid
-		ln := &lane{
-			id:     tid,
-			lane:   l,
-			cta:    cta.index,
-			ctatid: ctatid,
-			pc:     pcT{fn: s.entryIdx},
-			regs:   make([]int64, s.nregs),
-			fregs:  make([]float64, s.nfregs),
-			rng:    rng.Split(s.cfg.Seed, uint64(tid)),
-		}
-		if ctatid >= s.ctaSize {
-			ln.status = laneDone
-		}
-		lanes[l] = ln
-	}
-	ws := &warpState{
-		sim:      s,
-		index:    cta.index*warpsPerCTA + wi,
-		cta:      cta,
-		ctaIndex: int32(cta.index),
-		lanes:    lanes,
-		masks:    make([]uint32, s.nbar),
-		waiting:  make([]uint32, s.nbar),
+		ws.resetLane(l, tid, cta.index, ctatid, ctatid >= s.ctaSize)
 	}
 	cta.warps = append(cta.warps, ws)
 	return ws
@@ -487,10 +600,16 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.launch()
+}
+
+// launch drives one launch over s's (fresh or arena-reset) state: the
+// grid scheduler for grid configs, else one of the flat drivers.
+func (s *sim) launch() (*Result, error) {
 	if s.gridMode {
 		return s.runGrid()
 	}
-	cfg = s.cfg
+	cfg := s.cfg
 	nwarps := (cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
 
 	if cfg.InterleaveWarps {
@@ -532,10 +651,34 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 	s.metrics.TotalSMCycles = s.metrics.Cycles
 	s.metrics.finalize()
 	res := &Result{Metrics: s.metrics, Memory: s.mem}
-	if m.SharedWords > 0 {
+	if s.mod.SharedWords > 0 {
 		res.Shared = [][]uint64{s.ctas[0].shared}
 	}
 	return res, nil
+}
+
+// resetForLaunch rewinds a Machine-owned sim to launch cfg: the memory
+// image is rebuilt from cfg.Memory, the cache, metrics and budgets are
+// cleared in place, and the arena cursors rewind so warp/CTA state is
+// reused instead of reallocated. cfg must already be normalized and
+// shape-compatible (Machine.Run checks).
+func (s *sim) resetForLaunch(cfg Config) {
+	s.cfg = cfg
+	n := copy(s.mem, cfg.Memory)
+	for i := n; i < len(s.mem); i++ {
+		s.mem[i] = 0
+	}
+	s.cache.reset()
+	s.metrics.reset()
+	s.issues = 0
+	s.releases = 0
+	s.lastProgressCycle = 0
+	s.poolWarp = 0
+	s.poolCTA = 0
+	s.ctas = s.ctas[:0]
+	if !s.gridMode {
+		s.ctas = append(s.ctas, s.newCTA(0, cfg.Threads))
+	}
 }
 
 // run drives one warp to completion.

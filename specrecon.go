@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"specrecon/internal/analyze"
+	"specrecon/internal/ccache"
 	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
 	"specrecon/internal/harness"
@@ -334,6 +335,43 @@ func DOT(f *Function) string { return ir.DOT(f) }
 
 // Run launches a compiled module on the SIMT simulator.
 func Run(m *Module, cfg RunConfig) (*RunResult, error) { return simt.Run(m, cfg) }
+
+// Machine is a reusable simulation context: one compiled module plus a
+// fixed launch shape, relaunchable via Machine.Run with new seeds and
+// memory images at near-zero steady-state allocation cost. Sweep loops
+// (threshold studies, schedule exploration, service workloads) should
+// build one Machine per compilation instead of calling Run per point.
+type Machine = simt.Machine
+
+// NewMachine builds a reusable simulation context for m under cfg's
+// launch shape. Subsequent Machine.Run calls may vary Seed, Memory,
+// budgets and sinks, but not the shape (kernel, thread/grid geometry,
+// policy, model, cache).
+func NewMachine(m *Module, cfg RunConfig) (*Machine, error) { return simt.NewMachine(m, cfg) }
+
+// Compile caching (internal/ccache): a content-addressed,
+// byte-budgeted LRU memoizing Compile/CompileSafe/Diagnose results
+// keyed by (canonical IR, pipeline spec, options fingerprint). All
+// methods on a nil *CompileCache forward to the direct compile path,
+// so a cache pointer can be plumbed unconditionally.
+type (
+	CompileCache      = ccache.Cache
+	CompileCacheStats = ccache.Stats
+)
+
+// NewCompileCache returns an empty compile cache bounded to maxBytes of
+// estimated retained compilation size (0 selects the default budget).
+func NewCompileCache(maxBytes int64) *CompileCache { return ccache.New(maxBytes) }
+
+// UseCompileCache installs (or, with nil, removes) the compile cache
+// that every experiment driver in this package — the Figure functions,
+// RunFunnel — compiles through, returning the previous cache. Read
+// hit/miss counters via DriverCacheStats.
+func UseCompileCache(c *CompileCache) *CompileCache { return harness.UseCompileCache(c) }
+
+// DriverCacheStats snapshots the experiment drivers' installed compile
+// cache counters (zero when none is installed).
+func DriverCacheStats() CompileCacheStats { return harness.CompileCacheStats() }
 
 // Workload access: the paper's benchmark suite (Table 2).
 type (
