@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus
+.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus telemetry-smoke
 
 all: build
 
@@ -35,6 +35,7 @@ check:
 	$(MAKE) diffcheck-smoke
 	$(MAKE) vet-corpus
 	$(MAKE) cache-smoke
+	$(MAKE) telemetry-smoke
 
 # fuzz-smoke gives each fuzz target a short budget on top of the checked-in
 # seed corpus: enough to catch shallow parser/pipeline regressions without
@@ -80,6 +81,12 @@ bench-baseline:
 		-note "pre = commit before the allocation-free issue loop; post = after. Single-core container: speedup_vs_pre comes from the zero-allocation hot path, not the worker pool." \
 		-out BENCH_2.json
 	rm -f bench_baseline_post.txt
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -append -tool bench-baseline \
+		-from-bench BENCH_2.json
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -check -tool bench-baseline -last 5 \
+		-gate "bench.Fig7/rsbench/specrecon.sim_cycles <= 1" \
+		-gate "bench.Fig1/specrecon.allocs_per_op <= 1" \
+		-gate "bench.Fig7/rsbench/specrecon.ns_per_op <= 1.5"
 
 fmt:
 	gofmt -l -w .
@@ -120,6 +127,12 @@ bench-scale:
 		-note "GPU-scale engine strong scaling: fixed 16-CTA RSBench grid at 1/4/8 SMs, serial vs sharded workers. sim_cycles = launch cycles (max over SMs), total_sm_cycles = summed per-SM work. Single-core container: worker sharding cannot improve wall-clock here; determinism is pinned by TestGridShardingDeterministic." \
 		-out BENCH_6.json
 	rm -f bench_scale_post.txt
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -append -tool bench-scale \
+		-from-bench BENCH_6.json
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -check -tool bench-scale -last 5 \
+		-gate "bench.GPUScale/sm8-sharded.sim_cycles <= 1" \
+		-gate "bench.GPUScale/sm8-sharded.total_sm_cycles <= 1" \
+		-gate "bench.GPUScale/sm8-sharded.ns_per_op <= 1.5"
 
 # cache-smoke proves the compile cache is both used and invisible: the
 # vetter walks a 120-kernel compiled corpus twice with the cache on —
@@ -164,6 +177,52 @@ bench-sweep:
 		-assert "CorpusSweep/apps40 speedup >= 2" \
 		-assert "CorpusSweep/apps40 allocs_ratio <= 0.25"
 	rm -f bench_sweep_post.txt
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -append -tool bench-sweep \
+		-from-bench BENCH_7.json
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -check -tool bench-sweep -last 5 \
+		-gate "bench.LaunchReuse/flat.allocs_per_op <= 1" \
+		-gate "bench.LaunchReuse/sm8.bytes_per_op <= 1.1" \
+		-gate "bench.CorpusSweep/apps40.ns_per_op <= 1.5"
+
+# telemetry-smoke exercises the fleet-telemetry layer end to end. A grid
+# workload runs with the per-SM occupancy sampler, the compile cache and
+# the telemetry snapshot attached; the snapshot and the trace (now
+# carrying SM occupancy counter tracks) must be well-formed JSON. The
+# Go-side coverage — registry/exporters/HTTP scrape, worker-pool
+# instrumentation, sampler attribution — runs under -race. The
+# issue-loop benchmark then proves the sampler adds zero allocations
+# (benchguard-enforced), and perfledger must flag the planted 40%
+# wall-time regression in the committed fixture while the steady
+# metrics pass their gates.
+telemetry-smoke:
+	rm -rf /tmp/specrecon-telemetry-smoke
+	mkdir -p /tmp/specrecon-telemetry-smoke
+	$(GO) run ./cmd/specrecon -kernel rsbench -mode spec \
+		-grid 8 -ctasize 64 -sms 4 -workers 2 \
+		-sample-stride 64 -compile-cache \
+		-telemetry-json /tmp/specrecon-telemetry-smoke/metrics.json \
+		-trace-out /tmp/specrecon-telemetry-smoke/trace.json
+	$(GO) run ./cmd/jsoncheck \
+		/tmp/specrecon-telemetry-smoke/metrics.json \
+		/tmp/specrecon-telemetry-smoke/trace.json
+	$(GO) test -race -count=1 ./internal/telemetry
+	$(GO) test -race -count=1 -run 'Telemetry|Occupancy|Sampler' \
+		./internal/simt ./internal/obs ./internal/harness
+	$(GO) test -run '^$$' -bench 'BenchmarkIssueWithTelemetry' \
+		-benchtime=20000x -benchmem ./internal/simt \
+		| tee /tmp/specrecon-telemetry-smoke/bench.txt
+	$(GO) run ./cmd/benchjson -in /tmp/specrecon-telemetry-smoke/bench.txt \
+		-out /tmp/specrecon-telemetry-smoke/bench.json
+	$(GO) run ./cmd/benchguard -in /tmp/specrecon-telemetry-smoke/bench.json \
+		-assert "IssueWithTelemetry allocs_per_op <= 0"
+	if $(GO) run ./cmd/perfledger -ledger cmd/perfledger/testdata/ledger_regression.jsonl \
+		-check -tool bench-sweep -gate "wall_seconds <= 1.10"; then \
+		echo "telemetry-smoke: perfledger missed the planted regression"; exit 1; fi
+	$(GO) run ./cmd/perfledger -ledger cmd/perfledger/testdata/ledger_regression.jsonl \
+		-check -tool bench-sweep \
+		-gate "bench.IssueLoop/flat.ns_per_op <= 1.05" \
+		-gate "ccache_hit_rate >= 0.95"
+	rm -rf /tmp/specrecon-telemetry-smoke
 
 # profile-smoke runs one workload end to end with the profiler and the
 # trace exporter attached, then validates every emitted artifact is

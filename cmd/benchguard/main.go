@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -56,25 +57,39 @@ type stringList []string
 func (s *stringList) String() string     { return strings.Join(*s, "; ") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its process surface injected, so tests drive the
+// CLI end to end: args are the command line without the program name,
+// and the return value is the exit status (0 all assertions hold, 1 an
+// assertion failed, 2 usage/malformed input/unknown names).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in      = flag.String("in", "", "benchjson baseline to check (required)")
+		in      = fs.String("in", "", "benchjson baseline to check (required)")
 		asserts stringList
 	)
-	flag.Var(&asserts, "assert", "assertion \"<benchmark> <field> <op> <value>\" (repeatable)")
-	flag.Parse()
+	fs.Var(&asserts, "assert", "assertion \"<benchmark> <field> <op> <value>\" (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchguard:", err)
+		return 2
+	}
 	if *in == "" || len(asserts) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard -in BENCH.json -assert \"<benchmark> <field> <op> <value>\" ...")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: benchguard -in BENCH.json -assert \"<benchmark> <field> <op> <value>\" ...")
+		return 2
 	}
 
 	data, err := os.ReadFile(*in)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	var base baseline
 	if err := json.Unmarshal(data, &base); err != nil {
-		fail(fmt.Errorf("%s: %w", *in, err))
+		return fail(fmt.Errorf("%s: %w", *in, err))
 	}
 	byName := make(map[string]*record, len(base.Records))
 	for i := range base.Records {
@@ -85,37 +100,38 @@ func main() {
 	for _, a := range asserts {
 		parts := strings.Fields(a)
 		if len(parts) != 4 {
-			fail(fmt.Errorf("bad assertion %q: want \"<benchmark> <field> <op> <value>\"", a))
+			return fail(fmt.Errorf("bad assertion %q: want \"<benchmark> <field> <op> <value>\"", a))
 		}
 		name, field, op, valStr := parts[0], parts[1], parts[2], parts[3]
 		bound, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			fail(fmt.Errorf("bad bound in %q: %w", a, err))
+			return fail(fmt.Errorf("bad bound in %q: %w", a, err))
 		}
 		rec, ok := byName[name]
 		if !ok {
-			fail(fmt.Errorf("assertion %q: no benchmark %q in %s", a, name, *in))
+			return fail(fmt.Errorf("assertion %q: no benchmark %q in %s", a, name, *in))
 		}
 		got, err := fieldValue(rec, field)
 		if err != nil {
-			fail(fmt.Errorf("assertion %q: %w", a, err))
+			return fail(fmt.Errorf("assertion %q: %w", a, err))
 		}
 		ok, err = compare(got, op, bound)
 		if err != nil {
-			fail(fmt.Errorf("assertion %q: %w", a, err))
+			return fail(fmt.Errorf("assertion %q: %w", a, err))
 		}
 		if ok {
-			fmt.Printf("ok   %s %s = %g %s %g\n", name, field, got, op, bound)
+			fmt.Fprintf(stdout, "ok   %s %s = %g %s %g\n", name, field, got, op, bound)
 		} else {
-			fmt.Printf("FAIL %s %s = %g, want %s %g\n", name, field, got, op, bound)
+			fmt.Fprintf(stdout, "FAIL %s %s = %g, want %s %g\n", name, field, got, op, bound)
 			failures++
 		}
 	}
 	if failures > 0 {
-		fmt.Printf("benchguard: %d of %d assertion(s) failed\n", failures, len(asserts))
-		os.Exit(1)
+		fmt.Fprintf(stdout, "benchguard: %d of %d assertion(s) failed\n", failures, len(asserts))
+		return 1
 	}
-	fmt.Printf("benchguard: %d assertion(s) hold\n", len(asserts))
+	fmt.Fprintf(stdout, "benchguard: %d assertion(s) hold\n", len(asserts))
+	return 0
 }
 
 func fieldValue(r *record, field string) (float64, error) {
@@ -174,9 +190,4 @@ func compare(got float64, op string, bound float64) (bool, error) {
 	default:
 		return false, fmt.Errorf("unknown operator %q (want < <= > >=)", op)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "benchguard:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline writes a benchjson baseline with one fully-populated
+// record and one without a pre record, returning its path.
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	const doc = `{
+  "benchmarks": [
+    {
+      "name": "IssueLoop/flat",
+      "ns_per_op": 100,
+      "bytes_per_op": 2048,
+      "allocs_per_op": 0,
+      "metrics": {"sim_cycles": 5000},
+      "pre": {"ns_per_op": 150, "bytes_per_op": 4096, "allocs_per_op": 4},
+      "speedup_vs_pre": 1.5,
+      "allocs_vs_pre": 0
+    },
+    {
+      "name": "IssueLoop/nopre",
+      "ns_per_op": 10
+    }
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGuard(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestAssertOps drives every comparison operator through both the
+// holding and failing side.
+func TestAssertOps(t *testing.T) {
+	in := writeBaseline(t)
+	cases := []struct {
+		assert string
+		code   int
+	}{
+		{"IssueLoop/flat ns_per_op < 101", 0},
+		{"IssueLoop/flat ns_per_op < 100", 1},
+		{"IssueLoop/flat ns_per_op <= 100", 0},
+		{"IssueLoop/flat ns_per_op <= 99", 1},
+		{"IssueLoop/flat ns_per_op > 99", 0},
+		{"IssueLoop/flat ns_per_op > 100", 1},
+		{"IssueLoop/flat ns_per_op >= 100", 0},
+		{"IssueLoop/flat ns_per_op >= 101", 1},
+		{"IssueLoop/flat allocs_per_op <= 0", 0},
+		{"IssueLoop/flat speedup >= 1.5", 0},
+		{"IssueLoop/flat allocs_ratio <= 0.01", 0},
+		{"IssueLoop/flat bytes_ratio <= 0.5", 0},
+		{"IssueLoop/flat bytes_ratio < 0.5", 1},
+		{"IssueLoop/flat pre_ns_per_op >= 150", 0},
+		{"IssueLoop/flat sim_cycles <= 5000", 0},
+		{"IssueLoop/flat sim_cycles < 5000", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.assert, func(t *testing.T) {
+			code, stdout, stderr := runGuard(t, "-in", in, "-assert", tc.assert)
+			if code != tc.code {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, tc.code, stdout, stderr)
+			}
+			wantPrefix := "ok   "
+			if tc.code != 0 {
+				wantPrefix = "FAIL "
+			}
+			if !strings.Contains(stdout, wantPrefix) {
+				t.Errorf("stdout missing %q:\n%s", wantPrefix, stdout)
+			}
+		})
+	}
+}
+
+// TestMixedAssertions: one failing assertion among passing ones fails
+// the run with exit 1 and reports the count.
+func TestMixedAssertions(t *testing.T) {
+	in := writeBaseline(t)
+	code, stdout, _ := runGuard(t, "-in", in,
+		"-assert", "IssueLoop/flat ns_per_op <= 100",
+		"-assert", "IssueLoop/flat ns_per_op <= 50",
+		"-assert", "IssueLoop/flat allocs_per_op <= 0")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "1 of 3 assertion(s) failed") {
+		t.Errorf("missing failure summary:\n%s", stdout)
+	}
+}
+
+// TestUnknownNamesExit2: assertions naming unknown benchmarks, fields
+// or operators are usage errors (exit 2), never vacuous passes.
+func TestUnknownNamesExit2(t *testing.T) {
+	in := writeBaseline(t)
+	cases := []struct {
+		name   string
+		assert string
+		want   string
+	}{
+		{"benchmark", "NoSuch/bench ns_per_op <= 1", "no benchmark"},
+		{"field", "IssueLoop/flat warp_occupancy <= 1", "no field or metric"},
+		{"operator", "IssueLoop/flat ns_per_op == 100", "unknown operator"},
+		{"grammar", "IssueLoop/flat ns_per_op", "bad assertion"},
+		{"bound", "IssueLoop/flat ns_per_op <= fast", "bad bound"},
+		{"missing-pre", "IssueLoop/nopre speedup >= 1", "no pre record"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runGuard(t, "-in", in, "-assert", tc.assert)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q: %s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestMalformedInput: unreadable or unparsable baselines exit 2.
+func TestMalformedInput(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runGuard(t, "-in", bad, "-assert", "x ns_per_op <= 1"); code != 2 {
+		t.Fatalf("malformed JSON: exit = %d, want 2", code)
+	}
+	if code, _, _ := runGuard(t, "-in", filepath.Join(t.TempDir(), "absent.json"),
+		"-assert", "x ns_per_op <= 1"); code != 2 {
+		t.Fatalf("missing file: exit = %d, want 2", code)
+	}
+	if code, _, _ := runGuard(t); code != 2 {
+		t.Fatalf("no args: exit = %d, want 2", code)
+	}
+}

@@ -14,33 +14,64 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"specrecon/internal/ccache"
 	"specrecon/internal/harness"
 	"specrecon/internal/prof"
+	"specrecon/internal/telemetry"
 	"specrecon/internal/workloads"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "7 | 8 | 9 | 10 | all")
-		threads  = flag.Int("threads", 0, "thread count (0 = default)")
-		apps     = flag.Int("apps", 520, "corpus size for the section 5.4 funnel")
-		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		grid     = flag.Int("grid", 0, "CTAs in a grid launch (0 = flat single-SM launch; overrides -threads)")
-		ctasize  = flag.Int("ctasize", 0, "threads per CTA for -grid (0 = one warp)")
-		sms      = flag.Int("sms", 0, "streaming multiprocessors for -grid (0 = 1)")
-		workers  = flag.Int("workers", 0, "goroutines simulating SMs (0 = serial; results are identical)")
-		markdown = flag.Bool("markdown", false, "emit the full suite as markdown tables (EXPERIMENTS.md style)")
-		traceDir = flag.String("trace-dir", "", "also dump per-workload Perfetto traces (baseline and spec) into this directory")
-		jobs     = flag.Int("j", 0, "worker-pool size for the experiment drivers (0 = GOMAXPROCS, 1 = serial)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
+		fig        = flag.String("fig", "all", "7 | 8 | 9 | 10 | all")
+		threads    = flag.Int("threads", 0, "thread count (0 = default)")
+		apps       = flag.Int("apps", 520, "corpus size for the section 5.4 funnel")
+		seed       = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		grid       = flag.Int("grid", 0, "CTAs in a grid launch (0 = flat single-SM launch; overrides -threads)")
+		ctasize    = flag.Int("ctasize", 0, "threads per CTA for -grid (0 = one warp)")
+		sms        = flag.Int("sms", 0, "streaming multiprocessors for -grid (0 = 1)")
+		workers    = flag.Int("workers", 0, "goroutines simulating SMs (0 = serial; results are identical)")
+		markdown   = flag.Bool("markdown", false, "emit the full suite as markdown tables (EXPERIMENTS.md style)")
+		traceDir   = flag.String("trace-dir", "", "also dump per-workload Perfetto traces (baseline and spec) into this directory")
+		jobs       = flag.Int("j", 0, "worker-pool size for the experiment drivers (0 = GOMAXPROCS, 1 = serial)")
+		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof    = flag.String("memprofile", "", "write a heap profile to this file")
+		useCache   = flag.Bool("compile-cache", false, "memoize compilations across the experiment drivers")
+		cacheStats = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
+		telemAddr  = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /healthz on this address while running")
+		ledgerPath = flag.String("ledger", "", "append a run record (wall time, cache and registry metrics) to this JSONL ledger")
 	)
 	flag.Parse()
 	cfg := workloads.BuildConfig{
 		Threads: *threads, Seed: *seed,
 		Grid: *grid, CTASize: *ctasize, SMs: *sms, Workers: *workers,
 	}
+
+	var cache *ccache.Cache
+	if *useCache || *cacheStats != "" {
+		cache = ccache.New(0)
+		harness.UseCompileCache(cache)
+	}
+	var reg *telemetry.Registry
+	if *telemAddr != "" || *ledgerPath != "" {
+		reg = telemetry.New()
+		harness.UseTelemetry(reg)
+		if cache != nil {
+			cache.RegisterMetrics(reg)
+		}
+	}
+	if *telemAddr != "" {
+		srv, err := telemetry.Serve(*telemAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "figures: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	started := time.Now()
 
 	stopProf, err := prof.Start(*cpuprof, *memprof)
 	if err != nil {
@@ -62,6 +93,46 @@ func main() {
 		fmt.Printf("wrote %d traces to %s (open in ui.perfetto.dev)\n", len(paths), *traceDir)
 	}
 
+	// finish emits the side outputs both exit paths share: the cache
+	// statistics dump and the run-ledger record.
+	finish := func() {
+		if *cacheStats != "" {
+			w := os.Stderr
+			if *cacheStats != "-" {
+				f, err := os.Create(*cacheStats)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "figures:", err)
+					os.Exit(2)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := cache.WriteStatsJSON(w); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(2)
+			}
+		}
+		if *ledgerPath != "" {
+			rec := telemetry.RunRecord{
+				Time:    telemetry.NowRFC3339(),
+				Tool:    "figures",
+				GitRev:  telemetry.GitRev(),
+				Config:  telemetry.Fingerprint(cfg),
+				Metrics: reg.LedgerMetrics(),
+			}
+			rec.Metrics["wall_seconds"] = time.Since(started).Seconds()
+			if s := cache.Stats(); s.Hits+s.Misses > 0 {
+				rec.Metrics["ccache_hit_rate"] = float64(s.Hits) / float64(s.Hits+s.Misses)
+			}
+			if err := telemetry.AppendRecord(*ledgerPath, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "figures: appended run record (%d metrics) to %s\n",
+				len(rec.Metrics), *ledgerPath)
+		}
+	}
+
 	if *markdown {
 		if err := harness.WriteMarkdownReport(os.Stdout, cfg, *apps, *jobs); err != nil {
 			stopProf()
@@ -69,6 +140,7 @@ func main() {
 			os.Exit(1)
 		}
 		dumpTraces()
+		finish()
 		return
 	}
 
@@ -88,6 +160,7 @@ func main() {
 	run("9", func() error { return figure9(cfg, *jobs) })
 	run("10", func() error { return figure10(cfg, *apps, *jobs) })
 	dumpTraces()
+	finish()
 }
 
 func figure7(cfg workloads.BuildConfig, jobs int) error {

@@ -1,0 +1,308 @@
+// Command perfledger appends to and gates on the run ledger
+// (runs.jsonl): a JSONL history of harness/sasmvet/figures runs, each
+// carrying a git revision, a config fingerprint and a flat metric map
+// (see internal/telemetry.RunRecord).
+//
+// Append mode records a run:
+//
+//	perfledger -ledger runs.jsonl -append -tool bench-sweep \
+//	  -note nightly -from-bench BENCH_7.json -metric wall_seconds=42.5
+//
+// -from-bench flattens a benchjson baseline into metrics named
+// bench.<benchmark>.<field>; -metric adds one name=value pair and
+// repeats. The git revision and timestamp are stamped automatically,
+// and -config fingerprints an arbitrary configuration string so runs
+// under different configurations are never gated against each other.
+//
+// Check mode diffs the last N records (default 2) of the same tool —
+// and, when the latest record carries one, the same config fingerprint
+// — and applies gates to the ratio latest/baseline per metric:
+//
+//	perfledger -ledger runs.jsonl -check -tool bench-sweep \
+//	  -gate "wall_seconds <= 1.10" \
+//	  -gate "bench.IssueLoop/flat.ns_per_op <= 1.15"
+//
+// A gate "metric <= 1.10" fails when the latest value exceeds the
+// baseline by more than 10%. The baseline is the oldest of the last N
+// records carrying the metric; with only one record the gate passes
+// vacuously (and says so) — a fresh ledger must not fail CI.
+//
+// Exit status: 0 when every gate holds (or is vacuous), 1 when a gate
+// fails, 2 on usage errors, malformed ledgers or gates naming metrics
+// absent from the latest record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"specrecon/internal/telemetry"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, "; ") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its process surface injected for tests; it returns
+// the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfledger", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ledger    = fs.String("ledger", "runs.jsonl", "ledger path")
+		doAppend  = fs.Bool("append", false, "append a record")
+		doCheck   = fs.Bool("check", false, "gate the latest record against history")
+		tool      = fs.String("tool", "", "tool name (append: required; check: filter)")
+		note      = fs.String("note", "", "free-form note for the appended record")
+		config    = fs.String("config", "", "configuration string to fingerprint into the record")
+		fromBench = fs.String("from-bench", "", "benchjson baseline to flatten into metrics")
+		last      = fs.Int("last", 2, "number of trailing records to diff in check mode")
+		metrics   stringList
+		gates     stringList
+	)
+	fs.Var(&metrics, "metric", "metric name=value (repeatable)")
+	fs.Var(&gates, "gate", "gate \"<metric> <op> <ratio>\" on latest/baseline (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "perfledger:", err)
+		return 2
+	}
+	switch {
+	case *doAppend == *doCheck:
+		fmt.Fprintln(stderr, "usage: perfledger -ledger runs.jsonl (-append -tool NAME [-note S] [-config S] [-from-bench BENCH.json] [-metric k=v]... | -check [-tool NAME] [-last N] -gate \"<metric> <op> <ratio>\"...)")
+		return 2
+	case *doAppend:
+		return appendRun(*ledger, *tool, *note, *config, *fromBench, metrics, stdout, fail)
+	default:
+		return check(*ledger, *tool, *last, gates, stdout, fail)
+	}
+}
+
+func appendRun(ledger, tool, note, config, fromBench string, metrics stringList, stdout io.Writer, fail func(error) int) int {
+	if tool == "" {
+		return fail(fmt.Errorf("-append requires -tool"))
+	}
+	rec := telemetry.RunRecord{
+		Time:    telemetry.NowRFC3339(),
+		Tool:    tool,
+		GitRev:  telemetry.GitRev(),
+		Note:    note,
+		Metrics: map[string]float64{},
+	}
+	if config != "" {
+		rec.Config = telemetry.Fingerprint(config)
+	}
+	if fromBench != "" {
+		if err := flattenBench(fromBench, rec.Metrics); err != nil {
+			return fail(err)
+		}
+	}
+	for _, m := range metrics {
+		name, val, ok := strings.Cut(m, "=")
+		if !ok {
+			return fail(fmt.Errorf("bad -metric %q: want name=value", m))
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(fmt.Errorf("bad -metric %q: %w", m, err))
+		}
+		rec.Metrics[name] = v
+	}
+	if len(rec.Metrics) == 0 {
+		return fail(fmt.Errorf("nothing to record: give -from-bench and/or -metric"))
+	}
+	if err := telemetry.AppendRecord(ledger, rec); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "perfledger: appended %s record (%d metrics, rev %s) to %s\n",
+		tool, len(rec.Metrics), rec.GitRev, ledger)
+	return 0
+}
+
+// flattenBench folds a benchjson baseline into the metric map as
+// bench.<name>.<field> entries.
+func flattenBench(path string, out map[string]float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base struct {
+		Records []struct {
+			Name       string             `json:"name"`
+			NsPerOp    float64            `json:"ns_per_op"`
+			BytesPerOp float64            `json:"bytes_per_op"`
+			AllocsOp   float64            `json:"allocs_per_op"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.Records) == 0 {
+		return fmt.Errorf("%s: no benchmark records", path)
+	}
+	for _, r := range base.Records {
+		prefix := "bench." + r.Name + "."
+		out[prefix+"ns_per_op"] = r.NsPerOp
+		out[prefix+"bytes_per_op"] = r.BytesPerOp
+		out[prefix+"allocs_per_op"] = r.AllocsOp
+		for k, v := range r.Metrics {
+			out[prefix+k] = v
+		}
+	}
+	return nil
+}
+
+func check(ledger, tool string, last int, gates stringList, stdout io.Writer, fail func(error) int) int {
+	if len(gates) == 0 {
+		return fail(fmt.Errorf("-check requires at least one -gate"))
+	}
+	if last < 2 {
+		last = 2
+	}
+	recs, err := telemetry.ReadLedger(ledger)
+	if err != nil {
+		return fail(err)
+	}
+	if tool != "" {
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.Tool == tool {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+	if len(recs) == 0 {
+		return fail(fmt.Errorf("%s has no records%s", ledger, toolSuffix(tool)))
+	}
+	latest := recs[len(recs)-1]
+	// Only compare like with like: when the latest record carries a
+	// config fingerprint, history under other fingerprints is ignored.
+	history := recs[:len(recs)-1]
+	if latest.Config != "" {
+		kept := history[:0]
+		for _, r := range history {
+			if r.Config == latest.Config {
+				kept = append(kept, r)
+			}
+		}
+		history = kept
+	}
+	if len(history) > last-1 {
+		history = history[len(history)-(last-1):]
+	}
+
+	failures := 0
+	for _, g := range gates {
+		parts := strings.Fields(g)
+		if len(parts) != 3 {
+			return fail(fmt.Errorf("bad gate %q: want \"<metric> <op> <ratio>\"", g))
+		}
+		name, op, boundStr := parts[0], parts[1], parts[2]
+		bound, err := strconv.ParseFloat(boundStr, 64)
+		if err != nil {
+			return fail(fmt.Errorf("bad gate %q: %w", g, err))
+		}
+		if !validOp(op) {
+			return fail(fmt.Errorf("gate %q: unknown operator %q (want < <= > >=)", g, op))
+		}
+		cur, ok := latest.Metrics[name]
+		if !ok {
+			return fail(fmt.Errorf("gate %q: latest %s record has no metric %q", g, latest.Tool, name))
+		}
+		base, baseRec, ok := baselineFor(history, name)
+		if !ok {
+			fmt.Fprintf(stdout, "pass %s: no prior record carries it (vacuous)\n", name)
+			continue
+		}
+		ratio := ratioOf(cur, base)
+		holds, _ := compare(ratio, op, bound)
+		verdict := "pass"
+		if !holds {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(stdout, "%s %s: %g -> %g (ratio %.4g, rev %s -> %s), want %s %g\n",
+			verdict, name, base, cur, ratio, orUnknown(baseRec.GitRev), orUnknown(latest.GitRev), op, bound)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "perfledger: %d of %d gate(s) failed\n", failures, len(gates))
+		return 1
+	}
+	fmt.Fprintf(stdout, "perfledger: %d gate(s) hold\n", len(gates))
+	return 0
+}
+
+// baselineFor returns the oldest value of name among the trailing
+// history records that carry it.
+func baselineFor(history []telemetry.RunRecord, name string) (float64, telemetry.RunRecord, bool) {
+	for _, r := range history {
+		if v, ok := r.Metrics[name]; ok {
+			return v, r, true
+		}
+	}
+	return 0, telemetry.RunRecord{}, false
+}
+
+// ratioOf is latest/baseline with the zero-baseline edges pinned: 0/0
+// is 1 (no change) and growth from zero is +Inf (always a regression
+// under a <= gate).
+func ratioOf(cur, base float64) float64 {
+	switch {
+	case base != 0:
+		return cur / base
+	case cur == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}
+
+func validOp(op string) bool {
+	switch op {
+	case "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func compare(got float64, op string, bound float64) (bool, error) {
+	switch op {
+	case "<":
+		return got < bound, nil
+	case "<=":
+		return got <= bound, nil
+	case ">":
+		return got > bound, nil
+	case ">=":
+		return got >= bound, nil
+	default:
+		return false, fmt.Errorf("unknown operator %q (want < <= > >=)", op)
+	}
+}
+
+func toolSuffix(tool string) string {
+	if tool == "" {
+		return ""
+	}
+	return " for tool " + tool
+}
+
+func orUnknown(rev string) string {
+	if rev == "" {
+		return "unknown"
+	}
+	return rev
+}

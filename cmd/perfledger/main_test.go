@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specrecon/internal/telemetry"
+)
+
+func runLedger(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestAppendThenCheck drives the whole cycle: two appends, then gates
+// that hold and gates that trip.
+func TestAppendThenCheck(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "runs.jsonl")
+	code, _, stderr := runLedger(t, "-ledger", ledger, "-append", "-tool", "sweep",
+		"-metric", "wall_seconds=40", "-metric", "hit_rate=0.9")
+	if code != 0 {
+		t.Fatalf("first append: exit %d (%s)", code, stderr)
+	}
+	code, _, stderr = runLedger(t, "-ledger", ledger, "-append", "-tool", "sweep",
+		"-note", "second", "-metric", "wall_seconds=42", "-metric", "hit_rate=0.9")
+	if code != 0 {
+		t.Fatalf("second append: exit %d (%s)", code, stderr)
+	}
+
+	recs, err := telemetry.ReadLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Note != "second" || recs[1].Metrics["wall_seconds"] != 42 {
+		t.Fatalf("ledger contents unexpected: %+v", recs)
+	}
+	if recs[0].Time == "" || recs[0].GitRev == "" {
+		t.Errorf("append did not stamp time/rev: %+v", recs[0])
+	}
+
+	// 42/40 = 1.05: inside a 10% gate, outside a 2% gate.
+	code, stdout, _ := runLedger(t, "-ledger", ledger, "-check",
+		"-gate", "wall_seconds <= 1.10", "-gate", "hit_rate >= 0.99")
+	if code != 0 {
+		t.Fatalf("lenient gates: exit %d\n%s", code, stdout)
+	}
+	code, stdout, _ = runLedger(t, "-ledger", ledger, "-check", "-gate", "wall_seconds <= 1.02")
+	if code != 1 {
+		t.Fatalf("tight gate: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "FAIL wall_seconds") {
+		t.Errorf("missing FAIL line:\n%s", stdout)
+	}
+}
+
+// TestCheckFixtureRegression pins the committed planted-regression
+// fixture the Makefile smoke target also uses: the 40% wall-time jump
+// trips a 10% gate, the tool filter skips the interleaved figures
+// record, and the steady metrics pass.
+func TestCheckFixtureRegression(t *testing.T) {
+	fixture := filepath.Join("testdata", "ledger_regression.jsonl")
+	code, stdout, _ := runLedger(t, "-ledger", fixture, "-check", "-tool", "bench-sweep",
+		"-gate", "wall_seconds <= 1.10")
+	if code != 1 {
+		t.Fatalf("planted regression not detected: exit %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "40 -> 56") {
+		t.Errorf("diff not reported:\n%s", stdout)
+	}
+	code, stdout, _ = runLedger(t, "-ledger", fixture, "-check", "-tool", "bench-sweep",
+		"-gate", "bench.IssueLoop/flat.ns_per_op <= 1.05",
+		"-gate", "ccache_hit_rate >= 0.95")
+	if code != 0 {
+		t.Fatalf("steady metrics flagged: exit %d\n%s", code, stdout)
+	}
+}
+
+// TestCheckVacuousSingleRecord: one record passes with a vacuous note.
+func TestCheckVacuousSingleRecord(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "runs.jsonl")
+	if code, _, stderr := runLedger(t, "-ledger", ledger, "-append", "-tool", "sweep",
+		"-metric", "wall_seconds=40"); code != 0 {
+		t.Fatal(stderr)
+	}
+	code, stdout, _ := runLedger(t, "-ledger", ledger, "-check", "-gate", "wall_seconds <= 1.10")
+	if code != 0 {
+		t.Fatalf("single record: exit %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "vacuous") {
+		t.Errorf("vacuous pass not noted:\n%s", stdout)
+	}
+}
+
+// TestConfigFingerprintIsolation: records under a different -config
+// fingerprint are not used as baselines.
+func TestConfigFingerprintIsolation(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "runs.jsonl")
+	for _, a := range [][]string{
+		{"-append", "-tool", "sweep", "-config", "tasks=8", "-metric", "wall_seconds=10"},
+		{"-append", "-tool", "sweep", "-config", "tasks=4", "-metric", "wall_seconds=40"},
+		{"-append", "-tool", "sweep", "-config", "tasks=4", "-metric", "wall_seconds=41"},
+	} {
+		if code, _, stderr := runLedger(t, append([]string{"-ledger", ledger}, a...)...); code != 0 {
+			t.Fatal(stderr)
+		}
+	}
+	// Against the tasks=4 baseline (40) the ratio is ~1.02; against the
+	// tasks=8 record (10) it would be 4.1 and trip.
+	code, stdout, _ := runLedger(t, "-ledger", ledger, "-check", "-gate", "wall_seconds <= 1.10")
+	if code != 0 {
+		t.Fatalf("config isolation: exit %d\n%s", code, stdout)
+	}
+}
+
+// TestFromBench flattens a benchjson baseline into bench.* metrics.
+func TestFromBench(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH.json")
+	const doc = `{"benchmarks":[{"name":"IssueLoop/flat","ns_per_op":100,"allocs_per_op":0,"metrics":{"sim_cycles":5000}}]}`
+	if err := os.WriteFile(bench, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ledger := filepath.Join(dir, "runs.jsonl")
+	if code, _, stderr := runLedger(t, "-ledger", ledger, "-append", "-tool", "bench",
+		"-from-bench", bench); code != 0 {
+		t.Fatal(stderr)
+	}
+	recs, err := telemetry.ReadLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := recs[0].Metrics
+	if m["bench.IssueLoop/flat.ns_per_op"] != 100 || m["bench.IssueLoop/flat.sim_cycles"] != 5000 {
+		t.Fatalf("flattened metrics wrong: %v", m)
+	}
+}
+
+// TestUsageAndErrorExits covers the exit-2 surface.
+func TestUsageAndErrorExits(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "runs.jsonl")
+	if code, _, stderr := runLedger(t, "-ledger", ledger, "-append", "-tool", "sweep",
+		"-metric", "wall_seconds=40"); code != 0 {
+		t.Fatal(stderr)
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"tool\":\"x\",\"metrics\":{}}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no-mode", []string{"-ledger", ledger}, "usage:"},
+		{"both-modes", []string{"-ledger", ledger, "-append", "-check"}, "usage:"},
+		{"append-no-tool", []string{"-ledger", ledger, "-append", "-metric", "a=1"}, "-tool"},
+		{"append-no-metrics", []string{"-ledger", ledger, "-append", "-tool", "x"}, "nothing to record"},
+		{"bad-metric", []string{"-ledger", ledger, "-append", "-tool", "x", "-metric", "oops"}, "name=value"},
+		{"check-no-gates", []string{"-ledger", ledger, "-check"}, "-gate"},
+		{"bad-gate-grammar", []string{"-ledger", ledger, "-check", "-gate", "wall_seconds"}, "bad gate"},
+		{"bad-gate-op", []string{"-ledger", ledger, "-check", "-gate", "wall_seconds == 1"}, "unknown operator"},
+		{"unknown-metric", []string{"-ledger", ledger, "-check", "-gate", "no_such <= 1"}, "no metric"},
+		{"missing-ledger", []string{"-ledger", filepath.Join(dir, "absent.jsonl"), "-check", "-gate", "a <= 1"}, "opening ledger"},
+		{"malformed-ledger", []string{"-ledger", bad, "-check", "-gate", "a <= 1"}, "malformed"},
+		{"no-matching-tool", []string{"-ledger", ledger, "-check", "-tool", "other", "-gate", "a <= 1"}, "no records"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runLedger(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, stdout, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q: %s", tc.want, stderr)
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"specrecon/internal/core"
 	"specrecon/internal/corpus"
 	"specrecon/internal/ir"
+	"specrecon/internal/telemetry"
 	"specrecon/internal/workloads"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		cacheStats   = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
 		repeatN      = flag.Int("repeat", 1, "vet the module set this many times (cache warm-up exercise; diagnostics are reported from the last pass only)")
 		minCacheHits = flag.Int64("min-cache-hits", 0, "exit 2 unless the compile cache recorded at least this many hits")
+		ledgerPath   = flag.String("ledger", "", "append a run record (module/diagnostic counts, cache hit rate) to this JSONL ledger")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sasmvet [flags] [file.sasm | glob ...]\n\nFlags:\n")
@@ -174,6 +176,29 @@ func main() {
 	}
 	fmt.Printf("sasmvet: %d module(s): %d error(s), %d warning(s), %d note(s)\n",
 		len(mods), errors, warnings, notes)
+
+	if *ledgerPath != "" {
+		rec := telemetry.RunRecord{
+			Time:   telemetry.NowRFC3339(),
+			Tool:   "sasmvet",
+			GitRev: telemetry.GitRev(),
+			Config: telemetry.Fingerprint(fmt.Sprintf("workloads=%v corpus=%d seed=%d compiled=%v repeat=%d args=%v",
+				*vetWorkloads, *corpusN, *corpusSeed, *compiled, *repeatN, flag.Args())),
+			Metrics: map[string]float64{
+				"modules":  float64(len(mods)),
+				"errors":   float64(errors),
+				"warnings": float64(warnings),
+				"notes":    float64(notes),
+			},
+		}
+		if s := cache.Stats(); s.Hits+s.Misses > 0 {
+			rec.Metrics["ccache_hit_rate"] = float64(s.Hits) / float64(s.Hits+s.Misses)
+		}
+		if err := telemetry.AppendRecord(*ledgerPath, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if len(analyze.Filter(all, failSev)) > 0 {
 		os.Exit(1)

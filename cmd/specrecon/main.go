@@ -28,10 +28,12 @@ import (
 	"specrecon/internal/ccache"
 	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
+	"specrecon/internal/harness"
 	"specrecon/internal/ir"
 	"specrecon/internal/obs"
 	"specrecon/internal/prof"
 	"specrecon/internal/simt"
+	"specrecon/internal/telemetry"
 	"specrecon/internal/workloads"
 )
 
@@ -79,6 +81,10 @@ func main() {
 
 		useCache   = flag.Bool("compile-cache", false, "memoize compilations (sweeps, diffcheck, diagnostics) in a content-addressed compile cache")
 		cacheStats = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
+
+		sampleStride = flag.Int64("sample-stride", 0, "sample per-SM occupancy/stall attribution every N issue passes (0 = off); prints the occupancy report per run and feeds counter tracks into -trace-out")
+		telemAddr    = flag.String("telemetry-addr", "", "serve /metrics, /metrics.json and /healthz on this address while running")
+		telemJSON    = flag.String("telemetry-json", "", "write the final telemetry snapshot as JSON to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -105,6 +111,39 @@ func main() {
 				w = f
 			}
 			if err := compCache.WriteStatsJSON(w); err != nil {
+				fmt.Fprintf(os.Stderr, "specrecon: %v\n", err)
+			}
+		}()
+	}
+
+	if *telemAddr != "" || *telemJSON != "" {
+		telemReg = telemetry.New()
+		if compCache != nil {
+			compCache.RegisterMetrics(telemReg)
+		}
+	}
+	if *telemAddr != "" {
+		srv, err := telemetry.Serve(*telemAddr, telemReg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "specrecon: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	if *telemJSON != "" {
+		// Written on the way out so the snapshot covers every run.
+		defer func() {
+			w := os.Stderr
+			if *telemJSON != "-" {
+				f, err := os.Create(*telemJSON)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "specrecon: %v\n", err)
+					return
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := telemReg.WriteJSON(w); err != nil {
 				fmt.Fprintf(os.Stderr, "specrecon: %v\n", err)
 			}
 		}()
@@ -275,6 +314,7 @@ func main() {
 		var sinks []simt.EventSink
 		var pcProf *obs.Profile
 		var rec *obs.TraceRecorder
+		var occ *obs.OccupancyRecorder
 		if *profile || *profileJSON != "" {
 			pcProf = obs.NewProfile(comp.Module)
 			sinks = append(sinks, pcProf)
@@ -282,6 +322,9 @@ func main() {
 		if *traceOut != "" {
 			rec = obs.NewTraceRecorder()
 			sinks = append(sinks, rec)
+		}
+		if *sampleStride > 0 {
+			occ = obs.NewOccupancyRecorder()
 		}
 		runCfg := simt.Config{
 			Kernel:          inst.Kernel,
@@ -301,6 +344,16 @@ func main() {
 		if mo != "baseline" {
 			runCfg.SkipReleaseN = skipRelease
 		}
+		if occ != nil {
+			runCfg.SampleStride = *sampleStride
+			smpSinks := []simt.SampleSink{occ}
+			if rec != nil {
+				// The trace recorder turns samples into Perfetto counter
+				// tracks alongside its event slices.
+				smpSinks = append(smpSinks, rec)
+			}
+			runCfg.Samples = simt.TeeSampleSinks(smpSinks...)
+		}
 		res, err := simt.Run(comp.Module, runCfg)
 		if err != nil {
 			fail(err)
@@ -317,6 +370,15 @@ func main() {
 			fmt.Printf("\n%s profile:\n\n", mo)
 			if err := pcProf.WriteMarkdown(os.Stdout, *profileTop); err != nil {
 				fail(err)
+			}
+		}
+		if occ != nil {
+			fmt.Printf("\n%s occupancy (stride %d, %d samples):\n\n", mo, *sampleStride, occ.Len())
+			if err := occ.WriteMarkdown(os.Stdout); err != nil {
+				fail(err)
+			}
+			if telemReg != nil {
+				harness.PublishOccupancy(telemReg, *kernel+"/"+mo, occ.PerSM())
 			}
 		}
 		if *profileJSON != "" {
@@ -550,6 +612,10 @@ var profStop = func() {}
 // forwards every compile straight to core, so call sites below thread
 // it unconditionally.
 var compCache *ccache.Cache
+
+// telemReg is the optional metrics registry behind -telemetry-addr and
+// -telemetry-json; nil when neither flag is given.
+var telemReg *telemetry.Registry
 
 func fail(err error) {
 	profStop()

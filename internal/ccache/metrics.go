@@ -1,0 +1,24 @@
+package ccache
+
+import "specrecon/internal/telemetry"
+
+// RegisterMetrics exposes the cache's counters on reg as func metrics
+// read from Stats() at snapshot time — the cache's hot path pays
+// nothing for being observed. Safe on a nil receiver (a nil *Cache
+// reports zero stats). Registering a second cache on the same registry
+// rebinds the callbacks to it (func metrics are last-writer-wins), so a
+// sweep that swaps caches keeps reporting the live one.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("ccache_hits_total", "Compile cache hits.",
+		func() float64 { return float64(c.Stats().Hits) })
+	reg.CounterFunc("ccache_misses_total", "Compile cache misses (including compile errors).",
+		func() float64 { return float64(c.Stats().Misses) })
+	reg.CounterFunc("ccache_evictions_total", "Entries evicted to fit the byte budget.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	reg.GaugeFunc("ccache_entries", "Entries resident in the compile cache.",
+		func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc("ccache_bytes", "Estimated bytes resident in the compile cache.",
+		func() float64 { return float64(c.Stats().Bytes) })
+	reg.GaugeFunc("ccache_max_bytes", "Compile cache byte budget.",
+		func() float64 { return float64(c.Stats().MaxBytes) })
+}

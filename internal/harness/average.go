@@ -30,7 +30,7 @@ type AveragedComparison struct {
 func CompareAveraged(w *workloads.Workload, cfg workloads.BuildConfig, thresholdOverride int, seeds []uint64, parallelism int) (AveragedComparison, error) {
 	out := AveragedComparison{Name: w.Name, Seeds: len(seeds), MinSpeed: math.Inf(1), MaxSpeed: math.Inf(-1)}
 	cmps := make([]Comparison, len(seeds))
-	err := forEach(parallelism, len(seeds), func(i int) error {
+	err := forEach("averaged", parallelism, len(seeds), func(i int) error {
 		c := cfg
 		c.Seed = seeds[i]
 		cmp, err := Compare(w, c, thresholdOverride)

@@ -67,7 +67,7 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 	apps := corpus.Generate(n, seed)
 	res := &FunnelResult{Studied: len(apps)}
 	outcomes := make([]funnelOutcome, len(apps))
-	err := forEach(parallelism, len(apps), func(i int) error {
+	err := forEach("funnel", parallelism, len(apps), func(i int) error {
 		app := apps[i]
 		baseComp, err := compile(app.Module, core.BaselineOptions())
 		if err != nil {
@@ -189,7 +189,7 @@ func AutoComparison(w *workloads.Workload, cfg workloads.BuildConfig) (Compariso
 func Figure10(cfg workloads.BuildConfig, parallelism int) ([]Comparison, error) {
 	names := []string{"optix-ao", "optix-path", "optix-shadow", "meiyamd5"}
 	out := make([]Comparison, len(names))
-	err := forEach(parallelism, len(names), func(i int) error {
+	err := forEach("figure10", parallelism, len(names), func(i int) error {
 		w, err := workloads.Get(names[i])
 		if err != nil {
 			return err

@@ -200,7 +200,7 @@ func VerifySameResults(a, b []uint64) error {
 func Figure7(cfg workloads.BuildConfig, parallelism int) ([]Comparison, error) {
 	ws := workloads.Annotated()
 	out := make([]Comparison, len(ws))
-	err := forEach(parallelism, len(ws), func(i int) error {
+	err := forEach("figure7", parallelism, len(ws), func(i int) error {
 		c, err := Compare(ws[i], cfg, -1)
 		if err != nil {
 			return err
@@ -254,7 +254,7 @@ func Figure9(name string, cfg workloads.BuildConfig, thresholds []int, paralleli
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	out := make([]ThresholdPoint, len(thresholds))
-	err = forEach(parallelism, len(thresholds), func(i int) error {
+	err = forEach("figure9", parallelism, len(thresholds), func(i int) error {
 		t := thresholds[i]
 		specOpts := core.SpecReconOptions()
 		specOpts.ThresholdOverride = t

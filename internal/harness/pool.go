@@ -28,15 +28,21 @@ func effectiveParallelism(n int) int {
 // forEach runs fn(i) for every i in [0, n) on at most parallelism
 // workers and returns the lowest-index error, matching what the serial
 // loop would have reported. After an error is recorded, workers stop
-// picking up new jobs; in-flight jobs still complete.
-func forEach(parallelism, n int, fn func(i int) error) error {
+// picking up new jobs; in-flight jobs still complete. driver labels the
+// fan-out in the installed telemetry registry (see UseTelemetry); with
+// no registry installed the instrumentation is a nil pointer no-op.
+func forEach(driver string, parallelism, n int, fn func(i int) error) error {
+	pm := poolStart(driver, n)
+	defer pm.finish()
 	workers := effectiveParallelism(parallelism)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			err := fn(i)
+			pm.jobDone()
+			if err != nil {
 				return err
 			}
 		}
@@ -74,6 +80,7 @@ func forEach(parallelism, n int, fn func(i int) error) error {
 				if err := fn(i); err != nil {
 					record(i, err)
 				}
+				pm.jobDone()
 			}
 		}()
 	}

@@ -41,7 +41,7 @@ func runProfiled(inst *workloads.Instance, opts core.Options) (*obs.Profile, err
 func CollectProfiles(cfg workloads.BuildConfig, parallelism int) ([]WorkloadProfile, error) {
 	ws := workloads.Annotated()
 	out := make([]WorkloadProfile, len(ws))
-	err := forEach(parallelism, len(ws), func(i int) error {
+	err := forEach("profiles", parallelism, len(ws), func(i int) error {
 		inst := ws[i].Build(cfg)
 		base, err := runProfiled(inst, core.BaselineOptions())
 		if err != nil {
@@ -105,7 +105,7 @@ func DumpTraces(dir string, cfg workloads.BuildConfig, parallelism int) ([]strin
 	}
 	ws := workloads.Annotated()
 	paths := make([][]string, len(ws))
-	err := forEach(parallelism, len(ws), func(i int) error {
+	err := forEach("traces", parallelism, len(ws), func(i int) error {
 		inst := ws[i].Build(cfg)
 		for _, build := range []struct {
 			tag  string

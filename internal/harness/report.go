@@ -113,5 +113,13 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	if err != nil {
 		return fmt.Errorf("profiles: %w", err)
 	}
-	return WriteProfileSection(out, profiles, 5)
+	if err := WriteProfileSection(out, profiles, 5); err != nil {
+		return err
+	}
+
+	occs, err := CollectOccupancy(cfg, 0, parallelism)
+	if err != nil {
+		return fmt.Errorf("occupancy: %w", err)
+	}
+	return WriteOccupancySection(out, occs)
 }

@@ -87,7 +87,7 @@ func CompareWithCache(w *workloads.Workload, cfg workloads.BuildConfig, cache si
 func Sensitivity(names []string, cfg workloads.BuildConfig, parallelism int) (map[string][]Comparison, error) {
 	variants := ModelVariants()
 	results := make([]Comparison, len(variants)*len(names))
-	err := forEach(parallelism, len(results), func(i int) error {
+	err := forEach("sensitivity", parallelism, len(results), func(i int) error {
 		v := variants[i/len(names)]
 		name := names[i%len(names)]
 		w, err := workloads.Get(name)

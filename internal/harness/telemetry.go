@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"sync/atomic"
+	"time"
+
+	"specrecon/internal/telemetry"
+)
+
+// Like the compile cache, telemetry is an optional process-wide
+// installation: drivers run unchanged and unobserved until a registry
+// is installed, at which point the worker pool reports task counts,
+// in-flight queue depth and per-driver wall time. The pointer is
+// atomic because figure drivers call the pool from worker goroutines;
+// every reporting helper is nil-safe so the uninstrumented path costs a
+// single atomic load.
+var telemetryReg atomic.Pointer[telemetry.Registry]
+
+// UseTelemetry installs (or, with nil, removes) the metrics registry
+// the harness reports into. It returns the previous registry so callers
+// can restore it.
+func UseTelemetry(reg *telemetry.Registry) *telemetry.Registry {
+	return telemetryReg.Swap(reg)
+}
+
+// Telemetry returns the installed registry (nil when none).
+func Telemetry() *telemetry.Registry { return telemetryReg.Load() }
+
+// poolMetrics holds the resolved series handles for one forEach run, so
+// the per-job hot path is two atomic adds.
+type poolMetrics struct {
+	tasks *telemetry.Counter
+	depth *telemetry.Gauge
+	wall  *telemetry.Histogram
+	start time.Time
+}
+
+// poolSecondsBuckets spans harness job fan-outs from sub-millisecond
+// sweep points to multi-minute corpus walks.
+var poolSecondsBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// poolStart resolves the pool's series for driver and records the
+// fan-out size. Returns nil when no registry is installed.
+func poolStart(driver string, n int) *poolMetrics {
+	reg := telemetryReg.Load()
+	if reg == nil {
+		return nil
+	}
+	pm := &poolMetrics{
+		tasks: reg.Counter("harness_pool_tasks_total",
+			"Jobs completed by the harness worker pool.", "driver").With(driver),
+		depth: reg.Gauge("harness_pool_queue_depth",
+			"Jobs of the current fan-out not yet finished, per driver.", "driver").With(driver),
+		wall: reg.Histogram("harness_pool_driver_seconds",
+			"Wall time of one driver fan-out (a whole forEach call).",
+			poolSecondsBuckets, "driver").With(driver),
+		start: time.Now(),
+	}
+	pm.depth.Set(float64(n))
+	return pm
+}
+
+// jobDone records one finished job.
+func (pm *poolMetrics) jobDone() {
+	if pm == nil {
+		return
+	}
+	pm.tasks.Add(1)
+	pm.depth.Add(-1)
+}
+
+// finish records the fan-out's wall time.
+func (pm *poolMetrics) finish() {
+	if pm == nil {
+		return
+	}
+	pm.wall.Observe(time.Since(pm.start).Seconds())
+}

@@ -135,3 +135,63 @@ func TestTraceMultiSM(t *testing.T) {
 		t.Error("no ctabar span in the trace")
 	}
 }
+
+// TestProfileForkResetMerge pins the sink-reuse cycle satellite: forked
+// per-SM profiles that already absorbed one launch, Reset and reattached
+// for a second launch, then merged, must reconstruct exactly the
+// profile a fresh NewProfile builds over that launch — no counter may
+// leak across the Reset, and merging must not double-count.
+func TestProfileForkResetMerge(t *testing.T) {
+	m := asm(t, gridKernel)
+	cfg := simt.Config{Grid: 4, CTASize: 2 * ir.WarpWidth, SMs: 2, Seed: 5}
+
+	proto := obs.NewProfile(m)
+	perSM := make([]*obs.Profile, cfg.SMs)
+	shard := func() {
+		run := cfg
+		run.SMEvents = func(sm int) simt.EventSink {
+			if perSM[sm] == nil {
+				perSM[sm] = proto.Fork()
+			}
+			return perSM[sm]
+		}
+		if _, err := simt.Run(m, run); err != nil {
+			t.Fatalf("sharded Run: %v", err)
+		}
+	}
+
+	// First launch dirties the forks; Reset must clear every counter.
+	shard()
+	for _, p := range perSM {
+		p.Reset()
+		if p.Issues() != 0 || p.Cycles() != 0 {
+			t.Fatalf("Reset left issues=%d cycles=%d", p.Issues(), p.Cycles())
+		}
+	}
+
+	// Second launch into the recycled forks, merged into a recycled
+	// parent.
+	shard()
+	merged := proto.Fork()
+	for _, p := range perSM {
+		merged.Merge(p)
+	}
+
+	fresh := obs.NewProfile(m)
+	run := cfg
+	run.Events = fresh
+	if _, err := simt.Run(m, run); err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+
+	render := func(p *obs.Profile) []byte {
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if got, want := render(merged), render(fresh); !bytes.Equal(got, want) {
+		t.Errorf("merge after reset differs from fresh profile\nmerged:\n%s\nfresh:\n%s", got, want)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"specrecon/internal/simt"
+)
+
+// Occupancy observers over the simulator's per-SM occupancy/stall
+// sampler (simt.Sample). Two sinks with different cost contracts:
+//
+//   - OccupancyStats is a fixed-size aggregate whose Sample method only
+//     adds into its fields — attach one per SM via simt.Config.SMSamples
+//     and the 0-allocs/issue property holds with sampling enabled (the
+//     sampler cases of TestSteadyStateIssueAllocFree* pin this).
+//   - OccupancyRecorder buffers every sample for timelines and the
+//     Perfetto counter tracks; like TraceRecorder it allocates as the
+//     buffer grows, so use it for runs you intend to look at.
+
+// OccupancyStats aggregates samples into per-window sums. The zero
+// value is ready to use. It implements simt.SampleSink.
+type OccupancyStats struct {
+	// Samples is the number of samples aggregated.
+	Samples int64
+	// ResidentSum / EligibleSum / IssuedSum accumulate the respective
+	// warp counts over samples.
+	ResidentSum int64
+	EligibleSum int64
+	IssuedSum   int64
+	// StallBarrierSum / StallCTABarSum accumulate warps stalled at
+	// convergence barriers (and warpsync) / ctabar workgroup barriers.
+	StallBarrierSum int64
+	StallCTABarSum  int64
+	// NoEligible counts samples whose window had resident warps but
+	// none eligible — the SM had nothing to issue.
+	NoEligible int64
+	// MemStallCycles totals cycles charged beyond base latency.
+	MemStallCycles int64
+	// LastCycle is the latest sample's cycle seen.
+	LastCycle int64
+}
+
+// Sample implements simt.SampleSink with fixed-field additions only (no
+// allocation, ever).
+func (o *OccupancyStats) Sample(s simt.Sample) {
+	o.Samples++
+	o.ResidentSum += int64(s.Resident)
+	o.EligibleSum += int64(s.Eligible)
+	o.IssuedSum += int64(s.Issued)
+	o.StallBarrierSum += int64(s.StallBarrier)
+	o.StallCTABarSum += int64(s.StallCTABar)
+	if s.Resident > 0 && s.Eligible == 0 {
+		o.NoEligible++
+	}
+	o.MemStallCycles += s.MemStallCycles
+	if s.Cycle > o.LastCycle {
+		o.LastCycle = s.Cycle
+	}
+}
+
+// Merge adds p's sums into o.
+func (o *OccupancyStats) Merge(p *OccupancyStats) {
+	o.Samples += p.Samples
+	o.ResidentSum += p.ResidentSum
+	o.EligibleSum += p.EligibleSum
+	o.IssuedSum += p.IssuedSum
+	o.StallBarrierSum += p.StallBarrierSum
+	o.StallCTABarSum += p.StallCTABarSum
+	o.NoEligible += p.NoEligible
+	o.MemStallCycles += p.MemStallCycles
+	if p.LastCycle > o.LastCycle {
+		o.LastCycle = p.LastCycle
+	}
+}
+
+// Reset zeroes the aggregate in place for reuse across launches.
+func (o *OccupancyStats) Reset() { *o = OccupancyStats{} }
+
+func (o *OccupancyStats) avg(sum int64) float64 {
+	if o.Samples == 0 {
+		return 0
+	}
+	return float64(sum) / float64(o.Samples)
+}
+
+// AvgResident returns mean resident warps per sample.
+func (o *OccupancyStats) AvgResident() float64 { return o.avg(o.ResidentSum) }
+
+// AvgEligible returns mean eligible warps per sample.
+func (o *OccupancyStats) AvgEligible() float64 { return o.avg(o.EligibleSum) }
+
+// AvgIssued returns mean issuing warps per sample.
+func (o *OccupancyStats) AvgIssued() float64 { return o.avg(o.IssuedSum) }
+
+// stallFrac returns sum as a fraction of resident warp-samples.
+func (o *OccupancyStats) stallFrac(sum int64) float64 {
+	if o.ResidentSum == 0 {
+		return 0
+	}
+	return float64(sum) / float64(o.ResidentSum)
+}
+
+// StallBarrierFrac returns the fraction of resident warp-samples
+// stalled at convergence barriers or warpsync.
+func (o *OccupancyStats) StallBarrierFrac() float64 { return o.stallFrac(o.StallBarrierSum) }
+
+// StallCTABarFrac returns the fraction of resident warp-samples stalled
+// at ctabar workgroup barriers.
+func (o *OccupancyStats) StallCTABarFrac() float64 { return o.stallFrac(o.StallCTABarSum) }
+
+// NoEligibleFrac returns the fraction of samples with resident warps
+// but nothing eligible to issue.
+func (o *OccupancyStats) NoEligibleFrac() float64 {
+	if o.Samples == 0 {
+		return 0
+	}
+	return float64(o.NoEligible) / float64(o.Samples)
+}
+
+// IssueEfficiency returns issued warps as a fraction of resident warps
+// over the aggregated windows, in [0,1] — the sampler's analogue of SM
+// issue-slot utilization.
+func (o *OccupancyStats) IssueEfficiency() float64 { return o.stallFrac(o.IssuedSum) }
+
+// OccupancyRecorder buffers every sample (implements simt.SampleSink;
+// attach via simt.Config.Samples for deterministic SM-ordered replay).
+type OccupancyRecorder struct {
+	samples []simt.Sample
+}
+
+// NewOccupancyRecorder returns an empty recorder.
+func NewOccupancyRecorder() *OccupancyRecorder { return &OccupancyRecorder{} }
+
+// Sample implements simt.SampleSink.
+func (r *OccupancyRecorder) Sample(s simt.Sample) { r.samples = append(r.samples, s) }
+
+// Len returns the number of recorded samples.
+func (r *OccupancyRecorder) Len() int { return len(r.samples) }
+
+// Samples returns the recorded samples (aliasing the buffer).
+func (r *OccupancyRecorder) Samples() []simt.Sample { return r.samples }
+
+// Reset empties the recorder, keeping the buffer.
+func (r *OccupancyRecorder) Reset() { r.samples = r.samples[:0] }
+
+// Stats aggregates every recorded sample.
+func (r *OccupancyRecorder) Stats() OccupancyStats {
+	var o OccupancyStats
+	for _, s := range r.samples {
+		o.Sample(s)
+	}
+	return o
+}
+
+// PerSM aggregates the samples per SM, indexed by SM (length = max SM
+// index + 1; nil when nothing was recorded).
+func (r *OccupancyRecorder) PerSM() []OccupancyStats {
+	if len(r.samples) == 0 {
+		return nil
+	}
+	max := int32(0)
+	for _, s := range r.samples {
+		if s.SM > max {
+			max = s.SM
+		}
+	}
+	out := make([]OccupancyStats, max+1)
+	for _, s := range r.samples {
+		out[s.SM].Sample(s)
+	}
+	return out
+}
+
+// timelineBuckets is the column count of the WriteMarkdown sparkline.
+const timelineBuckets = 48
+
+// WriteMarkdown renders the occupancy timeline section: one summary row
+// per SM, then a per-SM issue-activity strip over time where each
+// column is a cycle bucket and its digit is round(9 × issued/resident)
+// — 9 means every resident warp issued throughout the bucket, 0 means
+// the SM sat stalled.
+func (r *OccupancyRecorder) WriteMarkdown(w io.Writer) error {
+	per := r.PerSM()
+	if per == nil {
+		_, err := fmt.Fprintf(w, "no occupancy samples recorded (set a sample stride on a grid or interleaved launch)\n")
+		return err
+	}
+	fmt.Fprintf(w, "| sm | samples | avg resident | avg eligible | avg issued | issue eff | barrier stall | ctabar stall | no-eligible | mem-stall cycles |\n")
+	fmt.Fprintf(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for sm := range per {
+		o := &per[sm]
+		if o.Samples == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "| %d | %d | %.1f | %.1f | %.1f | %.0f%% | %.1f%% | %.1f%% | %.1f%% | %d |\n",
+			sm, o.Samples, o.AvgResident(), o.AvgEligible(), o.AvgIssued(),
+			100*o.IssueEfficiency(), 100*o.StallBarrierFrac(), 100*o.StallCTABarFrac(),
+			100*o.NoEligibleFrac(), o.MemStallCycles)
+	}
+
+	endCycle := int64(0)
+	for _, s := range r.samples {
+		if s.Cycle > endCycle {
+			endCycle = s.Cycle
+		}
+	}
+	if endCycle == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nIssue activity over time (columns = cycle buckets of %d cycles; digit = issued/resident, 0–9):\n\n```\n",
+		(endCycle+timelineBuckets-1)/timelineBuckets)
+	var issued, resident [timelineBuckets]int64
+	for sm := range per {
+		if per[sm].Samples == 0 {
+			continue
+		}
+		issued, resident = [timelineBuckets]int64{}, [timelineBuckets]int64{}
+		for _, s := range r.samples {
+			if int(s.SM) != sm {
+				continue
+			}
+			b := int((s.Cycle - 1) * timelineBuckets / endCycle)
+			if b < 0 {
+				b = 0
+			}
+			if b >= timelineBuckets {
+				b = timelineBuckets - 1
+			}
+			issued[b] += int64(s.Issued)
+			resident[b] += int64(s.Resident)
+		}
+		fmt.Fprintf(w, "sm %2d |", sm)
+		for b := 0; b < timelineBuckets; b++ {
+			switch {
+			case resident[b] == 0:
+				fmt.Fprint(w, ".")
+			default:
+				d := (9*issued[b] + resident[b]/2) / resident[b]
+				if d > 9 {
+					d = 9
+				}
+				fmt.Fprintf(w, "%d", d)
+			}
+		}
+		fmt.Fprintf(w, "|\n")
+	}
+	_, err := fmt.Fprintf(w, "```\n")
+	return err
+}

@@ -48,7 +48,8 @@ type traceFile struct {
 // it allocates as the buffer grows — use it for runs you intend to look
 // at, not inside benchmark loops.
 type TraceRecorder struct {
-	events []simt.Event
+	events  []simt.Event
+	samples []simt.Sample
 }
 
 // NewTraceRecorder returns an empty recorder.
@@ -59,6 +60,14 @@ func NewTraceRecorder() *TraceRecorder {
 // Event implements simt.EventSink.
 func (r *TraceRecorder) Event(ev simt.Event) {
 	r.events = append(r.events, ev)
+}
+
+// Sample implements simt.SampleSink: occupancy samples recorded here
+// render as per-SM counter tracks ("sm occupancy", "sm mem stall") in
+// WriteTrace. Attach via simt.Config.Samples alongside Events; a trace
+// with no samples is byte-identical to the pre-sampler exporter.
+func (r *TraceRecorder) Sample(s simt.Sample) {
+	r.samples = append(r.samples, s)
 }
 
 // Len returns the number of recorded events.
@@ -168,6 +177,42 @@ func (r *TraceRecorder) WriteTrace(w io.Writer) error {
 				Args: map[string]any{"released": fmt.Sprintf("%08x", ev.Mask)},
 			})
 		}
+	}
+
+	// Per-SM utilization counter tracks, one point per occupancy sample.
+	// Stacked "sm occupancy" areas decompose the resident warps into
+	// issuing / eligible-but-not-issued / stalled-by-reason; "sm mem
+	// stall" carries the window's memory-transaction cycles. Samples
+	// arrive SM-ordered (the simulator replays its per-SM buffers), so
+	// the output stays deterministic.
+	for _, s := range r.samples {
+		if s.SM > maxSM {
+			maxSM = s.SM
+		}
+		if s.Cycle > endCycle {
+			endCycle = s.Cycle
+		}
+		eligibleIdle := s.Eligible - s.Issued
+		if eligibleIdle < 0 {
+			eligibleIdle = 0
+		}
+		other := s.Resident - s.Eligible - s.StallBarrier - s.StallCTABar
+		if other < 0 {
+			other = 0
+		}
+		out = append(out, traceEvent{
+			Name: "sm occupancy", Ph: "C", Ts: s.Cycle, Pid: int(s.SM), Tid: 0,
+			Args: map[string]any{
+				"issued":        s.Issued,
+				"eligible idle": eligibleIdle,
+				"stall barrier": s.StallBarrier,
+				"stall ctabar":  s.StallCTABar,
+				"stall other":   other,
+			},
+		}, traceEvent{
+			Name: "sm mem stall", Ph: "C", Ts: s.Cycle, Pid: int(s.SM), Tid: 0,
+			Args: map[string]any{"cycles": s.MemStallCycles},
+		})
 	}
 
 	// Close every span still open at the end of the run.

@@ -55,28 +55,41 @@ func TestSteadyStateIssueAllocFree(t *testing.T) {
 // TestSteadyStateIssueAllocFreeGrid extends the allocation guard to the
 // GPU hierarchy: a multi-CTA wave resident on one SM, with shared-memory
 // traffic and a workgroup barrier in the hot loop, still issues with
-// zero heap allocations per round-robin pass — both bare and with a
-// per-SM profiler sink attached via Config.SMEvents (the lock-free path
-// a sharded run uses).
+// zero heap allocations per round-robin pass — bare, with a per-SM
+// profiler sink attached via Config.SMEvents (the lock-free path a
+// sharded run uses), and with the occupancy sampler recording every
+// pass (stride 1) into a fixed-state obs.OccupancyStats sink via
+// Config.SMSamples.
 func TestSteadyStateIssueAllocFreeGrid(t *testing.T) {
 	mod, err := ir.Parse(simt.AllocTestKernelGrid)
 	if err != nil {
 		t.Fatal(err)
 	}
+	profSink := func() func(sm int) simt.EventSink {
+		return func(sm int) simt.EventSink { return obs.NewProfile(mod) }
+	}
+	statsSink := func() func(sm int) simt.SampleSink {
+		return func(sm int) simt.SampleSink { return &obs.OccupancyStats{} }
+	}
 	cases := []struct {
 		name     string
 		smEvents func() func(sm int) simt.EventSink
+		stride   int64
 	}{
-		{"bare", func() func(sm int) simt.EventSink { return nil }},
-		{"profile", func() func(sm int) simt.EventSink {
-			return func(sm int) simt.EventSink { return obs.NewProfile(mod) }
-		}},
+		{"bare", func() func(sm int) simt.EventSink { return nil }, 0},
+		{"profile", profSink, 0},
+		{"sampler", func() func(sm int) simt.EventSink { return nil }, 1},
+		{"profile+sampler", profSink, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := simt.Config{
 				Grid: 2, CTASize: 2 * ir.WarpWidth, SMs: 1,
 				Seed: 1, Strict: true, SMEvents: tc.smEvents(),
+			}
+			if tc.stride > 0 {
+				cfg.SampleStride = tc.stride
+				cfg.SMSamples = statsSink()
 			}
 			h, err := simt.NewHandSimGPU(mod, cfg)
 			if err != nil {

@@ -42,6 +42,10 @@ func (ws *warpState) issue(g group) error {
 		}
 		hits0, misses0 = s.metrics.CacheHits, s.metrics.CacheMisses
 		cost += s.cache.access(addrs, &s.metrics)
+		// Everything beyond the base latency is memory transaction time;
+		// the occupancy sampler windows this accumulator into per-sample
+		// mem-stall attribution (sample.go).
+		s.memStallAcc += cost - im.latency
 	}
 
 	if sink != nil {

@@ -143,7 +143,15 @@ func NewHandSimGPU(m *ir.Module, cfg Config) (*HandSimGPU, error) {
 	} else {
 		sink = s.cfg.Events
 	}
-	sm := s.forkSM(0, sink)
+	var samples SampleSink
+	if s.cfg.samplerEnabled() {
+		if s.cfg.SMSamples != nil {
+			samples = s.cfg.SMSamples(0)
+		} else {
+			samples = s.cfg.Samples
+		}
+	}
+	sm := s.forkSM(0, sink, samples)
 	occ := sm.occupancy(warpsPerCTA)
 	var warps []*warpState
 	for c := 0; c < s.cfg.Grid && len(warps)/warpsPerCTA < occ; c += s.cfg.SMs {
@@ -156,18 +164,21 @@ func NewHandSimGPU(m *ir.Module, cfg Config) (*HandSimGPU, error) {
 	return &HandSimGPU{sm: sm, warps: warps}, nil
 }
 
-// Step makes one round-robin issue pass over the resident warps;
-// progress=false means the wave retired (or stalled).
+// Step makes one round-robin issue pass over the resident warps,
+// including the occupancy sampler's per-pass hook (the same inner loop
+// runResident runs); progress=false means the wave retired (or
+// stalled).
 func (h *HandSimGPU) Step() (progress bool, err error) {
-	issuedAny := false
+	issued := 0
 	for _, ws := range h.warps {
-		issued, _, err := ws.tryStep()
+		ok, _, err := ws.tryStep()
 		if err != nil {
 			return false, err
 		}
-		if issued {
-			issuedAny = true
+		if ok {
+			issued++
 		}
 	}
-	return issuedAny, nil
+	h.sm.samplePass(h.warps, issued)
+	return issued > 0, nil
 }

@@ -128,7 +128,7 @@ func (c *ctaState) laneExited(s *sim) {
 // forking cost scales with the SM's write set, not the image size;
 // cfg.fullCopySM selects the reference full-copy fork with a
 // whole-image dirty bitmap.
-func (s *sim) forkSM(i int, sink EventSink) *sim {
+func (s *sim) forkSM(i int, sink EventSink, samples SampleSink) *sim {
 	sm := &sim{
 		mod:      s.mod,
 		cfg:      s.cfg,
@@ -152,6 +152,7 @@ func (s *sim) forkSM(i int, sink EventSink) *sim {
 		sm.cow = newCowMem(s.mem)
 	}
 	sm.cfg.Events = sink
+	sm.sampleSink = samples
 	return sm
 }
 
@@ -159,9 +160,13 @@ func (s *sim) forkSM(i int, sink EventSink) *sim {
 // Machine: the memory view is restored to the template image (CoW pages
 // dropped, or the full copy re-copied), the cache, metrics and budgets
 // clear in place, and the arena cursors rewind.
-func (sm *sim) resetSM(tpl *sim, sink EventSink) {
+func (sm *sim) resetSM(tpl *sim, sink EventSink, samples SampleSink) {
 	sm.cfg = tpl.cfg
 	sm.cfg.Events = sink
+	sm.sampleSink = samples
+	sm.lastSampleCycle = 0
+	sm.memStallAcc = 0
+	sm.memStallSampled = 0
 	if sm.cow != nil {
 		sm.cow.reset()
 	} else {
@@ -218,10 +223,12 @@ func (s *sim) runGrid() (*Result, error) {
 
 	sms := s.smPool
 	buffers := s.bufPool
+	sampleBufs := s.sampleBufPool
 	fresh := sms == nil
 	if fresh {
 		sms = make([]*sim, cfg.SMs)
 		buffers = make([]*bufferSink, cfg.SMs)
+		sampleBufs = make([]*sampleBuffer, cfg.SMs)
 	}
 	for i := range sms {
 		var sink EventSink
@@ -237,14 +244,28 @@ func (s *sim) runGrid() (*Result, error) {
 		if b := buffers[i]; b != nil {
 			b.events = b.events[:0]
 		}
+		var samples SampleSink
+		if cfg.samplerEnabled() {
+			if cfg.SMSamples != nil {
+				samples = cfg.SMSamples(i)
+			} else {
+				if sampleBufs[i] == nil {
+					sampleBufs[i] = &sampleBuffer{}
+				}
+				samples = sampleBufs[i]
+			}
+		}
+		if b := sampleBufs[i]; b != nil {
+			b.samples = b.samples[:0]
+		}
 		if fresh {
-			sms[i] = s.forkSM(i, sink)
+			sms[i] = s.forkSM(i, sink, samples)
 		} else {
-			sms[i].resetSM(s, sink)
+			sms[i].resetSM(s, sink, samples)
 		}
 	}
 	if s.reuse && fresh {
-		s.smPool, s.bufPool = sms, buffers
+		s.smPool, s.bufPool, s.sampleBufPool = sms, buffers, sampleBufs
 	}
 
 	var shared [][]uint64
@@ -265,6 +286,18 @@ func (s *sim) runGrid() (*Result, error) {
 		for _, b := range buffers {
 			for i := range b.events {
 				cfg.Events.Event(b.events[i])
+			}
+		}
+	}
+	// Like events, buffered samples replay in SM order even when a later
+	// SM errored, so observers see a deterministic prefix.
+	if cfg.Samples != nil && cfg.SMSamples == nil && cfg.SampleStride > 0 {
+		for _, b := range sampleBufs {
+			if b == nil {
+				continue
+			}
+			for i := range b.samples {
+				cfg.Samples.Sample(b.samples[i])
 			}
 		}
 	}
@@ -315,24 +348,25 @@ func (s *sim) runSM(occ, warpsPerCTA int, shared [][]uint64) error {
 // when a full pass issues nothing while live lanes remain.
 func (s *sim) runResident(warps []*warpState) error {
 	for {
-		issuedAny := false
+		issued := 0
 		allDone := true
 		for _, ws := range warps {
-			issued, done, err := ws.tryStep()
+			ok, done, err := ws.tryStep()
 			if err != nil {
 				return fmt.Errorf("simt: sm %d: warp %d: %w", s.smIndex, ws.index, err)
 			}
-			if issued {
-				issuedAny = true
+			if ok {
+				issued++
 			}
 			if !done {
 				allDone = false
 			}
 		}
+		s.samplePass(warps, issued)
 		if allDone {
 			return nil
 		}
-		if !issuedAny {
+		if issued == 0 {
 			return s.smDeadlock(warps)
 		}
 	}
@@ -404,7 +438,9 @@ func (s *sim) mergeSMs(sms []*sim, warpsPerCTA int, shared [][]uint64) *Result {
 	s.metrics.CTAs = s.cfg.Grid
 	s.metrics.SMs = s.cfg.SMs
 	s.metrics.finalize()
-	return &Result{Metrics: s.metrics, Memory: final, Shared: shared, PerSM: perSM}
+	res := &Result{Metrics: s.metrics, Memory: final, Shared: shared, PerSM: perSM}
+	res.Metrics.detach()
+	return res
 }
 
 // forEachSM runs fn(0..n-1) over at most workers goroutines. Jobs are

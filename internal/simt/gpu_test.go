@@ -101,8 +101,9 @@ func TestGridSharedReduction(t *testing.T) {
 
 // runGridOnce executes the reduction on a 4-SM grid with the given
 // worker count, capturing metrics, memory, shared segments, the full
-// event stream and a rendered profile.
-func runGridOnce(t *testing.T, workers int) (*simt.Result, []simt.Event, []byte) {
+// event stream, a rendered profile and the occupancy sample stream
+// (telemetry on — the sampler must not perturb determinism).
+func runGridOnce(t *testing.T, workers int) (*simt.Result, []simt.Event, []byte, []simt.Sample) {
 	t.Helper()
 	mod, err := ir.Parse(reduceKernel)
 	if err != nil {
@@ -114,9 +115,11 @@ func runGridOnce(t *testing.T, workers int) (*simt.Result, []simt.Event, []byte)
 		events = append(events, ev)
 		prof.Event(ev)
 	})
+	occ := obs.NewOccupancyRecorder()
 	res, err := simt.Run(mod, simt.Config{
 		Grid: 8, CTASize: 2 * ir.WarpWidth, SMs: 4, Workers: workers,
 		Seed: 7, Events: sink,
+		SampleStride: 16, Samples: occ,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,17 +128,25 @@ func runGridOnce(t *testing.T, workers int) (*simt.Result, []simt.Event, []byte)
 	if err := prof.WriteJSON(&rendered); err != nil {
 		t.Fatal(err)
 	}
-	return res, events, rendered.Bytes()
+	return res, events, rendered.Bytes(), occ.Samples()
 }
 
 // TestGridShardingDeterministic pins the sharding contract: a grid run
 // over several worker goroutines is byte-identical — metrics, final
-// memory, shared segments, per-SM metrics, the replayed event stream and
-// the rendered profile — to the serial run.
+// memory, shared segments, per-SM metrics, the replayed event stream,
+// the rendered profile and the occupancy sample stream — to the serial
+// run.
 func TestGridShardingDeterministic(t *testing.T) {
-	serialRes, serialEvents, serialProf := runGridOnce(t, 1)
+	serialRes, serialEvents, serialProf, serialSamples := runGridOnce(t, 1)
+	if len(serialSamples) == 0 {
+		t.Fatal("sampler recorded nothing; lower the stride")
+	}
 	for _, workers := range []int{2, 4} {
-		res, events, prof := runGridOnce(t, workers)
+		res, events, prof, samples := runGridOnce(t, workers)
+		if !reflect.DeepEqual(samples, serialSamples) {
+			t.Errorf("workers=%d: occupancy samples diverge from serial (%d vs %d samples)",
+				workers, len(samples), len(serialSamples))
+		}
 		if !reflect.DeepEqual(res.Metrics, serialRes.Metrics) {
 			t.Errorf("workers=%d: metrics diverge from serial:\n  serial:  %+v\n  sharded: %+v",
 				workers, serialRes.Metrics, res.Metrics)

@@ -184,3 +184,88 @@ func TestMachineRejectsShapeChange(t *testing.T) {
 		t.Errorf("shape-compatible Run failed after rejections: %v", err)
 	}
 }
+
+// isolationKernel loops a memory-loaded trip count, so two launches of
+// the same Machine with different Memory images produce different
+// block-visit profiles — which is what makes profile-map aliasing
+// between an escaped Result and the reused arena observable.
+const isolationKernel = `module isoltest memwords=8
+func @k nregs=8 nfregs=0 {
+entry:
+  const r0, #0
+  ld r1, [r0]
+  const r2, #0
+  br loop
+loop:
+  setlt r3, r2, r1
+  cbr r3, body, done
+body:
+  add r2, r2, #1
+  br loop
+done:
+  exit
+}
+`
+
+// TestMachineRelaunchResultIsolation pins the detach guard on the fork
+// path: a Result returned by one launch owns its profile maps, so a
+// later relaunch of the same Machine — whose arena resets the hot-path
+// accumulators in place and re-merges fresh counts — must not mutate
+// the escaped Result's block-visit profile or op-class breakdown, and
+// re-finalizing across launches must not double-count.
+func TestMachineRelaunchResultIsolation(t *testing.T) {
+	mod, err := ir.Parse(isolationKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := mod.Funcs[0].BlockByName("body").Index
+	cfg := simt.Config{Grid: 2, CTASize: ir.WarpWidth, SMs: 2, Seed: 1}
+	cfg.Memory = []uint64{3}
+	m, err := simt.NewMachine(mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := m.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits1 := res1.Metrics.BlockVisits(0, body)
+	if visits1 == 0 {
+		t.Fatal("first launch recorded no body-block visits")
+	}
+	classes1 := make(map[string]int64, len(res1.Metrics.OpClassIssues))
+	for k, v := range res1.Metrics.OpClassIssues {
+		classes1[k] = v
+	}
+	// A relaunch with triple the trip count rewrites the arena's
+	// accumulators with different numbers. (Result.PerSM stays
+	// arena-aliased by documented contract — valid until the next Run —
+	// so only the launch-wide Metrics is asserted stable.)
+	cfg2 := cfg
+	cfg2.Memory = []uint64{9}
+	res2, err := m.Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics.BlockVisits(0, body) == visits1 {
+		t.Fatal("second launch should visit the loop body a different number of times")
+	}
+	if got := res1.Metrics.BlockVisits(0, body); got != visits1 {
+		t.Errorf("relaunch mutated first result's block visits: %d -> %d", visits1, got)
+	}
+	if !reflect.DeepEqual(res1.Metrics.OpClassIssues, classes1) {
+		t.Errorf("relaunch mutated first result's op-class issues: %v -> %v",
+			classes1, res1.Metrics.OpClassIssues)
+	}
+	// A third launch identical to the first reports the identical
+	// profile — a double finalize anywhere on the reuse path would
+	// double the op-class counts.
+	res3, err := m.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res3.Metrics.OpClassIssues, classes1) {
+		t.Errorf("repeat launch op-class issues diverge: %v vs %v",
+			res3.Metrics.OpClassIssues, classes1)
+	}
+}

@@ -186,6 +186,19 @@ type Config struct {
 	// cache accesses, calls and returns) from both execution engines.
 	// See events.go; combine several observers with TeeSinks.
 	Events EventSink
+	// SampleStride, when positive, enables the per-SM occupancy/stall
+	// sampler: one Sample per stride of modeled cycles, recorded at the
+	// end of an issue pass over the SM's resident warps. Grid launches
+	// and flat InterleaveWarps launches only; see sample.go.
+	SampleStride int64
+	// Samples receives occupancy samples. On grid launches each SM's
+	// samples are buffered and replayed in SM order after the launch
+	// (deterministic for any worker count), mirroring Events.
+	Samples SampleSink
+	// SMSamples, when non-nil on a grid launch, supplies one SampleSink
+	// per SM for a lock-free, allocation-free delivery path, mirroring
+	// SMEvents. It takes precedence over Samples.
+	SMSamples func(sm int) SampleSink
 	// fullCopySM disables the copy-on-write SM fork and gives every SM a
 	// full private copy of the initial memory image plus a whole-image
 	// dirty bitmap — the pre-CoW behavior. Test-only seam (see
@@ -306,10 +319,19 @@ type sim struct {
 	// feeds the cycles-since-progress diagnostics in DeadlockError and
 	// BudgetError.
 	lastProgressCycle int64
-	entryIdx          int
-	nbar              int
-	nregs             int
-	nfregs            int
+	// Occupancy-sampler state (sample.go). sampleSink is this SM's
+	// resolved sink (nil when sampling is off — the hot-path check);
+	// lastSampleCycle / memStallSampled mark the previous sample's
+	// window edge, and memStallAcc accumulates cycles charged beyond
+	// base latency (the mem-stall attribution source).
+	sampleSink      SampleSink
+	lastSampleCycle int64
+	memStallAcc     int64
+	memStallSampled int64
+	entryIdx        int
+	nbar            int
+	nregs           int
+	nfregs          int
 
 	// Launch-arena pools. Warp and CTA state objects are always recorded
 	// in these pools as they are built; poolWarp/poolCTA are the cursors
@@ -324,12 +346,13 @@ type sim struct {
 	// reuse marks a Machine-owned sim: runGrid stashes its per-SM forks,
 	// event replay buffers and merge scratch on the fields below and
 	// resets them on the next launch instead of reallocating.
-	reuse      bool
-	smPool     []*sim
-	bufPool    []*bufferSink
-	sharedBuf  [][]uint64
-	perSMBuf   []Metrics
-	writtenBuf []uint64
+	reuse         bool
+	smPool        []*sim
+	bufPool       []*bufferSink
+	sampleBufPool []*sampleBuffer
+	sharedBuf     [][]uint64
+	perSMBuf      []Metrics
+	writtenBuf    []uint64
 }
 
 // loadWord reads global-memory word a (bounds already checked).
@@ -410,6 +433,9 @@ func normalizeConfig(m *ir.Module, cfg Config) (Config, int, error) {
 	}
 	if cfg.InterleaveWarps && cfg.Model == ModelStack {
 		return cfg, 0, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
+	}
+	if cfg.SampleStride < 0 {
+		return cfg, 0, fmt.Errorf("simt: negative sample stride %d", cfg.SampleStride)
 	}
 
 	memWords := m.MemWords
@@ -613,6 +639,15 @@ func (s *sim) launch() (*Result, error) {
 	nwarps := (cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
 
 	if cfg.InterleaveWarps {
+		// Flat interleaved launches sample as SM 0: warps genuinely
+		// share the machine here, so per-pass occupancy is meaningful.
+		if cfg.samplerEnabled() {
+			if cfg.SMSamples != nil {
+				s.sampleSink = cfg.SMSamples(0)
+			} else {
+				s.sampleSink = cfg.Samples
+			}
+		}
 		warps := make([]*warpState, nwarps)
 		for w := range warps {
 			warps[w] = s.newWarp(w)
@@ -629,6 +664,9 @@ func (s *sim) launch() (*Result, error) {
 					live++
 				}
 			}
+			// A warp that is not done issued exactly one instruction this
+			// round, so live doubles as the pass's issued-warp count.
+			s.samplePass(warps, live)
 		}
 	} else {
 		for w := 0; w < nwarps; w++ {
@@ -651,6 +689,7 @@ func (s *sim) launch() (*Result, error) {
 	s.metrics.TotalSMCycles = s.metrics.Cycles
 	s.metrics.finalize()
 	res := &Result{Metrics: s.metrics, Memory: s.mem}
+	res.Metrics.detach()
 	if s.mod.SharedWords > 0 {
 		res.Shared = [][]uint64{s.ctas[0].shared}
 	}
@@ -673,6 +712,10 @@ func (s *sim) resetForLaunch(cfg Config) {
 	s.issues = 0
 	s.releases = 0
 	s.lastProgressCycle = 0
+	s.sampleSink = nil
+	s.lastSampleCycle = 0
+	s.memStallAcc = 0
+	s.memStallSampled = 0
 	s.poolWarp = 0
 	s.poolCTA = 0
 	s.ctas = s.ctas[:0]

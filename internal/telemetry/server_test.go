@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeMetricsAndHealthz(t *testing.T) {
+	r := New()
+	r.Counter("ccache_hits_total", "hits").With().Add(9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "ccache_hits_total 9") {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+
+	for _, path := range []string{"/metrics.json", "/metrics?format=json"} {
+		body, ctype = get(path)
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Errorf("%s not valid JSON: %v", path, err)
+		}
+		if ctype != "application/json" {
+			t.Errorf("%s content type = %q", path, ctype)
+		}
+	}
+
+	body, _ = get("/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+}
