@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus telemetry-smoke
+.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus telemetry-smoke sched-smoke
 
 all: build
 
@@ -36,6 +36,7 @@ check:
 	$(MAKE) vet-corpus
 	$(MAKE) cache-smoke
 	$(MAKE) telemetry-smoke
+	$(MAKE) sched-smoke
 
 # fuzz-smoke gives each fuzz target a short budget on top of the checked-in
 # seed corpus: enough to catch shallow parser/pipeline regressions without
@@ -223,6 +224,41 @@ telemetry-smoke:
 		-gate "bench.IssueLoop/flat.ns_per_op <= 1.05" \
 		-gate "ccache_hit_rate >= 0.95"
 	rm -rf /tmp/specrecon-telemetry-smoke
+
+# sched-smoke exercises the schedule-exploration stress rig end to end.
+# The planted scheduler-sensitive fault matrix must catch every fault at
+# its pinned layer, then a short corpus campaign sweeps four adversarial
+# policies x two schedule seeds against the greedy reference with the
+# starvation monitor and wall-clock watchdog armed — zero findings, with
+# the stats artifact validated as well-formed JSON and the campaign
+# record appended to the run ledger (perfledger gates: findings and
+# panics may never grow from the baseline). The per-policy issue-loop
+# benchmark then proves schedule exploration stays allocation-free
+# under every policy (benchguard-enforced).
+sched-smoke:
+	rm -rf /tmp/specrecon-sched-smoke
+	mkdir -p /tmp/specrecon-sched-smoke
+	$(GO) run ./cmd/schedhunt -n 60 -seed 42 -matrix \
+		-policies oldest,youngest,obe,random -seeds 7,11 \
+		-stats /tmp/specrecon-sched-smoke/stats.json \
+		-ledger runs.jsonl
+	$(GO) run ./cmd/jsoncheck /tmp/specrecon-sched-smoke/stats.json
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -check -tool schedhunt -last 5 \
+		-gate "findings <= 1" \
+		-gate "panics <= 1" \
+		-gate "wall_seconds <= 2"
+	$(GO) test -run '^$$' -bench 'BenchmarkIssueSched' \
+		-benchtime=20000x -benchmem ./internal/simt \
+		| tee /tmp/specrecon-sched-smoke/bench.txt
+	$(GO) run ./cmd/benchjson -in /tmp/specrecon-sched-smoke/bench.txt \
+		-out /tmp/specrecon-sched-smoke/bench.json
+	$(GO) run ./cmd/benchguard -in /tmp/specrecon-sched-smoke/bench.json \
+		-assert "IssueSched/greedy allocs_per_op <= 0" \
+		-assert "IssueSched/oldest allocs_per_op <= 0" \
+		-assert "IssueSched/youngest allocs_per_op <= 0" \
+		-assert "IssueSched/obe allocs_per_op <= 0" \
+		-assert "IssueSched/random allocs_per_op <= 0"
+	rm -rf /tmp/specrecon-sched-smoke
 
 # profile-smoke runs one workload end to end with the profiler and the
 # trace exporter attached, then validates every emitted artifact is

@@ -28,6 +28,7 @@ import (
 	"specrecon/internal/ccache"
 	"specrecon/internal/corpus"
 	"specrecon/internal/diffcheck"
+	"specrecon/internal/simt"
 )
 
 func main() {
@@ -42,8 +43,24 @@ func main() {
 		verbose    = flag.Bool("v", false, "print one line per kernel")
 		useCache   = flag.Bool("compile-cache", false, "memoize baseline/speculative compilations across the campaign")
 		cacheStats = flag.String("cache-stats", "", "write compile-cache hit/miss statistics as JSON to this file (\"-\" for stderr)")
+		policy     = flag.String("policy", "maxgroup", "intra-warp group pick for both runs: maxgroup | minpc | roundrobin")
+		sched      = flag.String("sched", "greedy", "warp scheduler for the speculative run: greedy | oldest | youngest | obe | random (cmd/schedhunt sweeps these)")
+		schedSeed  = flag.Uint64("sched-seed", 0, "seed for -sched random")
+		starveLim  = flag.Int64("starve-limit", 0, "arm the starvation monitor on the speculative run with this cycle budget (0 = off)")
 	)
 	flag.Parse()
+
+	pol, err := simt.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffhunt:", err)
+		os.Exit(2)
+	}
+	sp, err := simt.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffhunt:", err)
+		os.Exit(2)
+	}
+	schedOpts := diffcheck.ReproOpts{Policy: pol, Sched: sp, SchedSeed: *schedSeed, StarveLimit: *starveLim}
 
 	var cache *ccache.Cache
 	if *useCache {
@@ -54,7 +71,7 @@ func main() {
 	if *matrix {
 		failures += runMatrix(*verbose)
 	}
-	failures += runCampaign(*n, *seed, *jobs, *mutate, *maxIssues, *repros, *verbose, cache)
+	failures += runCampaign(*n, *seed, *jobs, *mutate, *maxIssues, schedOpts, *repros, *verbose, cache)
 
 	if *cacheStats != "" {
 		w := os.Stderr
@@ -117,16 +134,16 @@ type finding struct {
 
 // runCampaign checks every corpus kernel (plus mutants when requested)
 // and returns the number of findings.
-func runCampaign(n int, seed uint64, jobs, mutate int, maxIssues int64, reproDir string, verbose bool, cache *ccache.Cache) int {
+func runCampaign(n int, seed uint64, jobs, mutate int, maxIssues int64, schedOpts diffcheck.ReproOpts, reproDir string, verbose bool, cache *ccache.Cache) int {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	opts := diffcheck.Options{
+	opts := schedOpts.Apply(diffcheck.Options{
 		MaxIssues:    maxIssues,
 		AutoAnnotate: true,
 		Verify:       true,
 		Cache:        cache,
-	}
+	})
 
 	apps := corpus.Generate(n, seed)
 	type job struct {

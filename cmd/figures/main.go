@@ -19,6 +19,7 @@ import (
 	"specrecon/internal/ccache"
 	"specrecon/internal/harness"
 	"specrecon/internal/prof"
+	"specrecon/internal/simt"
 	"specrecon/internal/telemetry"
 	"specrecon/internal/workloads"
 )
@@ -33,6 +34,9 @@ func main() {
 		ctasize    = flag.Int("ctasize", 0, "threads per CTA for -grid (0 = one warp)")
 		sms        = flag.Int("sms", 0, "streaming multiprocessors for -grid (0 = 1)")
 		workers    = flag.Int("workers", 0, "goroutines simulating SMs (0 = serial; results are identical)")
+		policy     = flag.String("policy", "maxgroup", "intra-warp group pick: maxgroup | minpc | roundrobin")
+		sched      = flag.String("sched", "greedy", "warp scheduler: greedy | oldest | youngest | obe | random")
+		schedSeed  = flag.Uint64("sched-seed", 0, "seed for -sched random")
 		markdown   = flag.Bool("markdown", false, "emit the full suite as markdown tables (EXPERIMENTS.md style)")
 		traceDir   = flag.String("trace-dir", "", "also dump per-workload Perfetto traces (baseline and spec) into this directory")
 		jobs       = flag.Int("j", 0, "worker-pool size for the experiment drivers (0 = GOMAXPROCS, 1 = serial)")
@@ -44,9 +48,20 @@ func main() {
 		ledgerPath = flag.String("ledger", "", "append a run record (wall time, cache and registry metrics) to this JSONL ledger")
 	)
 	flag.Parse()
+	pol, err := simt.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	sp, err := simt.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 	cfg := workloads.BuildConfig{
 		Threads: *threads, Seed: *seed,
 		Grid: *grid, CTASize: *ctasize, SMs: *sms, Workers: *workers,
+		Policy: pol, Sched: sp, SchedSeed: *schedSeed,
 	}
 
 	var cache *ccache.Cache

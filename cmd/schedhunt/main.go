@@ -1,0 +1,382 @@
+// Command schedhunt runs schedule-exploration campaigns: every kernel
+// of a seeded corpus is differentially checked with the speculative
+// build running under non-default warp-scheduling policies (the
+// baseline stays the greedy-converge reference), with the starvation
+// monitor and a wall-clock watchdog armed. Any mismatch, deadlock,
+// starvation or budget blow-up is a finding: a schedule-dependent
+// kernel, or — when the static analyzer considers the kernel clean — a
+// bug in one of the engines. Findings are shrunk to minimal standalone
+// .sasm repros that record the exposing schedule for exact replay.
+//
+// Examples:
+//
+//	schedhunt -n 500 -seed 42                      # default policy × seed grid
+//	schedhunt -n 500 -policies obe,random -seeds 1,2,3,4
+//	schedhunt -matrix                              # planted scheduler-fault matrix
+//	schedhunt -n 60 -seeds 7 -stats stats.json -ledger runs.jsonl
+//
+// Exit status: 0 when every check passed (and, with -matrix, every
+// planted fault was caught at its pinned layer); 1 otherwise. Kernels
+// whose baseline fails are counted as skips — they indict the input,
+// not the schedule.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"specrecon/internal/analyze"
+	"specrecon/internal/ccache"
+	"specrecon/internal/corpus"
+	"specrecon/internal/diffcheck"
+	"specrecon/internal/harness"
+	"specrecon/internal/simt"
+	"specrecon/internal/telemetry"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 500, "number of corpus applications to generate")
+		seed     = flag.Uint64("seed", 42, "corpus generation seed")
+		policies = flag.String("policies", "oldest,youngest,obe,random", "comma-separated scheduling policies to explore (see -h of specrecon -sched)")
+		seeds    = flag.String("seeds", "1,2,3,4", "comma-separated schedule seeds; each perturbs the launch seed and seeds the random policy")
+		jobs     = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+		matrix   = flag.Bool("matrix", false, "run the planted scheduler-sensitive fault matrix and require every fault caught at its pinned layer")
+
+		maxIssues   = flag.Int64("max-issues", 1<<22, "per-run issue budget")
+		starveLimit = flag.Int64("starve-limit", 1<<21, "starvation monitor budget in cycles armed on every policy-scheduled run (0 = off)")
+		wallBudget  = flag.Duration("wall-budget", time.Minute, "wall-clock watchdog per simulator run (0 = off)")
+
+		repros     = flag.String("repros", "testdata/repros", "directory for minimized .sasm repros of findings")
+		statsPath  = flag.String("stats", "", "write campaign statistics as JSON to this file (\"-\" for stdout)")
+		ledgerPath = flag.String("ledger", "", "append the campaign record to this JSONL run ledger")
+		verbose    = flag.Bool("v", false, "print one line per check")
+	)
+	flag.Parse()
+
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		fail(err)
+	}
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fail(err)
+	}
+
+	reg := telemetry.New()
+	harness.UseTelemetry(reg)
+	cache := ccache.New(0)
+
+	started := time.Now()
+	failures := 0
+	if *matrix {
+		failures += runMatrix(*verbose)
+	}
+	st := runCampaign(campaignConfig{
+		n: *n, seed: *seed, jobs: *jobs,
+		policies: pols, seeds: seedList,
+		maxIssues: *maxIssues, starveLimit: *starveLimit, wallBudget: *wallBudget,
+		reproDir: *repros, verbose: *verbose,
+	}, cache, reg)
+	failures += st.Findings + st.Panics
+
+	fmt.Printf("schedhunt: %d checks (%d kernels x %d policies x %d seeds), %d ok, %d skipped, %d findings, %d panics\n",
+		st.Checks, st.Kernels, len(pols), len(seedList), st.OK, st.Skips, st.Findings, st.Panics)
+
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, st); err != nil {
+			fail(err)
+		}
+	}
+	if *ledgerPath != "" {
+		rec := telemetry.RunRecord{
+			Time:   telemetry.NowRFC3339(),
+			Tool:   "schedhunt",
+			GitRev: telemetry.GitRev(),
+			Config: telemetry.Fingerprint(map[string]any{
+				"n": *n, "seed": *seed, "policies": *policies, "seeds": *seeds,
+				"maxIssues": *maxIssues, "starveLimit": *starveLimit,
+			}),
+			Metrics: reg.LedgerMetrics(),
+		}
+		rec.Metrics["wall_seconds"] = time.Since(started).Seconds()
+		rec.Metrics["checks"] = float64(st.Checks)
+		rec.Metrics["findings"] = float64(st.Findings)
+		rec.Metrics["skips"] = float64(st.Skips)
+		rec.Metrics["panics"] = float64(st.Panics)
+		if s := cache.Stats(); s.Hits+s.Misses > 0 {
+			rec.Metrics["ccache_hit_rate"] = float64(s.Hits) / float64(s.Hits+s.Misses)
+		}
+		if err := telemetry.AppendRecord(*ledgerPath, rec); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedhunt: appended run record (%d metrics) to %s\n", len(rec.Metrics), *ledgerPath)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedhunt:", err)
+	os.Exit(2)
+}
+
+func parsePolicies(spec string) ([]simt.SchedPolicy, error) {
+	var out []simt.SchedPolicy
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		p, err := simt.ParseSchedPolicy(tok)
+		if err != nil {
+			return nil, err
+		}
+		if p == simt.SchedGreedyConverge {
+			return nil, fmt.Errorf("policy %q is the reference schedule; explore non-greedy policies", tok)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies in %q", spec)
+	}
+	return out, nil
+}
+
+func parseSeeds(spec string) ([]uint64, error) {
+	var out []uint64
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seed %q: %w", tok, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", spec)
+	}
+	return out, nil
+}
+
+// runMatrix evaluates the planted scheduler-sensitive faults and
+// returns how many missed their pinned detection layer.
+func runMatrix(verbose bool) int {
+	bad := 0
+	fmt.Println("scheduler fault matrix:")
+	for _, o := range diffcheck.RunSchedMatrix() {
+		status := "ok"
+		if !o.ExpectationMet() {
+			status = "SURFACE MOVED"
+			bad++
+		}
+		greedy := "clean"
+		if !o.GreedyClean {
+			greedy = "DIRTY"
+		}
+		static := "clean"
+		if !o.AnalyzerClean {
+			static = "flagged"
+		}
+		fmt.Printf("  %-22s sched=%-8s greedy=%-5s analyzer=%-7s caught=%-10s want=%-10s %s\n",
+			o.Fault.Name, o.Fault.Sched, greedy, static, o.Got, o.Fault.WantLayer, status)
+		if verbose && o.Result.Err != nil {
+			fmt.Printf("    %v\n", o.Result.Err)
+		}
+	}
+	return bad
+}
+
+type campaignConfig struct {
+	n           int
+	seed        uint64
+	jobs        int
+	policies    []simt.SchedPolicy
+	seeds       []uint64
+	maxIssues   int64
+	starveLimit int64
+	wallBudget  time.Duration
+	reproDir    string
+	verbose     bool
+}
+
+// Stats is the machine-readable campaign summary (-stats).
+type Stats struct {
+	Kernels  int `json:"kernels"`
+	Checks   int `json:"checks"`
+	OK       int `json:"ok"`
+	Skips    int `json:"skips"`
+	Findings int `json:"findings"`
+	Panics   int `json:"panics"`
+	// PerPolicy / PerLayer break findings down by exposing policy and
+	// detection layer.
+	PerPolicy map[string]int `json:"per_policy"`
+	PerLayer  map[string]int `json:"per_layer"`
+	// Repros lists the minimized repro files written for findings.
+	Repros []string `json:"repros,omitempty"`
+}
+
+type outcome struct {
+	name          string
+	policy        simt.SchedPolicy
+	schedSeed     uint64
+	res           diffcheck.Result
+	layer         diffcheck.SchedLayer
+	analyzerClean bool
+	skipped       bool
+}
+
+// runCampaign checks every (kernel, policy, seed) cell. Each cell is
+// one task on the panic-contained worker pool: a pathological
+// kernel×schedule surfaces as a typed per-task error with a repro, and
+// the rest of the sweep still runs.
+func runCampaign(cc campaignConfig, cache *ccache.Cache, reg *telemetry.Registry) Stats {
+	apps := corpus.Generate(cc.n, cc.seed)
+
+	// The analyzer verdict per kernel, computed once: a statically
+	// clean kernel failing under a legal schedule indicts an engine or
+	// the kernel's reliance on a progress guarantee — either way a
+	// finding worth a different label than a kernel the analyzer
+	// already flags.
+	clean := make([]bool, len(apps))
+	harness.RunTasks("schedhunt-analyze", cc.jobs, len(apps), func(i int) error {
+		rep := analyze.Analyze(apps[i].Module, analyze.Options{})
+		clean[i] = len(rep.Errors()) == 0
+		return nil
+	})
+
+	cells := len(apps) * len(cc.policies) * len(cc.seeds)
+	outcomes := make([]outcome, cells)
+	checksVec := reg.Counter("schedhunt_checks_total",
+		"Differential checks completed, per scheduling policy.", "policy")
+	findingsVec := reg.Counter("schedhunt_findings_total",
+		"Schedule-dependent findings, per policy and detection layer.", "policy", "layer")
+
+	perPolicy := len(cc.policies) * len(cc.seeds)
+	errs := harness.RunTasks("schedhunt", cc.jobs, cells, func(i int) error {
+		app := apps[i/perPolicy]
+		pol := cc.policies[(i%perPolicy)/len(cc.seeds)]
+		ss := cc.seeds[i%len(cc.seeds)]
+		o := &outcomes[i]
+		o.name, o.policy, o.schedSeed, o.analyzerClean = app.Name, pol, ss, clean[i/perPolicy]
+
+		k := cellKernel(app, pol, ss)
+		o.res = diffcheck.Check(k, campaignOptions(cc, pol, ss, cache))
+		o.layer = diffcheck.ClassifySchedFailure(o.res)
+		checksVec.With(pol.String()).Add(1)
+		switch {
+		case o.res.OK:
+			if cc.verbose {
+				fmt.Printf("ok   %s\n", k.Name)
+			}
+		case o.res.Stage.BaselineFailure():
+			o.skipped = true
+			if cc.verbose {
+				fmt.Printf("skip %s: %v\n", k.Name, o.res)
+			}
+		default:
+			findingsVec.With(pol.String(), string(o.layer)).Add(1)
+			verdict := "analyzer flags this kernel: schedule dependence expected"
+			if o.analyzerClean {
+				verdict = "analyzer-clean kernel: indicts an engine or a progress-model reliance"
+			}
+			fmt.Printf("FAIL %s at %s [%s]: %v\n     %s\n", k.Name, o.res.Stage, o.layer, o.res.Err, verdict)
+		}
+		return nil
+	})
+
+	st := Stats{Kernels: len(apps), Checks: cells,
+		PerPolicy: map[string]int{}, PerLayer: map[string]int{}}
+	for i := range outcomes {
+		o := &outcomes[i]
+		var pe *harness.TaskPanicError
+		if errors.As(errs[i], &pe) {
+			// The check itself blew up: contain it as a campaign finding
+			// with an unminimized repro (re-checking could re-panic).
+			st.Panics++
+			fmt.Printf("PANIC %s under %s (seed %d): %v\n", o.name, o.policy, o.schedSeed, pe)
+			k := cellKernel(apps[i/perPolicy], o.policy, o.schedSeed)
+			opts := campaignOptions(cc, o.policy, o.schedSeed, cache)
+			if path, err := diffcheck.WriteRepro(cc.reproDir, k, opts, diffcheck.Result{
+				Stage: "panic", Err: pe,
+			}); err == nil {
+				st.Repros = append(st.Repros, path)
+				fmt.Printf("      repro: %s\n", path)
+			}
+			continue
+		}
+		switch {
+		case o.res.OK:
+			st.OK++
+		case o.skipped:
+			st.Skips++
+		default:
+			st.Findings++
+			st.PerPolicy[o.policy.String()]++
+			st.PerLayer[string(o.layer)]++
+			k := cellKernel(apps[i/perPolicy], o.policy, o.schedSeed)
+			opts := campaignOptions(cc, o.policy, o.schedSeed, cache)
+			small, res := diffcheck.Minimize(k, opts)
+			path, err := diffcheck.WriteRepro(cc.reproDir, small, opts, res)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "schedhunt: writing repro for %s: %v\n", k.Name, err)
+				continue
+			}
+			st.Repros = append(st.Repros, path)
+			fmt.Printf("     repro: %s\n", path)
+		}
+	}
+	sort.Strings(st.Repros)
+	return st
+}
+
+// cellKernel wraps one corpus app for one (policy, seed) cell.
+// Perturbing the launch seed makes every schedule seed a genuinely
+// different dynamic instance for every policy; the baseline re-runs
+// under the same perturbed seed, so the greedy reference stays exact.
+func cellKernel(app *corpus.App, pol simt.SchedPolicy, ss uint64) diffcheck.Kernel {
+	return diffcheck.Kernel{
+		Name: fmt.Sprintf("%s-%s-s%d", app.Name, pol, ss), Module: app.Module,
+		Entry: app.Kernel, Threads: app.Threads, Memory: app.Memory,
+		Seed: app.Seed ^ (ss * 0x9e3779b97f4a7c15),
+	}
+}
+
+// campaignOptions builds the checker options for one (policy, seed)
+// cell: the liveness monitors armed, the schedule on the speculative
+// run only.
+func campaignOptions(cc campaignConfig, pol simt.SchedPolicy, ss uint64, cache *ccache.Cache) diffcheck.Options {
+	return diffcheck.Options{
+		MaxIssues:    cc.maxIssues,
+		AutoAnnotate: true,
+		Sched:        pol,
+		SchedSeed:    ss,
+		StarveLimit:  cc.starveLimit,
+		WallBudget:   cc.wallBudget,
+		Cache:        cache,
+	}
+}
+
+func writeStats(path string, st Stats) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -43,7 +43,11 @@ func main() {
 		mode       = flag.String("mode", "both", "baseline | spec | auto | both")
 		threshold  = flag.Int("threshold", -1, "override soft-barrier threshold (0=hard, 1..32=soft, -1=per-annotation)")
 		deconf     = flag.String("deconflict", "dynamic", "dynamic | static | none")
-		policy     = flag.String("policy", "maxgroup", "scheduler: maxgroup | minpc | roundrobin")
+		policy     = flag.String("policy", "maxgroup", "group-pick policy: maxgroup | minpc | roundrobin")
+		sched      = flag.String("sched", "greedy", "warp scheduler: greedy | oldest | youngest | obe | random (non-greedy requires the ITS engine)")
+		schedSeed  = flag.Uint64("sched-seed", 0, "seed for -sched random")
+		starveLim  = flag.Int64("starve-limit", 0, "fail with a StarvationError when a runnable warp goes unissued this many cycles (0 = off)")
+		wallBudget = flag.Duration("wall-budget", 0, "fail with a WatchdogError when a run exceeds this wall-clock budget (0 = off)")
 		model      = flag.String("model", "its", "execution engine: its (Volta) | stack (pre-Volta)")
 		interleave = flag.Bool("interleave", false, "interleave warps issue-by-issue (ITS engine only)")
 		threads    = flag.Int("threads", 0, "thread count (0 = workload default)")
@@ -214,7 +218,11 @@ func main() {
 		}
 	}
 
-	pol, err := parsePolicy(*policy)
+	pol, err := simt.ParsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	sp, err := simt.ParseSchedPolicy(*sched)
 	if err != nil {
 		fail(err)
 	}
@@ -233,7 +241,10 @@ func main() {
 	}
 
 	if *diffFlag {
-		if err := runDiffcheck(*kernel, inst, *inject, dec, *threshold); err != nil {
+		cli := diffcheck.ReproOpts{
+			Sched: sp, SchedSeed: *schedSeed, Policy: pol, StarveLimit: *starveLim,
+		}
+		if err := runDiffcheck(*kernel, inst, *inject, dec, *threshold, cli, *wallBudget); err != nil {
 			fail(err)
 		}
 		return
@@ -332,6 +343,10 @@ func main() {
 			Seed:            inst.Seed,
 			Memory:          inst.Memory,
 			Policy:          pol,
+			Sched:           sp,
+			SchedSeed:       *schedSeed,
+			StarveLimit:     *starveLim,
+			WallBudget:      *wallBudget,
 			Model:           eng,
 			InterleaveWarps: *interleave,
 			Strict:          eng == simt.ModelITS,
@@ -433,15 +448,17 @@ func printPassStats(mode string, comp *core.Compilation) {
 
 // runDiffcheck runs the differential checker on the loaded kernel and
 // exits non-zero on a finding. For .sasm files the repro directives
-// (threads, seed, memory, recorded fault) are honored; a -inject spec on
-// the command line overrides the recorded fault.
-func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core.DeconflictMode, threshold int) error {
+// (threads, seed, memory, recorded fault, recorded scheduler) are
+// honored; a -inject spec or non-default scheduler flag on the command
+// line overrides the corresponding recorded value.
+func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core.DeconflictMode, threshold int, cli diffcheck.ReproOpts, wallBudget time.Duration) error {
 	k := diffcheck.Kernel{
 		Name: inst.Module.Name, Module: inst.Module, Entry: inst.Kernel,
 		Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed,
 		Grid: inst.Grid, CTASize: inst.CTASize, SMs: inst.SMs, Workers: inst.Workers,
 	}
 	fault := inject
+	replay := cli
 	if strings.HasSuffix(path, ".sasm") {
 		loaded, recorded, err := diffcheck.LoadRepro(path)
 		if err != nil {
@@ -449,21 +466,31 @@ func runDiffcheck(path string, inst *workloads.Instance, inject string, dec core
 		}
 		k = loaded
 		if fault == "" {
-			fault = recorded
+			fault = recorded.Fault
+		}
+		if cli.Sched == simt.SchedGreedyConverge {
+			replay.Sched, replay.SchedSeed = recorded.Sched, recorded.SchedSeed
+		}
+		if cli.Policy == simt.PolicyMaxGroup {
+			replay.Policy = recorded.Policy
+		}
+		if cli.StarveLimit == 0 {
+			replay.StarveLimit = recorded.StarveLimit
 		}
 	}
 	plan, skipRelease, err := diffcheck.ParseFault(fault)
 	if err != nil {
 		return err
 	}
-	res := diffcheck.Check(k, diffcheck.Options{
+	res := diffcheck.Check(k, replay.Apply(diffcheck.Options{
 		ThresholdOverride: threshold,
 		Deconflict:        dec,
 		AutoAnnotate:      true,
 		Faults:            plan,
 		SkipReleaseN:      skipRelease,
+		WallBudget:        wallBudget,
 		Cache:             compCache,
-	})
+	}))
 	if res.OK {
 		fmt.Printf("diffcheck: ok (base cycles %d, spec cycles %d)\n",
 			res.BaseMetrics.Cycles, res.SpecMetrics.Cycles)
@@ -568,18 +595,6 @@ func optionsFor(mode string, inst *workloads.Instance, dec core.DeconflictMode, 
 		return opts, mod, nil
 	}
 	return core.Options{}, nil, fmt.Errorf("unknown mode %q", mode)
-}
-
-func parsePolicy(s string) (simt.Policy, error) {
-	switch s {
-	case "maxgroup":
-		return simt.PolicyMaxGroup, nil
-	case "minpc":
-		return simt.PolicyMinPC, nil
-	case "roundrobin":
-		return simt.PolicyRoundRobin, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q", s)
 }
 
 func parseModel(s string) (simt.Model, error) {

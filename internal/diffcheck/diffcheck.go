@@ -17,6 +17,7 @@ package diffcheck
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"specrecon/internal/ccache"
 	"specrecon/internal/core"
@@ -70,6 +71,26 @@ type Options struct {
 	// SkipReleaseN injects the simulator-layer fault into the
 	// speculative run: the Nth barrier-cohort release is lost.
 	SkipReleaseN int64
+	// Policy selects the group-pick policy for both runs (both builds
+	// must agree under any pick rule; the default is the reference
+	// maxgroup).
+	Policy simt.Policy
+	// Sched applies an inter-warp scheduling policy to the SPECULATIVE
+	// run only — the baseline stays on the reference greedy-converge
+	// scheduler, so a check under a non-greedy Sched is simultaneously
+	// a speculation check and a schedule-dependence check: any
+	// mismatch, deadlock or starvation indicts the kernel's reliance on
+	// a progress guarantee (or one of the engines — see cmd/schedhunt's
+	// analyzer cross-check). SchedSeed seeds simt.SchedRandom.
+	Sched     simt.SchedPolicy
+	SchedSeed uint64
+	// StarveLimit arms the starvation monitor on the policy-scheduled
+	// speculative run (simt.Config.StarveLimit semantics).
+	StarveLimit int64
+	// WallBudget bounds each run's wall-clock time beside MaxIssues/
+	// MaxCycles (simt.Config.WallBudget semantics); it applies to both
+	// runs so a pathological kernel cannot hang a campaign worker.
+	WallBudget time.Duration
 	// Cache, when non-nil, memoizes the baseline and speculative
 	// compilations: a campaign re-checking one kernel under many
 	// thresholds or fault plans compiles each distinct build once.
@@ -177,25 +198,33 @@ func Check(k Kernel, opts Options) Result {
 	}
 
 	cfg := simt.Config{
-		Kernel:    k.Entry,
-		Threads:   k.Threads,
-		Seed:      k.Seed,
-		Memory:    k.Memory,
-		Strict:    true,
-		MaxIssues: opts.MaxIssues,
-		MaxCycles: opts.MaxCycles,
-		Grid:      k.Grid,
-		CTASize:   k.CTASize,
-		SMs:       k.SMs,
-		Workers:   k.Workers,
+		Kernel:     k.Entry,
+		Threads:    k.Threads,
+		Seed:       k.Seed,
+		Memory:     k.Memory,
+		Strict:     true,
+		MaxIssues:  opts.MaxIssues,
+		MaxCycles:  opts.MaxCycles,
+		Grid:       k.Grid,
+		CTASize:    k.CTASize,
+		SMs:        k.SMs,
+		Workers:    k.Workers,
+		Policy:     opts.Policy,
+		WallBudget: opts.WallBudget,
 	}
 	base, err := simt.Run(baseComp.Module, cfg)
 	if err != nil {
 		return Result{Stage: StageRunBase, Err: err, Annotated: annotated}
 	}
 
+	// The speculative run carries the injected faults AND the scheduling
+	// policy under exploration; the baseline above stays the greedy
+	// reference schedule.
 	specCfg := cfg
 	specCfg.SkipReleaseN = opts.SkipReleaseN
+	specCfg.Sched = opts.Sched
+	specCfg.SchedSeed = opts.SchedSeed
+	specCfg.StarveLimit = opts.StarveLimit
 	spec, err := simt.Run(specComp.Module, specCfg)
 	if err != nil {
 		return Result{

@@ -6,6 +6,7 @@ import (
 
 	"specrecon/internal/core"
 	"specrecon/internal/corpus"
+	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
 )
 
@@ -162,21 +163,64 @@ func TestWriteAndLoadRepro(t *testing.T) {
 		t.Errorf("repro should be a .sasm file, got %s", path)
 	}
 
-	loaded, fault, err := LoadRepro(path)
+	loaded, ro, err := LoadRepro(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fault != "skip-release@1" {
-		t.Errorf("fault spec not round-tripped: %q", fault)
+	if ro.Fault != "skip-release@1" {
+		t.Errorf("fault spec not round-tripped: %q", ro.Fault)
 	}
 	if loaded.Threads != k.Threads || loaded.Seed != k.Seed {
 		t.Errorf("launch config not round-tripped: %+v", loaded)
 	}
-	plan, rel, err := ParseFault(fault)
+	plan, rel, err := ParseFault(ro.Fault)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay := Check(loaded, Options{Faults: plan, SkipReleaseN: rel})
+	replay := Check(loaded, ro.Apply(Options{Faults: plan, SkipReleaseN: rel}))
+	if replay.OK || replay.Stage != res.Stage {
+		t.Errorf("replayed repro: %v, want failure at %s", replay, res.Stage)
+	}
+}
+
+// TestReproRoundTripsScheduler: a repro recorded under a non-default
+// scheduler carries the policy, seed, group-pick rule and starvation
+// limit back through LoadRepro, so a schedule-dependent failure replays
+// under exactly the schedule that exposed it.
+func TestReproRoundTripsScheduler(t *testing.T) {
+	dir := t.TempDir()
+	k := MatrixKernel()
+	opts := Options{
+		SkipReleaseN: 1,
+		Sched:        simt.SchedRandom,
+		SchedSeed:    77,
+		Policy:       simt.PolicyMinPC,
+		StarveLimit:  1 << 20,
+	}
+	res := Check(k, opts)
+	if res.OK {
+		t.Fatal("skip-release kernel should fail")
+	}
+	path, err := WriteRepro(dir, k, opts, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, ro, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReproOpts{
+		Fault: "skip-release@1", Sched: simt.SchedRandom, SchedSeed: 77,
+		Policy: simt.PolicyMinPC, StarveLimit: 1 << 20,
+	}
+	if ro != want {
+		t.Fatalf("replay env not round-tripped: %+v, want %+v", ro, want)
+	}
+	plan, rel, err := ParseFault(ro.Fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := Check(loaded, ro.Apply(Options{Faults: plan, SkipReleaseN: rel}))
 	if replay.OK || replay.Stage != res.Stage {
 		t.Errorf("replayed repro: %v, want failure at %s", replay, res.Stage)
 	}

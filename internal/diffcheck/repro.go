@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"specrecon/internal/ir"
+	"specrecon/internal/simt"
 )
 
 // maxReproMemWords caps how many nonzero memory words a repro records;
@@ -48,6 +49,18 @@ func WriteRepro(dir string, k Kernel, opts Options, res Result) (string, error) 
 	}
 	if fault := faultSpec(opts); fault != "" {
 		fmt.Fprintf(&sb, "; repro-fault: %s\n", fault)
+	}
+	if opts.Sched != simt.SchedGreedyConverge {
+		fmt.Fprintf(&sb, "; repro-sched: %s\n", opts.Sched)
+		if opts.Sched == simt.SchedRandom {
+			fmt.Fprintf(&sb, "; repro-sched-seed: %d\n", opts.SchedSeed)
+		}
+	}
+	if opts.Policy != simt.PolicyMaxGroup {
+		fmt.Fprintf(&sb, "; repro-policy: %s\n", opts.Policy)
+	}
+	if opts.StarveLimit > 0 {
+		fmt.Fprintf(&sb, "; repro-starve-limit: %d\n", opts.StarveLimit)
 	}
 	if k.Memory != nil {
 		fmt.Fprintf(&sb, "; repro-memwords: %d\n", len(k.Memory))
@@ -107,13 +120,40 @@ func sanitize(name string) string {
 	}, name)
 }
 
+// ReproOpts is the replay environment a repro was recorded under: the
+// injected fault spec plus the scheduler selection. A repro of a
+// schedule-dependent failure is only a repro under the schedule that
+// exposed it, so WriteRepro records it and LoadRepro hands it back.
+type ReproOpts struct {
+	// Fault is the ParseFault spec ("" when the check ran unfaulted).
+	Fault string
+	// Sched/SchedSeed/Policy/StarveLimit mirror the Options fields of
+	// the generating check.
+	Sched       simt.SchedPolicy
+	SchedSeed   uint64
+	Policy      simt.Policy
+	StarveLimit int64
+}
+
+// Apply copies the recorded replay environment onto opts, returning the
+// result; the fault spec is left to the caller (it needs ParseFault).
+func (r ReproOpts) Apply(opts Options) Options {
+	opts.Sched = r.Sched
+	opts.SchedSeed = r.SchedSeed
+	opts.Policy = r.Policy
+	opts.StarveLimit = r.StarveLimit
+	return opts
+}
+
 // LoadRepro reads a .sasm file written by WriteRepro (or any plain
-// module listing) and reconstructs the kernel plus the fault spec to
-// replay it under. Plain listings get one warp, seed 0 and no fault.
-func LoadRepro(path string) (Kernel, string, error) {
+// module listing) and reconstructs the kernel plus the replay
+// environment (fault spec, scheduler policy and seed) to replay it
+// under. Plain listings get one warp, seed 0, no fault and the
+// reference schedulers.
+func LoadRepro(path string) (Kernel, ReproOpts, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Kernel{}, "", err
+		return Kernel{}, ReproOpts{}, err
 	}
 	src := string(data)
 
@@ -121,7 +161,7 @@ func LoadRepro(path string) (Kernel, string, error) {
 		Name:    strings.TrimSuffix(filepath.Base(path), ".sasm"),
 		Threads: ir.WarpWidth,
 	}
-	fault := ""
+	var ro ReproOpts
 	memWords := 0
 	type memInit struct {
 		idx int
@@ -160,7 +200,23 @@ func LoadRepro(path string) (Kernel, string, error) {
 		case "entry":
 			k.Entry = val
 		case "fault":
-			fault = val
+			ro.Fault = val
+		case "sched":
+			if sp, err := simt.ParseSchedPolicy(val); err == nil {
+				ro.Sched = sp
+			}
+		case "sched-seed":
+			if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+				ro.SchedSeed = n
+			}
+		case "policy":
+			if p, err := simt.ParsePolicy(val); err == nil {
+				ro.Policy = p
+			}
+		case "starve-limit":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil && n > 0 {
+				ro.StarveLimit = n
+			}
 		case "memwords":
 			if n, err := strconv.Atoi(val); err == nil && n >= 0 {
 				memWords = n
@@ -179,7 +235,7 @@ func LoadRepro(path string) (Kernel, string, error) {
 	}
 	m, err := ir.Parse(src)
 	if err != nil {
-		return Kernel{}, "", fmt.Errorf("%s: %w", path, err)
+		return Kernel{}, ReproOpts{}, fmt.Errorf("%s: %w", path, err)
 	}
 	k.Module = m
 	if memWords > 0 {
@@ -190,5 +246,5 @@ func LoadRepro(path string) (Kernel, string, error) {
 			}
 		}
 	}
-	return k, fault, nil
+	return k, ro, nil
 }

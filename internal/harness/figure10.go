@@ -159,7 +159,11 @@ func AutoComparison(w *workloads.Workload, cfg workloads.BuildConfig) (Compariso
 	if err != nil {
 		return Comparison{}, nil, err
 	}
-	autoInst := &workloads.Instance{Module: stripped, Kernel: inst.Kernel, Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed}
+	autoInst := &workloads.Instance{
+		Module: stripped, Kernel: inst.Kernel, Threads: inst.Threads, Memory: inst.Memory, Seed: inst.Seed,
+		Grid: inst.Grid, CTASize: inst.CTASize, SMs: inst.SMs, Workers: inst.Workers,
+		Policy: inst.Policy, Sched: inst.Sched, SchedSeed: inst.SchedSeed,
+	}
 	comp, spec, err := Run(autoInst, core.SpecReconOptions())
 	if err != nil {
 		return Comparison{}, nil, err

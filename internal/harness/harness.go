@@ -36,15 +36,18 @@ func Run(inst *workloads.Instance, opts core.Options) (*core.Compilation, *simt.
 // instance was built with one.
 func launchConfig(inst *workloads.Instance) simt.Config {
 	return simt.Config{
-		Kernel:  inst.Kernel,
-		Threads: inst.Threads,
-		Seed:    inst.Seed,
-		Memory:  inst.Memory,
-		Strict:  true,
-		Grid:    inst.Grid,
-		CTASize: inst.CTASize,
-		SMs:     inst.SMs,
-		Workers: inst.Workers,
+		Kernel:    inst.Kernel,
+		Threads:   inst.Threads,
+		Seed:      inst.Seed,
+		Memory:    inst.Memory,
+		Strict:    true,
+		Grid:      inst.Grid,
+		CTASize:   inst.CTASize,
+		SMs:       inst.SMs,
+		Workers:   inst.Workers,
+		Policy:    inst.Policy,
+		Sched:     inst.Sched,
+		SchedSeed: inst.SchedSeed,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
 )
 
@@ -121,5 +122,21 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	if err != nil {
 		return fmt.Errorf("occupancy: %w", err)
 	}
-	return WriteOccupancySection(out, occs)
+	if err := WriteOccupancySection(out, occs); err != nil {
+		return err
+	}
+
+	// The scheduler-sensitivity closer: the headline speedups must
+	// survive adversarial inter-warp schedules, with every point's final
+	// memory checked against the greedy baseline inside the driver.
+	policies := []simt.SchedPolicy{
+		simt.SchedGreedyConverge, simt.SchedOldestFirst,
+		simt.SchedYoungestFirst, simt.SchedLooseFair, simt.SchedRandom,
+	}
+	grid, err := SchedSensitivity("pathtracer", cfg, policies, []int{8, 16, 32}, parallelism)
+	if err != nil {
+		return fmt.Errorf("scheduler sensitivity: %w", err)
+	}
+	WriteSchedSensitivity(out, "pathtracer", policies, grid)
+	return nil
 }

@@ -29,6 +29,8 @@ func TestWriteMarkdownReport(t *testing.T) {
 		"| build | issues | cycles | simt eff | branch eff | mem stall | barrier stall |",
 		"block-level movers",
 		"| block | base cycles | spec cycles | Δcycles | base lanes | spec lanes |",
+		"## Scheduler sensitivity: pathtracer",
+		"### policy greedy", "### policy obe", "### policy random",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

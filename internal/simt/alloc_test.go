@@ -50,6 +50,42 @@ func TestSteadyStateIssueAllocFree(t *testing.T) {
 			}
 		})
 	}
+
+	// Every non-greedy scheduler policy must keep the flat issue loop
+	// allocation-free too: a multi-warp wave driven one scheduling slot
+	// at a time, with the profiler attached and the starvation monitor
+	// armed (high limit, so the periodic scan runs but never fires).
+	for _, sp := range simt.SchedPolicies() {
+		if sp == simt.SchedGreedyConverge {
+			continue
+		}
+		t.Run("sched-"+sp.String(), func(t *testing.T) {
+			cfg := simt.Config{
+				Threads: 2 * ir.WarpWidth, Seed: 1, Strict: true,
+				Sched: sp, SchedSeed: 7, StarveLimit: 1 << 30,
+				Events: obs.NewProfile(mod),
+			}
+			h, err := simt.NewHandSimFlat(mod, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepOnce := func() {
+				progress, err := h.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !progress {
+					t.Fatal("wave retired during measurement; extend the loop bound")
+				}
+			}
+			for i := 0; i < 2000; i++ {
+				stepOnce()
+			}
+			if avg := testing.AllocsPerRun(500, stepOnce); avg != 0 {
+				t.Fatalf("steady-state allocations per scheduling slot = %v, want 0", avg)
+			}
+		})
+	}
 }
 
 // TestSteadyStateIssueAllocFreeGrid extends the allocation guard to the
@@ -75,17 +111,38 @@ func TestSteadyStateIssueAllocFreeGrid(t *testing.T) {
 		name     string
 		smEvents func() func(sm int) simt.EventSink
 		stride   int64
+		sched    simt.SchedPolicy
 	}{
-		{"bare", func() func(sm int) simt.EventSink { return nil }, 0},
-		{"profile", profSink, 0},
-		{"sampler", func() func(sm int) simt.EventSink { return nil }, 1},
-		{"profile+sampler", profSink, 1},
+		{"bare", func() func(sm int) simt.EventSink { return nil }, 0, simt.SchedGreedyConverge},
+		{"profile", profSink, 0, simt.SchedGreedyConverge},
+		{"sampler", func() func(sm int) simt.EventSink { return nil }, 1, simt.SchedGreedyConverge},
+		{"profile+sampler", profSink, 1, simt.SchedGreedyConverge},
+	}
+	// Re-pin the guard under every non-greedy scheduler policy in the
+	// most demanding shape: profiler attached, sampler at stride 1 and
+	// the starvation monitor armed (high limit — the scan runs, never
+	// fires).
+	for _, sp := range simt.SchedPolicies() {
+		if sp == simt.SchedGreedyConverge {
+			continue
+		}
+		cases = append(cases, struct {
+			name     string
+			smEvents func() func(sm int) simt.EventSink
+			stride   int64
+			sched    simt.SchedPolicy
+		}{"sched-" + sp.String(), profSink, 1, sp})
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := simt.Config{
 				Grid: 2, CTASize: 2 * ir.WarpWidth, SMs: 1,
 				Seed: 1, Strict: true, SMEvents: tc.smEvents(),
+			}
+			if tc.sched != simt.SchedGreedyConverge {
+				cfg.Sched = tc.sched
+				cfg.SchedSeed = 7
+				cfg.StarveLimit = 1 << 30
 			}
 			if tc.stride > 0 {
 				cfg.SampleStride = tc.stride

@@ -3,6 +3,7 @@ package simt
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Typed runtime errors. The simulator's two interesting failure modes —
@@ -124,4 +125,65 @@ func (e *BudgetError) Error() string {
 	}
 	return fmt.Sprintf("%s%s budget exhausted (%d); likely livelock (issues=%d cycles=%d last-progress-cycle=%d)",
 		where, kind, limit, e.Issues, e.Cycles, e.LastProgressCycle)
+}
+
+// StarvationError reports that the configured scheduling policy left a
+// warp with runnable lanes unissued for longer than Config.StarveLimit
+// modeled cycles — legal under loose progress models like OBE, but the
+// schedule-exploration rig surfaces it as a liveness failure so kernels
+// relying on inter-warp fairness are caught. Emitted only by
+// policy-scheduled launches (Sched != SchedGreedyConverge; the greedy
+// pass issues every runnable warp every pass and cannot starve one).
+type StarvationError struct {
+	Warp int
+	// SM and CTA locate the starved warp on a grid launch; -1 on flat.
+	SM  int
+	CTA int
+	// AgeCycles is how long the warp had runnable lanes without being
+	// issued; Limit is the configured Config.StarveLimit it exceeded.
+	AgeCycles int64
+	Limit     int64
+	// Cycles is the SM's modeled cycle count at detection.
+	Cycles int64
+	// Sched is the policy that starved the warp.
+	Sched SchedPolicy
+}
+
+func (e *StarvationError) Error() string {
+	where := ""
+	if e.SM >= 0 {
+		where = fmt.Sprintf("sm%d cta%d: ", e.SM, e.CTA)
+	}
+	return fmt.Sprintf("%sstarvation under %s scheduling: warp %d runnable but unissued for %d cycles (limit %d, cycle %d)",
+		where, e.Sched, e.Warp, e.AgeCycles, e.Limit, e.Cycles)
+}
+
+// WatchdogError reports that a launch exceeded its wall-clock budget
+// (Config.WallBudget) before every lane exited. It complements
+// BudgetError, which bounds modeled work: the watchdog catches runs
+// whose *real* time explodes — e.g. a pathological kernel × schedule in
+// a sweep — independent of the cost model. On grid launches the budget
+// applies per SM (each SM checks the same launch-wide deadline).
+type WatchdogError struct {
+	Warp int
+	// SM and CTA locate the warp that observed expiry; -1 on flat.
+	SM  int
+	CTA int
+	// Budget is the configured wall-clock allowance.
+	Budget time.Duration
+	// Issues/Cycles are the SM's counters at expiry.
+	Issues int64
+	Cycles int64
+	// LastProgressCycle is the modeled cycle of the most recent forward
+	// progress, mirroring BudgetError's livelock diagnostic.
+	LastProgressCycle int64
+}
+
+func (e *WatchdogError) Error() string {
+	where := ""
+	if e.SM >= 0 {
+		where = fmt.Sprintf("sm%d cta%d: ", e.SM, e.CTA)
+	}
+	return fmt.Sprintf("%swall-clock watchdog expired (budget %v); issues=%d cycles=%d last-progress-cycle=%d",
+		where, e.Budget, e.Issues, e.Cycles, e.LastProgressCycle)
 }

@@ -120,10 +120,13 @@ e:
 // HandSimGPU steps one SM of a grid launch by hand: SM 0 is forked with
 // its first occupancy wave of CTAs resident, and Step makes one
 // round-robin issue pass over the resident warps — the same inner loop
-// the SM driver runs, minus the wave scheduling.
+// the SM driver runs, minus the wave scheduling. Under a non-greedy
+// Config.Sched, Step instead runs one scheduling slot of the policy
+// scheduler (sched.go), including its periodic starvation scan.
 type HandSimGPU struct {
 	sm    *sim
 	warps []*warpState
+	slot  int64
 }
 
 // NewHandSimGPU builds a grid simulator over m and makes SM 0's first
@@ -161,7 +164,44 @@ func NewHandSimGPU(m *ir.Module, cfg Config) (*HandSimGPU, error) {
 			warps = append(warps, sm.newCTAWarp(cta, wi))
 		}
 	}
+	if sm.cfg.Sched != SchedGreedyConverge {
+		sm.schedInit(warps)
+	}
 	return &HandSimGPU{sm: sm, warps: warps}, nil
+}
+
+// NewHandSimFlat builds the flat-launch counterpart of NewHandSimGPU:
+// every warp of the launch forms one resident wave stepped by Step.
+// With the default greedy policy a Step is one round-robin pass (the
+// InterleaveWarps inner loop); under a non-greedy Config.Sched it is
+// one scheduling slot. cfg must be flat (Grid == 0) and ITS.
+func NewHandSimFlat(m *ir.Module, cfg Config) (*HandSimGPU, error) {
+	s, err := newSim(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.gridMode {
+		return nil, fmt.Errorf("NewHandSimFlat requires a flat config (Grid == 0)")
+	}
+	if s.cfg.Model == ModelStack {
+		return nil, fmt.Errorf("NewHandSimFlat requires the ITS engine")
+	}
+	if s.cfg.samplerEnabled() {
+		if s.cfg.SMSamples != nil {
+			s.sampleSink = s.cfg.SMSamples(0)
+		} else {
+			s.sampleSink = s.cfg.Samples
+		}
+	}
+	nwarps := (s.cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
+	warps := make([]*warpState, nwarps)
+	for w := range warps {
+		warps[w] = s.newWarp(w)
+	}
+	if s.cfg.Sched != SchedGreedyConverge {
+		s.schedInit(warps)
+	}
+	return &HandSimGPU{sm: s, warps: warps}, nil
 }
 
 // Step makes one round-robin issue pass over the resident warps,
@@ -169,6 +209,24 @@ func NewHandSimGPU(m *ir.Module, cfg Config) (*HandSimGPU, error) {
 // runResident runs); progress=false means the wave retired (or
 // stalled).
 func (h *HandSimGPU) Step() (progress bool, err error) {
+	if h.sm.cfg.Sched != SchedGreedyConverge {
+		issued, err := h.sm.schedSlot(h.warps)
+		if err != nil {
+			return false, err
+		}
+		n := 0
+		if issued {
+			n = 1
+		}
+		h.sm.samplePass(h.warps, n)
+		h.slot++
+		if h.sm.cfg.StarveLimit > 0 && h.slot%starveCheckStride == 0 {
+			if err := h.sm.starveCheck(h.warps); err != nil {
+				return false, err
+			}
+		}
+		return issued, nil
+	}
 	issued := 0
 	for _, ws := range h.warps {
 		ok, _, err := ws.tryStep()

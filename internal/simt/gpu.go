@@ -153,6 +153,7 @@ func (s *sim) forkSM(i int, sink EventSink, samples SampleSink) *sim {
 	}
 	sm.cfg.Events = sink
 	sm.sampleSink = samples
+	sm.wallDeadline = s.wallDeadline
 	return sm
 }
 
@@ -164,6 +165,7 @@ func (sm *sim) resetSM(tpl *sim, sink EventSink, samples SampleSink) {
 	sm.cfg = tpl.cfg
 	sm.cfg.Events = sink
 	sm.sampleSink = samples
+	sm.wallDeadline = tpl.wallDeadline
 	sm.lastSampleCycle = 0
 	sm.memStallAcc = 0
 	sm.memStallSampled = 0
@@ -345,8 +347,13 @@ func (s *sim) runSM(occ, warpsPerCTA int, shared [][]uint64) error {
 // runResident issues round-robin over one wave of resident warps until
 // all retire. A warp with live but unrunnable lanes is skipped (another
 // warp of its CTA may release its ctabar); the SM is deadlocked only
-// when a full pass issues nothing while live lanes remain.
+// when a full pass issues nothing while live lanes remain. A non-greedy
+// scheduling policy replaces this pass with the one-warp-per-slot
+// scheduler in sched.go.
 func (s *sim) runResident(warps []*warpState) error {
+	if s.cfg.Sched != SchedGreedyConverge {
+		return s.runResidentSched(warps)
+	}
 	for {
 		issued := 0
 		allDone := true
@@ -373,17 +380,22 @@ func (s *sim) runResident(warps []*warpState) error {
 }
 
 // smDeadlock reports the SM-level deadlock through the first stalled
-// warp's diagnostic (its blocked lanes and barrier snapshots).
+// warp's diagnostic (its blocked lanes and barrier snapshots). It also
+// serves flat launches driven by the policy scheduler, where the wrap
+// omits the SM prefix.
 func (s *sim) smDeadlock(warps []*warpState) error {
 	for _, ws := range warps {
 		if ws.done {
 			continue
 		}
 		if _, anyLive := ws.groups(); anyLive {
-			return fmt.Errorf("simt: sm %d: warp %d: %w", s.smIndex, ws.index, ws.deadlockError())
+			return s.warpErr(ws, ws.deadlockError())
 		}
 	}
-	return fmt.Errorf("simt: sm %d: deadlock with no live warps", s.smIndex)
+	if s.gridMode {
+		return fmt.Errorf("simt: sm %d: deadlock with no live warps", s.smIndex)
+	}
+	return fmt.Errorf("simt: deadlock with no live warps")
 }
 
 // mergeSMs folds the per-SM machines into the launch result, in SM

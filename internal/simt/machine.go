@@ -19,10 +19,10 @@ import (
 // A Machine is bound to a launch shape: the kernel, thread/grid
 // geometry, SM count, scheduling policy, engine and cache configuration
 // of the Config it was built with, plus the derived memory-image size.
-// Per-launch inputs — Seed, Memory contents, issue/cycle budgets,
-// Strict, SkipReleaseN, Workers and event sinks — may differ freely
-// between runs. Run rejects a shape-incompatible Config rather than
-// silently rebuilding.
+// Per-launch inputs — Seed, Memory contents, issue/cycle/wall budgets,
+// Strict, SkipReleaseN, Workers, event sinks and the scheduler policy
+// (Sched, SchedSeed, StarveLimit) — may differ freely between runs. Run
+// rejects a shape-incompatible Config rather than silently rebuilding.
 //
 // Result buffers alias the arena: Result.Memory, Result.Shared and
 // Result.PerSM are valid until the next Run on the same Machine. Copy

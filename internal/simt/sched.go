@@ -1,0 +1,383 @@
+package simt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Inter-warp scheduling policies and the progress-model stress layer.
+//
+// The paper's correctness argument (and the reference round-robin SM
+// driver in gpu.go) assumes the scheduler eventually issues every
+// runnable warp. Real GPUs promise much less: "Specifying and Testing
+// GPU Workgroup Progress Models" (arXiv 2109.06132) shows kernels that
+// pass under a fair scheduler and deadlock or starve under
+// occupancy-bound execution (OBE), where a resident warp may run to a
+// blocking point before any other warp is considered. SchedPolicy makes
+// the warp-selection rule pluggable so the schedule-exploration rig
+// (cmd/schedhunt) can hunt schedule-dependent outcomes: every policy
+// must produce the same final memory on race-free kernels, and kernels
+// whose outcome varies by policy are exactly the ones relying on a
+// progress guarantee the hardware does not give.
+//
+// Execution model under a non-greedy policy. Instead of the greedy
+// round-robin pass (one instruction per eligible warp per pass), the
+// scheduler runs one *slot* at a time: the policy ranks the resident
+// warps, and the first ranked warp able to issue gets the slot. A slot
+// where no warp can issue means the wave either retired or deadlocked.
+// Flat ITS launches under a non-greedy policy route through the same
+// resident-warp scheduler (all warps of the launch form one wave), so
+// cross-warp producer/consumer kernels see the policy too. The stack
+// engine runs warps to completion by construction and rejects
+// non-greedy policies.
+//
+// Liveness layer. Unfair policies can starve a runnable warp forever
+// (legal under OBE, but worth surfacing): the starvation monitor
+// (Config.StarveLimit) fails the launch with a typed StarvationError
+// when a warp with runnable lanes has not issued for more than the
+// limit in modeled cycles. The wall-clock watchdog (Config.WallBudget)
+// bounds real time beside the modeled MaxIssues/MaxCycles budgets and
+// fires a typed WatchdogError; it applies to every driver and policy.
+
+// SchedPolicy selects how the SM driver picks the next warp to issue
+// from, complementing Policy, which picks among one warp's PC groups.
+type SchedPolicy int
+
+const (
+	// SchedGreedyConverge is the reference scheduler: a round-robin
+	// pass issuing one instruction per eligible resident warp. Every
+	// runnable warp issues every pass, so no warp can starve; this is
+	// the fairest model and the default (today's behavior, unchanged).
+	SchedGreedyConverge SchedPolicy = iota
+	// SchedOldestFirst issues the warp that has waited longest since
+	// its last issue (ties to the lowest warp index) — a fair aging
+	// scheduler, close to hardware LRR with age priority.
+	SchedOldestFirst
+	// SchedYoungestFirst issues the most recently issued warp that can
+	// still issue — a sticky, greedy-then-oldest model like hardware
+	// GTO. It runs one warp to a blocking point before switching, so
+	// spin-wait producers can be starved.
+	SchedYoungestFirst
+	// SchedLooseFair models occupancy-bound execution (OBE): the
+	// lowest-indexed warp able to issue always wins, so a warp only
+	// runs when every lower-indexed warp is blocked or done. This is
+	// the weakest progress model GPUs are specified to give and the
+	// main starvation/deadlock hunter.
+	SchedLooseFair
+	// SchedRandom picks uniformly among the warps able to issue, seeded
+	// by Config.SchedSeed (per-SM streams keep sharded runs
+	// deterministic). Distinct seeds explore distinct interleavings.
+	SchedRandom
+)
+
+// SchedPolicies returns every scheduler policy, reference first — the
+// order campaign drivers iterate.
+func SchedPolicies() []SchedPolicy {
+	return []SchedPolicy{SchedGreedyConverge, SchedOldestFirst, SchedYoungestFirst, SchedLooseFair, SchedRandom}
+}
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedGreedyConverge:
+		return "greedy"
+	case SchedOldestFirst:
+		return "oldest"
+	case SchedYoungestFirst:
+		return "youngest"
+	case SchedLooseFair:
+		return "obe"
+	case SchedRandom:
+		return "random"
+	}
+	return fmt.Sprintf("sched(%d)", int(p))
+}
+
+// ParseSchedPolicy parses a scheduler policy name as printed by String,
+// accepting the long aliases the issue/roadmap use.
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "greedy", "greedy-converge":
+		return SchedGreedyConverge, nil
+	case "oldest", "oldest-first":
+		return SchedOldestFirst, nil
+	case "youngest", "youngest-first":
+		return SchedYoungestFirst, nil
+	case "obe", "loose", "loose-fair":
+		return SchedLooseFair, nil
+	case "random":
+		return SchedRandom, nil
+	}
+	return 0, fmt.Errorf("simt: unknown sched policy %q (greedy|oldest|youngest|obe|random)", s)
+}
+
+// ParsePolicy parses a group-pick policy name as printed by
+// Policy.String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "maxgroup":
+		return PolicyMaxGroup, nil
+	case "minpc":
+		return PolicyMinPC, nil
+	case "roundrobin", "rr":
+		return PolicyRoundRobin, nil
+	}
+	return 0, fmt.Errorf("simt: unknown policy %q (maxgroup|minpc|roundrobin)", s)
+}
+
+// starveCheckStride is how many scheduling slots pass between starvation
+// scans; the monitor's resolution is this many slots, its cost one
+// groups() call per resident warp per scan.
+const starveCheckStride = 64
+
+// watchdogCheckMask amortizes the wall-clock watchdog: the deadline is
+// consulted once per (mask+1) issues, so a fired budget is detected
+// within ~1024 issues while the hot path pays only a zero-check.
+const watchdogCheckMask = 1<<10 - 1
+
+// warpErr wraps a warp-level error with the launch-position prefix the
+// drivers use: "simt: sm S: warp W:" on grid launches, "simt: warp W:"
+// on flat ones. errors.As sees through both.
+func (s *sim) warpErr(ws *warpState, err error) error {
+	if s.gridMode {
+		return fmt.Errorf("simt: sm %d: warp %d: %w", s.smIndex, ws.index, err)
+	}
+	return fmt.Errorf("simt: warp %d: %w", ws.index, err)
+}
+
+// watchdogExpired reports whether the wall-clock budget has run out.
+// The time.Now call is amortized over watchdogCheckMask+1 issues; with
+// no budget configured the cost is one IsZero check per issue.
+func (s *sim) watchdogExpired() bool {
+	return !s.wallDeadline.IsZero() && s.issues&watchdogCheckMask == 0 && time.Now().After(s.wallDeadline)
+}
+
+// noteIssue timestamps a warp's successful issue for the aging policies
+// and the starvation monitor (s.issues was just incremented by the
+// issue itself, so it is a strictly increasing per-SM slot number).
+func (s *sim) noteIssue(ws *warpState) {
+	ws.lastIssueSlot = s.issues
+	ws.lastRunCycle = s.metrics.Cycles
+}
+
+// clearTried resets and returns the per-slot tried bitmap (sized by
+// runResidentSched; one bit per resident warp).
+func (s *sim) clearTried() []uint64 {
+	for i := range s.schedTried {
+		s.schedTried[i] = 0
+	}
+	return s.schedTried
+}
+
+// runResidentSched drives one wave of resident warps under a non-greedy
+// scheduling policy: one warp issues per slot, chosen by the policy,
+// until the wave retires (no warp can issue and all are done) or
+// deadlocks (no warp can issue while live lanes remain). The starvation
+// monitor scans between slots when Config.StarveLimit is set. The loop
+// performs no steady-state heap allocations: the tried bitmap is arena
+// scratch and every per-warp structure is pooled.
+func (s *sim) runResidentSched(warps []*warpState) error {
+	s.schedInit(warps)
+	var slot int64
+	for {
+		issued, err := s.schedSlot(warps)
+		if err != nil {
+			return err
+		}
+		n := 0
+		if issued {
+			n = 1
+		}
+		s.samplePass(warps, n)
+		if !issued {
+			allDone := true
+			for _, ws := range warps {
+				if !ws.done {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				return nil
+			}
+			return s.smDeadlock(warps)
+		}
+		slot++
+		if s.cfg.StarveLimit > 0 && slot%starveCheckStride == 0 {
+			if err := s.starveCheck(warps); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// schedInit prepares a wave for policy scheduling: the SchedRandom pick
+// stream reseeds per SM (sharded runs stay deterministic for any
+// Workers count, and distinct SMs explore distinct interleavings), the
+// tried bitmap is sized to the wave, and every warp's aging/starvation
+// clock starts at residency.
+func (s *sim) schedInit(warps []*warpState) {
+	if s.cfg.Sched == SchedRandom {
+		s.schedRng.Reseed(s.cfg.Seed^s.cfg.SchedSeed, 0x5eed0+uint64(s.smIndex))
+	}
+	nw := (len(warps) + 63) / 64
+	if cap(s.schedTried) < nw {
+		s.schedTried = make([]uint64, nw)
+	}
+	s.schedTried = s.schedTried[:nw]
+	for _, ws := range warps {
+		ws.lastRunCycle = s.metrics.Cycles
+		ws.lastIssueSlot = s.issues
+	}
+}
+
+// schedSlot runs one scheduling slot: the policy ranks the resident
+// warps and the first ranked warp able to issue does. issued=false
+// means no resident warp could issue this slot.
+func (s *sim) schedSlot(warps []*warpState) (bool, error) {
+	switch s.cfg.Sched {
+	case SchedLooseFair:
+		// OBE: lowest index able to issue wins; tryStep doubles as the
+		// eligibility probe, so no separate tried set is needed.
+		for _, ws := range warps {
+			ok, _, err := ws.tryStep()
+			if err != nil {
+				return false, s.warpErr(ws, err)
+			}
+			if ok {
+				s.noteIssue(ws)
+				return true, nil
+			}
+		}
+		return false, nil
+	case SchedRandom:
+		tried := s.clearTried()
+		remaining := 0
+		for i, ws := range warps {
+			if ws.done {
+				tried[i>>6] |= 1 << (uint(i) & 63)
+			} else {
+				remaining++
+			}
+		}
+		for remaining > 0 {
+			k := s.schedRng.Intn(remaining)
+			pick := -1
+			for i := range warps {
+				if tried[i>>6]&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				if k == 0 {
+					pick = i
+					break
+				}
+				k--
+			}
+			ws := warps[pick]
+			ok, _, err := ws.tryStep()
+			if err != nil {
+				return false, s.warpErr(ws, err)
+			}
+			if ok {
+				s.noteIssue(ws)
+				return true, nil
+			}
+			tried[pick>>6] |= 1 << (uint(pick) & 63)
+			remaining--
+		}
+		return false, nil
+	default: // SchedOldestFirst, SchedYoungestFirst
+		tried := s.clearTried()
+		for {
+			best := -1
+			for i, ws := range warps {
+				if ws.done || tried[i>>6]&(1<<(uint(i)&63)) != 0 {
+					continue
+				}
+				if best < 0 {
+					best = i
+					continue
+				}
+				if s.cfg.Sched == SchedOldestFirst {
+					if ws.lastIssueSlot < warps[best].lastIssueSlot {
+						best = i
+					}
+				} else if ws.lastIssueSlot > warps[best].lastIssueSlot {
+					best = i
+				}
+			}
+			if best < 0 {
+				return false, nil
+			}
+			ws := warps[best]
+			ok, _, err := ws.tryStep()
+			if err != nil {
+				return false, s.warpErr(ws, err)
+			}
+			if ok {
+				s.noteIssue(ws)
+				return true, nil
+			}
+			tried[best>>6] |= 1 << (uint(best) & 63)
+		}
+	}
+}
+
+// starveCheck scans the wave for a runnable warp the policy has not
+// issued for more than Config.StarveLimit modeled cycles. A warp with
+// live lanes but no runnable group is *blocked*, not starved — deadlock
+// and budget detection own that case — so its clock resets.
+func (s *sim) starveCheck(warps []*warpState) error {
+	for _, ws := range warps {
+		if ws.done {
+			continue
+		}
+		groups, anyLive := ws.groups()
+		if !anyLive {
+			continue
+		}
+		if len(groups) == 0 {
+			ws.lastRunCycle = s.metrics.Cycles
+			continue
+		}
+		if age := s.metrics.Cycles - ws.lastRunCycle; age > s.cfg.StarveLimit {
+			return s.warpErr(ws, s.starvationError(ws, age))
+		}
+	}
+	return nil
+}
+
+// starvationError builds the typed starvation diagnostic for ws.
+func (s *sim) starvationError(ws *warpState, age int64) error {
+	e := &StarvationError{
+		Warp:      ws.index,
+		SM:        -1,
+		CTA:       -1,
+		AgeCycles: age,
+		Limit:     s.cfg.StarveLimit,
+		Cycles:    s.metrics.Cycles,
+		Sched:     s.cfg.Sched,
+	}
+	if s.gridMode {
+		e.SM = int(s.smIndex)
+		e.CTA = int(ws.ctaIndex)
+	}
+	return e
+}
+
+// watchdogError builds the typed wall-clock budget diagnostic. cta is
+// the CTA of the warp that observed expiry, or -1 on a flat launch.
+func (s *sim) watchdogError(warp, cta int) error {
+	e := &WatchdogError{
+		Warp:              warp,
+		SM:                -1,
+		CTA:               cta,
+		Budget:            s.cfg.WallBudget,
+		Issues:            s.issues,
+		Cycles:            s.metrics.Cycles,
+		LastProgressCycle: s.lastProgressCycle,
+	}
+	if s.gridMode {
+		e.SM = int(s.smIndex)
+	}
+	return e
+}

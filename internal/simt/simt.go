@@ -36,6 +36,7 @@ package simt
 
 import (
 	"fmt"
+	"time"
 
 	"specrecon/internal/ir"
 	"specrecon/internal/rng"
@@ -127,6 +128,31 @@ type Config struct {
 	Threads int    // total threads (default: one warp; grid launches derive it)
 	Seed    uint64
 	Policy  Policy
+	// Sched selects the inter-warp scheduling policy (see SchedPolicy
+	// in sched.go). The default greedy-converge keeps every existing
+	// driver exactly as before; any other policy replaces the SM
+	// round-robin with the policy's one-warp-per-slot pick, and routes
+	// flat ITS launches through the resident-warp scheduler (all warps
+	// of the launch form one wave, interleaving like InterleaveWarps).
+	// ITS engine only — the stack engine runs warps to completion by
+	// construction.
+	Sched SchedPolicy
+	// SchedSeed seeds SchedRandom's pick streams. Each SM derives its
+	// own stream from (Seed, SchedSeed, SM index), so sharded runs stay
+	// deterministic for any Workers count.
+	SchedSeed uint64
+	// StarveLimit, when positive, arms the starvation monitor on
+	// policy-scheduled launches (Sched != SchedGreedyConverge): a
+	// resident warp with runnable lanes left unissued for more than
+	// StarveLimit modeled cycles fails the launch with a typed
+	// StarvationError. Warps blocked at barriers are not starved —
+	// deadlock and budget detection own those.
+	StarveLimit int64
+	// WallBudget, when positive, bounds the launch's wall-clock time
+	// beside the modeled MaxIssues/MaxCycles budgets; a typed
+	// WatchdogError fires once it is exceeded (checked per SM on grid
+	// launches, amortized over issues).
+	WallBudget time.Duration
 	// Grid, when positive, launches a grid of Grid CTAs of CTASize
 	// threads each (CTASize defaults to one warp, capped at
 	// MaxThreadsPerCTA) across SMs streaming multiprocessors (default 1,
@@ -267,6 +293,13 @@ type warpState struct {
 	masks    []uint32 // barrier participation masks
 	waiting  []uint32 // lanes blocked at a wait per barrier
 	rrCursor int
+	// lastIssueSlot is the SM issue count at this warp's most recent
+	// issue (the aging key of the oldest/youngest-first policies);
+	// lastRunCycle is the modeled cycle of that issue, which the
+	// starvation monitor ages against. Both reset when the warp's wave
+	// becomes resident.
+	lastIssueSlot int64
+	lastRunCycle  int64
 	// groupBuf and addrBuf are scratch reused on every issue slot so the
 	// steady-state scheduler loop performs no heap allocations: a warp
 	// has at most WarpWidth PC groups and WarpWidth lane addresses.
@@ -319,6 +352,13 @@ type sim struct {
 	// feeds the cycles-since-progress diagnostics in DeadlockError and
 	// BudgetError.
 	lastProgressCycle int64
+	// Scheduler-policy state (sched.go). schedRng is SchedRandom's
+	// per-SM pick stream; schedTried is the per-slot tried bitmap (one
+	// bit per resident warp, arena scratch); wallDeadline is the
+	// wall-clock watchdog's deadline (zero when WallBudget is off).
+	schedRng     rng.Source
+	schedTried   []uint64
+	wallDeadline time.Time
 	// Occupancy-sampler state (sample.go). sampleSink is this SM's
 	// resolved sink (nil when sampling is off — the hot-path check);
 	// lastSampleCycle / memStallSampled mark the previous sample's
@@ -434,6 +474,18 @@ func normalizeConfig(m *ir.Module, cfg Config) (Config, int, error) {
 	if cfg.InterleaveWarps && cfg.Model == ModelStack {
 		return cfg, 0, fmt.Errorf("simt: InterleaveWarps is only supported on the ITS engine")
 	}
+	if cfg.Sched < SchedGreedyConverge || cfg.Sched > SchedRandom {
+		return cfg, 0, fmt.Errorf("simt: unknown sched policy %v", cfg.Sched)
+	}
+	if cfg.Sched != SchedGreedyConverge && cfg.Model == ModelStack {
+		return cfg, 0, fmt.Errorf("simt: sched policy %v requires the ITS engine (the stack engine runs warps to completion)", cfg.Sched)
+	}
+	if cfg.StarveLimit < 0 {
+		return cfg, 0, fmt.Errorf("simt: negative starvation limit %d", cfg.StarveLimit)
+	}
+	if cfg.WallBudget < 0 {
+		return cfg, 0, fmt.Errorf("simt: negative wall-clock budget %v", cfg.WallBudget)
+	}
 	if cfg.SampleStride < 0 {
 		return cfg, 0, fmt.Errorf("simt: negative sample stride %d", cfg.SampleStride)
 	}
@@ -513,6 +565,8 @@ func (s *sim) takeWarp() *warpState {
 		s.poolWarp++
 		ws.done = false
 		ws.rrCursor = 0
+		ws.lastIssueSlot = s.issues
+		ws.lastRunCycle = s.metrics.Cycles
 		for b := range ws.masks {
 			ws.masks[b] = 0
 			ws.waiting[b] = 0
@@ -530,6 +584,8 @@ func (s *sim) takeWarp() *warpState {
 	}
 	ws.masks = make([]uint32, s.nbar)
 	ws.waiting = make([]uint32, s.nbar)
+	ws.lastIssueSlot = s.issues
+	ws.lastRunCycle = s.metrics.Cycles
 	s.warpPool = append(s.warpPool, ws)
 	s.poolWarp++
 	return ws
@@ -632,15 +688,20 @@ func Run(m *ir.Module, cfg Config) (*Result, error) {
 // launch drives one launch over s's (fresh or arena-reset) state: the
 // grid scheduler for grid configs, else one of the flat drivers.
 func (s *sim) launch() (*Result, error) {
+	if s.cfg.WallBudget > 0 {
+		s.wallDeadline = time.Now().Add(s.cfg.WallBudget)
+	}
 	if s.gridMode {
 		return s.runGrid()
 	}
 	cfg := s.cfg
 	nwarps := (cfg.Threads + ir.WarpWidth - 1) / ir.WarpWidth
+	useSched := cfg.Sched != SchedGreedyConverge && cfg.Model != ModelStack
 
-	if cfg.InterleaveWarps {
-		// Flat interleaved launches sample as SM 0: warps genuinely
-		// share the machine here, so per-pass occupancy is meaningful.
+	if cfg.InterleaveWarps || useSched {
+		// Flat interleaved (and policy-scheduled) launches sample as
+		// SM 0: warps genuinely share the machine here, so per-pass
+		// occupancy is meaningful.
 		if cfg.samplerEnabled() {
 			if cfg.SMSamples != nil {
 				s.sampleSink = cfg.SMSamples(0)
@@ -652,21 +713,30 @@ func (s *sim) launch() (*Result, error) {
 		for w := range warps {
 			warps[w] = s.newWarp(w)
 		}
-		live := nwarps
-		for live > 0 {
-			live = 0
-			for _, ws := range warps {
-				done, err := ws.step()
-				if err != nil {
-					return nil, fmt.Errorf("simt: warp %d: %w", ws.index, err)
-				}
-				if !done {
-					live++
-				}
+		if useSched {
+			// A non-greedy policy schedules the whole flat launch as one
+			// resident wave (sched.go), so cross-warp waits resolve and
+			// the policy's fairness model applies.
+			if err := s.runResidentSched(warps); err != nil {
+				return nil, err
 			}
-			// A warp that is not done issued exactly one instruction this
-			// round, so live doubles as the pass's issued-warp count.
-			s.samplePass(warps, live)
+		} else {
+			live := nwarps
+			for live > 0 {
+				live = 0
+				for _, ws := range warps {
+					done, err := ws.step()
+					if err != nil {
+						return nil, fmt.Errorf("simt: warp %d: %w", ws.index, err)
+					}
+					if !done {
+						live++
+					}
+				}
+				// A warp that is not done issued exactly one instruction this
+				// round, so live doubles as the pass's issued-warp count.
+				s.samplePass(warps, live)
+			}
 		}
 	} else {
 		for w := 0; w < nwarps; w++ {
@@ -712,6 +782,7 @@ func (s *sim) resetForLaunch(cfg Config) {
 	s.issues = 0
 	s.releases = 0
 	s.lastProgressCycle = 0
+	s.wallDeadline = time.Time{}
 	s.sampleSink = nil
 	s.lastSampleCycle = 0
 	s.memStallAcc = 0
@@ -752,6 +823,9 @@ func (ws *warpState) step() (bool, error) {
 	if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
 		return false, s.budgetError(ws.index, -1)
 	}
+	if s.watchdogExpired() {
+		return false, s.watchdogError(ws.index, -1)
+	}
 	if err := ws.issue(g); err != nil {
 		return false, err
 	}
@@ -778,6 +852,9 @@ func (ws *warpState) tryStep() (issued, done bool, err error) {
 	}
 	if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
 		return false, false, s.budgetError(ws.index, int(ws.ctaIndex))
+	}
+	if s.watchdogExpired() {
+		return false, false, s.watchdogError(ws.index, int(ws.ctaIndex))
 	}
 	if err := ws.issue(ws.pick(groups)); err != nil {
 		return false, false, err

@@ -530,6 +530,35 @@ done:
 			}
 		}
 	}
+
+	// The inter-warp scheduler policies must agree too: the kernel is
+	// race-free (each lane stores only to its own tid word), so any warp
+	// interleaving yields the same memory. Flat multi-warp launches and
+	// grid launches both pin it, with the starvation monitor armed so a
+	// genuinely unfair-but-finite run still passes.
+	var flatRef, gridRef []uint64
+	for _, sp := range SchedPolicies() {
+		flat := run(t, m, Config{Seed: 3, Threads: 96, Sched: sp, SchedSeed: 11, StarveLimit: 1 << 30, Strict: true})
+		if flatRef == nil {
+			flatRef = flat.Memory
+		} else {
+			for i := range flatRef {
+				if flatRef[i] != flat.Memory[i] {
+					t.Fatalf("flat sched %v diverges at word %d", sp, i)
+				}
+			}
+		}
+		grid := run(t, m, Config{Seed: 3, Grid: 3, CTASize: 2 * 32, SMs: 2, MemWords: 256, Sched: sp, SchedSeed: 11, StarveLimit: 1 << 30, Strict: true})
+		if gridRef == nil {
+			gridRef = append([]uint64(nil), grid.Memory...)
+		} else {
+			for i := range gridRef {
+				if gridRef[i] != grid.Memory[i] {
+					t.Fatalf("grid sched %v diverges at word %d", sp, i)
+				}
+			}
+		}
+	}
 }
 
 // TestCoalescing: adjacent addresses coalesce into few transactions;

@@ -119,6 +119,9 @@ func (s *sim) runStackWarp(index int, lanes [ir.WarpWidth]*lane) error {
 		if s.issues >= s.cfg.MaxIssues || (s.cfg.MaxCycles > 0 && s.metrics.Cycles >= s.cfg.MaxCycles) {
 			return s.budgetError(index, -1)
 		}
+		if s.watchdogExpired() {
+			return s.watchdogError(index, -1)
+		}
 		if err := ws.step(); err != nil {
 			return err
 		}

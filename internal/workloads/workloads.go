@@ -20,6 +20,7 @@ import (
 
 	"specrecon/internal/ir"
 	"specrecon/internal/rng"
+	"specrecon/internal/simt"
 )
 
 // floatBits stores a float64 into a memory word.
@@ -48,6 +49,13 @@ type BuildConfig struct {
 	CTASize int
 	SMs     int
 	Workers int
+	// Policy picks among one warp's PC groups; Sched picks the next
+	// warp to issue from (with SchedSeed seeding SchedRandom). Both
+	// default to the reference schedulers and flow through every
+	// harness driver onto simt.Config verbatim.
+	Policy    simt.Policy
+	Sched     simt.SchedPolicy
+	SchedSeed uint64
 }
 
 func (c BuildConfig) withDefaults(tasks int) BuildConfig {
@@ -93,6 +101,11 @@ type Instance struct {
 	CTASize int
 	SMs     int
 	Workers int
+	// Policy/Sched/SchedSeed carry the scheduler selection (see
+	// BuildConfig); zero values are the reference schedulers.
+	Policy    simt.Policy
+	Sched     simt.SchedPolicy
+	SchedSeed uint64
 }
 
 // Workload describes one benchmark.
@@ -114,6 +127,7 @@ func (w *Workload) Build(cfg BuildConfig) *Instance {
 	inst := w.BuildFn(cfg)
 	n := cfg.normalizeLaunch()
 	inst.Grid, inst.CTASize, inst.SMs, inst.Workers = n.Grid, n.CTASize, n.SMs, n.Workers
+	inst.Policy, inst.Sched, inst.SchedSeed = n.Policy, n.Sched, n.SchedSeed
 	return inst
 }
 

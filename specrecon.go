@@ -187,6 +187,26 @@ const (
 	PolicyRoundRobin = simt.PolicyRoundRobin
 )
 
+// Inter-warp scheduling policies (RunConfig.Sched): which resident warp
+// issues next. The greedy-converge reference reproduces the paper's
+// measurements; the others are legal-but-adversarial schedules for the
+// stress rig (cmd/schedhunt), with SchedRandom seeded by
+// RunConfig.SchedSeed.
+const (
+	SchedGreedyConverge = simt.SchedGreedyConverge
+	SchedOldestFirst    = simt.SchedOldestFirst
+	SchedYoungestFirst  = simt.SchedYoungestFirst
+	SchedLooseFair      = simt.SchedLooseFair
+	SchedRandom         = simt.SchedRandom
+)
+
+// ParsePolicy parses a group-pick policy name (maxgroup|minpc|roundrobin).
+func ParsePolicy(s string) (simt.Policy, error) { return simt.ParsePolicy(s) }
+
+// ParseSchedPolicy parses a warp-scheduler name
+// (greedy|oldest|youngest|obe|random).
+func ParseSchedPolicy(s string) (simt.SchedPolicy, error) { return simt.ParseSchedPolicy(s) }
+
 // Execution engines: Volta-style independent thread scheduling with
 // convergence barriers (the model the paper builds on), or the pre-Volta
 // reconvergence stack where barriers do not exist (a baseline ablation).
@@ -239,6 +259,11 @@ type (
 	// unwrap with errors.As to inspect blocked lanes or spent budgets.
 	DeadlockError = simt.DeadlockError
 	BudgetError   = simt.BudgetError
+	// StarvationError (a runnable warp unissued past RunConfig.StarveLimit)
+	// and WatchdogError (RunConfig.WallBudget exceeded) are the liveness
+	// monitors' typed failures; unwrap with errors.As.
+	StarvationError = simt.StarvationError
+	WatchdogError   = simt.WatchdogError
 	// DiffKernel, DiffOptions and DiffResult drive the differential
 	// checker: any kernel compiled under both pipelines, run under
 	// budgeted strict simulation, and compared for state equivalence.
