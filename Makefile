@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus telemetry-smoke sched-smoke
+.PHONY: all build test vet race check bench bench-baseline bench-scale bench-sweep cache-smoke fmt figures profile-smoke scale-smoke fuzz-smoke diffcheck-smoke vet-corpus telemetry-smoke sched-smoke repair-smoke
 
 all: build
 
@@ -37,6 +37,7 @@ check:
 	$(MAKE) cache-smoke
 	$(MAKE) telemetry-smoke
 	$(MAKE) sched-smoke
+	$(MAKE) repair-smoke
 
 # fuzz-smoke gives each fuzz target a short budget on top of the checked-in
 # seed corpus: enough to catch shallow parser/pipeline regressions without
@@ -44,6 +45,7 @@ check:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s .
 	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s .
+	$(GO) test -fuzz FuzzRepair -fuzztime 30s .
 	$(GO) test -fuzz FuzzPipeline -fuzztime 30s .
 
 # diffcheck-smoke is the seeded differential campaign: 500 corpus kernels
@@ -259,6 +261,31 @@ sched-smoke:
 		-assert "IssueSched/obe allocs_per_op <= 0" \
 		-assert "IssueSched/random allocs_per_op <= 0"
 	rm -rf /tmp/specrecon-sched-smoke
+
+# repair-smoke exercises the analysis-driven automated-repair pipeline
+# end to end. The exit contract comes first: sasmvet -fix must repair an
+# injected repairable fault on the canonical kernel and exit 0, while
+# the designated unrepairable fault (SR1003 carries no machine edit)
+# must fall through with the edits-applied count at zero and keep exit
+# 1 — the gate distinguishes "repaired" from "fell back". The diffhunt
+# repair campaign then plants every statically-visible matrix fault
+# over the matrix kernel and a 120-application corpus, pushes each
+# through repair-then-reverify, differentially checks every repaired
+# build against the un-repaired PDOM baseline, and fails unless the
+# post-repair fallback rate strictly improves on the pre-repair rate.
+# The rates land in the run ledger; perfledger gates the fallback rate
+# and proof failures against the recent baseline.
+repair-smoke:
+	$(GO) run ./cmd/sasmvet -q -compiled -inject drop-cancel@1 -fix \
+		testdata/repair/listing1.sasm
+	! $(GO) run ./cmd/sasmvet -q -compiled -inject drop-wait@1 -fix \
+		testdata/repair/listing1.sasm
+	$(GO) run ./cmd/diffhunt -repair -n 120 -seed 42 -compile-cache \
+		-ledger runs.jsonl
+	$(GO) run ./cmd/perfledger -ledger runs.jsonl -check -tool diffhunt-repair -last 5 \
+		-gate "repair_fallback_rate <= 1.05" \
+		-gate "findings <= 1" \
+		-gate "repaired >= 0.95"
 
 # profile-smoke runs one workload end to end with the profiler and the
 # trace exporter attached, then validates every emitted artifact is

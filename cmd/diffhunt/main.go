@@ -10,6 +10,16 @@
 //	diffhunt -n 500 -seed 42 -matrix    # campaign + fault-injection matrix
 //	diffhunt -n 100 -mutate             # also check structural mutants
 //	diffhunt -n 50 -v -j 4              # verbose, four workers
+//	diffhunt -n 120 -repair             # automated-repair mutation campaign
+//
+// -repair replaces the standard campaign with the repair measurement:
+// every statically-visible matrix fault is planted over the canonical
+// kernel and the corpus, pushed through the repair-then-reverify
+// pipeline, and classified repaired vs fallback; each repaired build is
+// differentially checked against the un-repaired PDOM baseline. The
+// campaign fails unless the post-repair fallback rate strictly improves
+// on the pre-repair rate. -ledger appends the rates as a
+// "diffhunt-repair" record for perfledger gating.
 //
 // Exit status: 0 when every check passed and (with -matrix) every
 // injected fault was detected as expected; 1 otherwise. Kernels whose
@@ -37,6 +47,8 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "corpus generation seed")
 		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 		matrix     = flag.Bool("matrix", false, "also run the fault-injection matrix and require every fault detected")
+		repair     = flag.Bool("repair", false, "run the automated-repair campaign instead of the standard one (matrix + corpus fault plants through repair-then-reverify)")
+		ledgerPath = flag.String("ledger", "", "with -repair, append the campaign record to this runs.jsonl ledger")
 		mutate     = flag.Int("mutate", 0, "additionally check up to this many structural mutants per kernel")
 		maxIssues  = flag.Int64("max-issues", 0, "per-run issue budget (0 = checker default)")
 		repros     = flag.String("repros", "testdata/repros", "directory for minimized .sasm repros of findings")
@@ -71,7 +83,11 @@ func main() {
 	if *matrix {
 		failures += runMatrix(*verbose)
 	}
-	failures += runCampaign(*n, *seed, *jobs, *mutate, *maxIssues, schedOpts, *repros, *verbose, cache)
+	if *repair {
+		failures += runRepairCampaign(*n, *seed, *jobs, *maxIssues, *repros, *verbose, cache, *ledgerPath)
+	} else {
+		failures += runCampaign(*n, *seed, *jobs, *mutate, *maxIssues, schedOpts, *repros, *verbose, cache)
+	}
 
 	if *cacheStats != "" {
 		w := os.Stderr

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"specrecon/internal/ccache"
+	"specrecon/internal/core"
+	"specrecon/internal/corpus"
+	"specrecon/internal/diffcheck"
+	"specrecon/internal/telemetry"
+)
+
+// repairStats aggregates the repair campaign across both legs. The
+// pre-repair fallback count needs no second sweep: the repair pass only
+// applies edits when the analysis has errors — exactly the builds the
+// plain verifier would have rejected into the PDOM fail-safe — so every
+// repaired build and every residual fallback was a pre-repair fallback.
+type repairStats struct {
+	// planted counts fault plants that actually perturbed a build.
+	planted int
+	// repaired: the repair pipeline fixed the build and re-verification
+	// accepted it.
+	repaired int
+	// fallbacks: the verifier still rejected after repair gave up — the
+	// build degrades to PDOM, as every rejected build did before repair.
+	fallbacks int
+	// quiet: the fault applied but tripped no static check on this
+	// kernel (possible on corpus kernels with trivial barrier layouts).
+	quiet int
+	// skips: the fault had no target in the build, or the kernel itself
+	// is broken — nothing was planted.
+	skips int
+	// mismatches: matrix outcomes disagreeing with Fault.WantRepaired.
+	mismatches int
+	// findings: a repaired build failed its differential proof
+	// obligation against the un-repaired PDOM baseline.
+	findings int
+}
+
+func (s repairStats) preFallbacks() int { return s.repaired + s.fallbacks + s.findings }
+
+func (s repairStats) preRate() float64 {
+	if s.planted == 0 {
+		return 0
+	}
+	return float64(s.preFallbacks()) / float64(s.planted)
+}
+
+func (s repairStats) postRate() float64 {
+	if s.planted == 0 {
+		return 0
+	}
+	return float64(s.fallbacks) / float64(s.planted)
+}
+
+// runRepairCampaign measures the automated-repair layer over the fault
+// matrix and the corpus: every statically-visible fault is planted,
+// pushed through repair-then-reverify, classified repaired/fallback,
+// and every repaired build is differentially checked against the
+// un-repaired PDOM baseline (failures are minimized to repros). It
+// returns the number of failures: policy mismatches against the
+// matrix's WantRepaired column, proof-obligation findings, and a
+// post-repair fallback rate that has not strictly improved on the
+// pre-repair rate.
+func runRepairCampaign(n int, seed uint64, jobs int, maxIssues int64, reproDir string, verbose bool, cache *ccache.Cache, ledgerPath string) int {
+	var st repairStats
+	st = runRepairMatrix(st, maxIssues, reproDir, verbose, cache)
+	st = runRepairCorpus(st, n, seed, jobs, maxIssues, reproDir, verbose, cache)
+
+	fmt.Printf("diffhunt repair: %d planted, %d repaired, %d fallback, %d quiet, %d skipped, %d mismatches, %d findings\n",
+		st.planted, st.repaired, st.fallbacks, st.quiet, st.skips, st.mismatches, st.findings)
+	fmt.Printf("diffhunt repair: fail-safe fallback rate %.1f%% pre-repair -> %.1f%% post-repair\n",
+		100*st.preRate(), 100*st.postRate())
+
+	failures := st.mismatches + st.findings
+	if st.repaired == 0 {
+		fmt.Println("diffhunt repair: FAIL: no fault was repaired")
+		failures++
+	} else if st.postRate() >= st.preRate() {
+		fmt.Println("diffhunt repair: FAIL: fallback rate did not improve")
+		failures++
+	}
+
+	if ledgerPath != "" {
+		rec := telemetry.RunRecord{
+			Time:   telemetry.NowRFC3339(),
+			Tool:   "diffhunt-repair",
+			GitRev: telemetry.GitRev(),
+			Config: telemetry.Fingerprint(map[string]any{"n": n, "seed": seed, "maxIssues": maxIssues}),
+			Metrics: map[string]float64{
+				"planted":                  float64(st.planted),
+				"repaired":                 float64(st.repaired),
+				"fallbacks":                float64(st.fallbacks),
+				"quiet":                    float64(st.quiet),
+				"skips":                    float64(st.skips),
+				"findings":                 float64(st.findings),
+				"pre_repair_fallback_rate": st.preRate(),
+				"repair_fallback_rate":     st.postRate(),
+			},
+		}
+		if err := telemetry.AppendRecord(ledgerPath, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "diffhunt: %v\n", err)
+			failures++
+		}
+	}
+	return failures
+}
+
+// runRepairMatrix plants every statically-visible matrix fault on the
+// canonical kernel, drives it through CompileSafe (repair-then-reverify
+// before the PDOM fail-safe) and holds the outcome against the matrix's
+// WantRepaired column. Repaired builds carry a proof obligation: the
+// differential check against the un-repaired baseline must pass.
+func runRepairMatrix(st repairStats, maxIssues int64, reproDir string, verbose bool, cache *ccache.Cache) repairStats {
+	fmt.Println("repair campaign: fault matrix")
+	k := diffcheck.MatrixKernel()
+	for _, f := range diffcheck.FaultMatrix() {
+		if !f.WantStatic {
+			// Repair engages on verifier rejection; faults the verifier
+			// cannot see never reach it.
+			continue
+		}
+		st.planted++
+		opts := core.SpecReconOptions()
+		opts.Faults = f.Plan
+		sc, err := core.CompileSafe(k.Module, opts)
+		if err != nil {
+			fmt.Printf("  %-16s FAIL: %v\n", f.Name, err)
+			st.findings++
+			continue
+		}
+		outcome := "quiet"
+		switch {
+		case sc.Repaired != nil:
+			outcome = "repaired"
+			st.repaired++
+		case sc.FellBack:
+			outcome = "fallback"
+			st.fallbacks++
+		default:
+			st.quiet++
+		}
+		status := "ok"
+		if (sc.Repaired != nil) != f.WantRepaired {
+			status = "POLICY MISMATCH"
+			st.mismatches++
+		}
+		proof := "-"
+		if sc.Repaired != nil {
+			chkOpts := diffcheck.Options{Faults: f.Plan, Verify: true, Repair: true, MaxIssues: maxIssues, Cache: cache}
+			res := diffcheck.Check(k, chkOpts)
+			proof = "verified"
+			if !res.OK {
+				proof = "REFUTED"
+				status = "PROOF FAILED"
+				st.findings++
+				writeRepairRepro(reproDir, k, chkOpts, res)
+			}
+		}
+		fmt.Printf("  %-16s %-9s proof=%-9s %s\n", f.Name, outcome, proof, status)
+		if verbose && sc.Repaired != nil {
+			fmt.Printf("    %s\n", sc.Repaired.Report.Summary())
+		}
+	}
+	return st
+}
+
+// runRepairCorpus plants every compile-layer matrix fault plan over the
+// auto-annotated corpus: each applicable (kernel, fault) pair runs the
+// full differential check through the repair pipeline, so a repaired
+// corpus kernel is simultaneously counted and proof-checked. Faults
+// with no target in a given build (corpus kernels vary in barrier
+// layout) are skips, not plants.
+func runRepairCorpus(st repairStats, n int, seed uint64, jobs int, maxIssues int64, reproDir string, verbose bool, cache *ccache.Cache) repairStats {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("repair campaign: corpus (%d applications)\n", n)
+
+	var plans []core.FaultPlan
+	for _, f := range diffcheck.FaultMatrix() {
+		if f.WantStatic {
+			plans = append(plans, f.Plan)
+		}
+	}
+
+	type job struct {
+		k    diffcheck.Kernel
+		plan core.FaultPlan
+	}
+	var jobsList []job
+	for _, app := range corpus.Generate(n, seed) {
+		k := diffcheck.Kernel{
+			Name: app.Name, Module: app.Module, Entry: app.Kernel,
+			Threads: app.Threads, Memory: app.Memory, Seed: app.Seed,
+		}
+		for _, p := range plans {
+			jobsList = append(jobsList, job{k: k, plan: p})
+		}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				opts := diffcheck.Options{
+					Faults: j.plan, AutoAnnotate: true, Verify: true, Repair: true,
+					MaxIssues: maxIssues, Cache: cache,
+				}
+				res := diffcheck.Check(j.k, opts)
+				mu.Lock()
+				switch {
+				case res.OK && res.Repaired:
+					st.planted++
+					st.repaired++
+					if verbose {
+						fmt.Printf("repair %s [%s]\n", j.k.Name, j.plan)
+					}
+				case res.OK:
+					st.planted++
+					st.quiet++
+					if verbose {
+						fmt.Printf("quiet  %s [%s]\n", j.k.Name, j.plan)
+					}
+				case res.Stage == diffcheck.StageVerify && strings.Contains(fmt.Sprint(res.Err), "module has no"):
+					// The fault had no target in this build: no plant.
+					st.skips++
+				case res.Stage == diffcheck.StageVerify:
+					st.planted++
+					st.fallbacks++
+					if verbose {
+						fmt.Printf("fall   %s [%s]: %v\n", j.k.Name, j.plan, res.Err)
+					}
+				case res.Stage.BaselineFailure():
+					st.skips++
+				default:
+					st.planted++
+					st.findings++
+					fmt.Printf("FAIL %s [%s]: %v\n", j.k.Name, j.plan, res)
+					writeRepairRepro(reproDir, j.k, opts, res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobsList {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return st
+}
+
+// writeRepairRepro minimizes a failing repaired kernel and writes its
+// standalone repro (the `; repro-repair` directive makes the replay run
+// through the repair pipeline too).
+func writeRepairRepro(reproDir string, k diffcheck.Kernel, opts diffcheck.Options, res diffcheck.Result) {
+	small, mres := diffcheck.Minimize(k, opts)
+	path, err := diffcheck.WriteRepro(reproDir, small, opts, mres)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diffhunt: writing repro for %s: %v\n", k.Name, err)
+		return
+	}
+	fmt.Printf("     repro: %s\n", path)
+}

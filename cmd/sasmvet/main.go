@@ -8,8 +8,28 @@
 //
 //	sasmvet [flags] [file.sasm | glob ...]
 //
-// Exit status: 0 when no diagnostic at or above -fail-on severity was
-// found, 1 when at least one was, 2 on usage or load errors.
+// With -fix (or -fix-dry-run), the machine-applicable edits attached to
+// the diagnostics are applied through the internal/repair fixpoint
+// engine: the reported diagnostics (text and SARIF, including SARIF
+// fixes objects) are the PRE-repair findings, while the exit status is
+// computed from what remains AFTER repair — a fully-repaired module
+// exits 0. -fix rewrites raw-mode file inputs in place; -fix-dry-run
+// never writes; -fix-diff adds a line diff of each repair. In -compiled
+// mode the repair applies to the compiled artifact (the source file is
+// never rewritten), and -inject can plant a deterministic fault plan
+// first, which is how `make repair-smoke` distinguishes a repaired
+// build (exit 0) from an unrepairable one that must fall back (exit 1).
+//
+// Exit status:
+//
+//	0  no diagnostic at or above -fail-on severity (post-repair with -fix*)
+//	1  at least one diagnostic at or above -fail-on severity
+//	2  usage or load errors
+//
+// The -fail-on comparison follows the SR code table ordering
+// (note < warning < error); a diagnostic carrying a known SRxxxx code
+// is compared by the table's severity for that code, so an emitter
+// disagreeing with the registry cannot skew the exit status.
 package main
 
 import (
@@ -25,6 +45,7 @@ import (
 	"specrecon/internal/core"
 	"specrecon/internal/corpus"
 	"specrecon/internal/ir"
+	"specrecon/internal/repair"
 	"specrecon/internal/telemetry"
 	"specrecon/internal/workloads"
 )
@@ -45,9 +66,25 @@ func main() {
 		repeatN      = flag.Int("repeat", 1, "vet the module set this many times (cache warm-up exercise; diagnostics are reported from the last pass only)")
 		minCacheHits = flag.Int64("min-cache-hits", 0, "exit 2 unless the compile cache recorded at least this many hits")
 		ledgerPath   = flag.String("ledger", "", "append a run record (module/diagnostic counts, cache hit rate) to this JSONL ledger")
+		fix          = flag.Bool("fix", false, "apply the diagnostics' machine edits to fixpoint (internal/repair); raw-mode file inputs are rewritten in place")
+		fixDryRun    = flag.Bool("fix-dry-run", false, "like -fix but never writes: report the repairs and exit on the post-repair diagnostics")
+		fixDiff      = flag.Bool("fix-diff", false, "with -fix/-fix-dry-run, print a line diff of each repaired module (implies -fix-dry-run when given alone)")
+		injectSpec   = flag.String("inject", "", "with -compiled, plant this fault plan (core.ParseFaultPlan syntax, e.g. drop-cancel@1) before vetting")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sasmvet [flags] [file.sasm | glob ...]\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, `usage: sasmvet [flags] [file.sasm | glob ...]
+
+Exit status:
+  0  no diagnostic at or above -fail-on severity (post-repair with -fix*)
+  1  at least one diagnostic at or above -fail-on severity
+  2  usage or load errors
+
+Severities order note < warning < error (the SR code table ordering);
+a diagnostic with a known SRxxxx code is compared by the table's
+severity for that code.
+
+Flags:
+`)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +93,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
 		os.Exit(2)
+	}
+	fixMode := *fix || *fixDryRun || *fixDiff
+	var injectPlan core.FaultPlan
+	if *injectSpec != "" {
+		if !*compiled {
+			fmt.Fprintln(os.Stderr, "sasmvet: -inject requires -compiled (faults target the compiled barrier layout)")
+			os.Exit(2)
+		}
+		injectPlan, err = core.ParseFaultPlan(*injectSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	mods, err := collectModules(flag.Args(), *vetWorkloads, *corpusN, *corpusSeed)
@@ -79,20 +129,24 @@ func main() {
 
 	// Diagnostics and efficiencies are recorded from the last pass only,
 	// so a -repeat N warm-up run reports exactly what a single pass would
-	// — the cache-smoke check diffs the SARIF outputs to prove it.
-	var all []analyze.Diagnostic
+	// — the cache-smoke check diffs the SARIF outputs to prove it. In fix
+	// mode `all` holds the pre-repair findings (what the report and SARIF
+	// show) while `post` drives the exit status.
+	var all, post []analyze.Diagnostic
 	effs := map[string]float64{}
+	editsApplied := 0
 	for pass := 0; pass < *repeatN; pass++ {
-		all = all[:0]
+		all, post = all[:0], post[:0]
 		clear(effs)
+		editsApplied = 0
 		last := pass == *repeatN-1
 		for _, vm := range mods {
-			diags, eff, err := vet(vm, *compiled, *effBelow, cache)
+			vr, err := vet(vm, *compiled, *effBelow, cache, fixMode, injectPlan)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sasmvet: %s: %v\n", vm.label, err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
+			for _, d := range vr.diags {
 				if d.Fn == "" {
 					d.Fn = vm.label
 				}
@@ -101,11 +155,46 @@ func main() {
 					fmt.Printf("%s: %s\n", d.Severity, d)
 				}
 			}
-			for fn, e := range eff {
+			for _, d := range vr.post {
+				if d.Fn == "" {
+					d.Fn = vm.label
+				}
+				post = append(post, d)
+			}
+			for fn, e := range vr.eff {
 				effs[vm.label+"/"+fn] = e
+			}
+			if vr.report == nil || !last {
+				continue
+			}
+			editsApplied += len(vr.report.Edits)
+			if !*quiet && len(vr.report.Edits) > 0 {
+				fmt.Printf("sasmvet: %s: %s\n", vm.label, vr.report.Summary())
+			}
+			if *fixDiff && len(vr.report.Edits) > 0 {
+				if vr.oldSrc != "" {
+					printDiff(vm.label, vr.oldSrc, vr.newSrc)
+				} else {
+					// Compiled artifacts have no source text to diff;
+					// list the applied edits instead.
+					for _, e := range vr.report.Edits {
+						fmt.Printf("  %s\n", e.Edit)
+					}
+				}
+			}
+			if *fix && vm.path != "" && len(vr.report.Edits) > 0 && vr.newSrc != "" {
+				if err := os.WriteFile(vm.path, []byte(vr.newSrc), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "sasmvet: %v\n", err)
+					os.Exit(2)
+				}
+				fmt.Printf("sasmvet: %s: rewrote with %d edit(s)\n", vm.path, len(vr.report.Edits))
 			}
 		}
 	}
+	// The -fail-on comparison follows the SR code table: a diagnostic
+	// with a known code is judged by the registry's severity for it.
+	normalizeSeverity(all)
+	normalizeSeverity(post)
 
 	if *cacheStats != "" {
 		w := os.Stderr
@@ -174,22 +263,32 @@ func main() {
 			notes++
 		}
 	}
-	fmt.Printf("sasmvet: %d module(s): %d error(s), %d warning(s), %d note(s)\n",
-		len(mods), errors, warnings, notes)
+	if fixMode {
+		postErrs := len(analyze.Filter(post, analyze.SeverityError))
+		fmt.Printf("sasmvet: %d module(s): %d error(s), %d warning(s), %d note(s); %d edit(s) applied, %d error(s) remain\n",
+			len(mods), errors, warnings, notes, editsApplied, postErrs)
+	} else {
+		fmt.Printf("sasmvet: %d module(s): %d error(s), %d warning(s), %d note(s)\n",
+			len(mods), errors, warnings, notes)
+	}
 
 	if *ledgerPath != "" {
 		rec := telemetry.RunRecord{
 			Time:   telemetry.NowRFC3339(),
 			Tool:   "sasmvet",
 			GitRev: telemetry.GitRev(),
-			Config: telemetry.Fingerprint(fmt.Sprintf("workloads=%v corpus=%d seed=%d compiled=%v repeat=%d args=%v",
-				*vetWorkloads, *corpusN, *corpusSeed, *compiled, *repeatN, flag.Args())),
+			Config: telemetry.Fingerprint(fmt.Sprintf("workloads=%v corpus=%d seed=%d compiled=%v repeat=%d fix=%v inject=%q args=%v",
+				*vetWorkloads, *corpusN, *corpusSeed, *compiled, *repeatN, fixMode, *injectSpec, flag.Args())),
 			Metrics: map[string]float64{
 				"modules":  float64(len(mods)),
 				"errors":   float64(errors),
 				"warnings": float64(warnings),
 				"notes":    float64(notes),
 			},
+		}
+		if fixMode {
+			rec.Metrics["edits_applied"] = float64(editsApplied)
+			rec.Metrics["post_errors"] = float64(len(analyze.Filter(post, analyze.SeverityError)))
 		}
 		if s := cache.Stats(); s.Hits+s.Misses > 0 {
 			rec.Metrics["ccache_hit_rate"] = float64(s.Hits) / float64(s.Hits+s.Misses)
@@ -200,8 +299,66 @@ func main() {
 		}
 	}
 
-	if len(analyze.Filter(all, failSev)) > 0 {
+	if len(analyze.Filter(post, failSev)) > 0 {
 		os.Exit(1)
+	}
+}
+
+// normalizeSeverity aligns each diagnostic's severity with the SR code
+// table, so the -fail-on comparison and the summary counts follow the
+// table's ordering even for diagnostics whose emitter disagreed with
+// the registry. Codeless (legacy free-form) diagnostics keep whatever
+// severity they carry.
+func normalizeSeverity(diags []analyze.Diagnostic) {
+	for i := range diags {
+		if diags[i].Code != "" {
+			diags[i].Severity = analyze.InfoFor(diags[i].Code).Severity
+		}
+	}
+}
+
+// printDiff prints a minimal LCS line diff between the module text
+// before and after repair.
+func printDiff(label, oldSrc, newSrc string) {
+	if oldSrc == newSrc {
+		return
+	}
+	a := strings.Split(oldSrc, "\n")
+	b := strings.Split(newSrc, "\n")
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else {
+				lcs[i][j] = max(lcs[i+1][j], lcs[i][j+1])
+			}
+		}
+	}
+	fmt.Printf("--- %s\n+++ %s (repaired)\n", label, label)
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			fmt.Printf("-%s\n", a[i])
+			i++
+		default:
+			fmt.Printf("+%s\n", b[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		fmt.Printf("-%s\n", a[i])
+	}
+	for ; j < m; j++ {
+		fmt.Printf("+%s\n", b[j])
 	}
 }
 
@@ -209,6 +366,9 @@ func main() {
 type vetModule struct {
 	label string
 	mod   *ir.Module
+	// path is the source file the module was loaded from; empty for
+	// workload/corpus modules, which -fix can therefore never rewrite.
+	path string
 	// opts are the compile options used with -compiled; raw vetting
 	// ignores them.
 	opts core.Options
@@ -238,7 +398,7 @@ func collectModules(args []string, vetWorkloads bool, corpusN int, corpusSeed ui
 			if err != nil {
 				return nil, fmt.Errorf("%s: %v", path, err)
 			}
-			out = append(out, vetModule{label: path, mod: mod, opts: core.SpecReconOptions()})
+			out = append(out, vetModule{label: path, mod: mod, path: path, opts: core.SpecReconOptions()})
 		}
 	}
 	if vetWorkloads {
@@ -259,19 +419,61 @@ func collectModules(args []string, vetWorkloads bool, corpusN int, corpusSeed ui
 	return out, nil
 }
 
+// vetResult is one module's vetting outcome.
+type vetResult struct {
+	// diags are the reported diagnostics — the pre-repair findings in
+	// fix mode (they carry the machine edits SARIF renders as fixes).
+	diags []analyze.Diagnostic
+	// post are the diagnostics driving the exit status: what remains
+	// after repair in fix mode, identical to diags otherwise.
+	post []analyze.Diagnostic
+	eff  map[string]float64
+	// report is the repair fixpoint report (fix mode only).
+	report *repair.Report
+	// oldSrc/newSrc are the module texts around the repair (raw fix
+	// mode only): -fix-diff diffs them, -fix writes newSrc back.
+	oldSrc, newSrc string
+}
+
 // vet analyzes one module: raw (no barrier provenance — the class-gated
 // checks are skipped) or compiled through the speculative pipeline with
 // the "analyze" pass before allocation, memoized by cache when one is
 // installed (nil runs the pipeline directly; the pipeline clones the
 // module before transforming, so vm.mod is never written either way).
-func vet(vm vetModule, compiled bool, effBelow float64, cache *ccache.Cache) ([]analyze.Diagnostic, map[string]float64, error) {
+// In fix mode the raw path repairs a clone and re-analyzes it, and the
+// compiled path routes through the repair pipeline (DiagnoseRepaired).
+func vet(vm vetModule, compiled bool, effBelow float64, cache *ccache.Cache, fixMode bool, inject core.FaultPlan) (vetResult, error) {
 	if !compiled {
+		if fixMode {
+			clone := vm.mod.Clone()
+			rep := repair.Repair(clone, repair.Options{EffNoteBelow: effBelow})
+			after := analyze.Analyze(clone, analyze.Options{EffNoteBelow: effBelow})
+			return vetResult{
+				diags: rep.Before, post: after.Diags, eff: after.Efficiency, report: rep,
+				oldSrc: ir.Print(vm.mod), newSrc: ir.Print(clone),
+			}, nil
+		}
 		rep := analyze.Analyze(vm.mod, analyze.Options{EffNoteBelow: effBelow})
-		return rep.Diags, rep.Efficiency, nil
+		return vetResult{diags: rep.Diags, post: rep.Diags, eff: rep.Efficiency}, nil
 	}
-	comp, err := cache.Diagnose(vm.mod, vm.opts)
+	opts := vm.opts
+	if !inject.Zero() {
+		opts.Faults = inject
+	}
+	if fixMode {
+		comp, err := core.DiagnoseRepaired(vm.mod, opts)
+		if err != nil {
+			return vetResult{}, err
+		}
+		pre := comp.Diagnostics
+		if comp.RepairReport != nil {
+			pre = comp.RepairReport.Before
+		}
+		return vetResult{diags: pre, post: comp.Diagnostics, eff: comp.StaticEff, report: comp.RepairReport}, nil
+	}
+	comp, err := cache.Diagnose(vm.mod, opts)
 	if err != nil {
-		return nil, nil, err
+		return vetResult{}, err
 	}
-	return comp.Diagnostics, comp.StaticEff, nil
+	return vetResult{diags: comp.Diagnostics, post: comp.Diagnostics, eff: comp.StaticEff}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"specrecon/internal/core"
 	"specrecon/internal/diffcheck"
 	"specrecon/internal/ir"
+	"specrecon/internal/repair"
 )
 
 // Seed corpora live in testdata/fuzz/<FuzzName>/; the inline seeds below
@@ -155,6 +156,53 @@ func FuzzAnalyze(f *testing.F) {
 		if analyzeClean != (verr == nil) {
 			t.Fatalf("analyzer clean=%v but verifier error=%v on:\n%s",
 				analyzeClean, verr, ir.Print(m))
+		}
+	})
+}
+
+// FuzzRepair hammers the automated-repair driver: Repair must never
+// panic on any module the parser accepts, its output must remain
+// well-formed (Print/Parse round trip, re-analysis without panic), and
+// it must be a no-op on analyzer-clean kernels — zero edits and no new
+// error diagnostics. When the driver claims a clean fixpoint, an
+// independent re-analysis of the repaired module must agree.
+func FuzzRepair(f *testing.F) {
+	for _, seed := range []string{fuzzSeedMinimal, fuzzSeedLoop, fuzzSeedBarriers, fuzzSeedPredict} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, fn := range m.Funcs {
+			if fn.NRegs > 256 || fn.NFRegs > 256 || len(fn.Blocks) > 256 {
+				return
+			}
+		}
+		before := analyze.Analyze(m, analyze.Options{EffNoteBelow: 1})
+		clone := m.Clone()
+		rep := repair.Repair(clone, repair.Options{EffNoteBelow: 1})
+
+		out := ir.Print(clone)
+		if _, err := ir.Parse(out); err != nil {
+			t.Fatalf("repaired module does not re-parse: %v\n--- input\n%s\n--- repaired\n%s",
+				err, ir.Print(m), out)
+		}
+		after := analyze.Analyze(clone, analyze.Options{EffNoteBelow: 1})
+
+		if len(before.Errors()) == 0 {
+			if len(rep.Edits) != 0 {
+				t.Fatalf("repair edited an analyzer-clean kernel (%d edits):\n%s",
+					len(rep.Edits), ir.Print(m))
+			}
+			if n := len(after.Errors()); n != 0 {
+				t.Fatalf("repair introduced %d error(s) on a clean kernel:\n%s", n, out)
+			}
+		}
+		if rep.Clean() != (len(after.Errors()) == 0) {
+			t.Fatalf("report clean=%v but re-analysis has %d error(s) (gave up: %q)\n%s",
+				rep.Clean(), len(after.Errors()), rep.GaveUp, out)
 		}
 	})
 }

@@ -131,6 +131,11 @@ func Analyze(m *ir.Module, opts Options) *Report {
 		r.Diags = append(r.Diags, deadJoinDiags(f, info, nb, entryWaits)...)
 	}
 
+	// Identical findings reachable via multiple interprocedural call
+	// paths (module-granularity checks over a shared call graph) are
+	// reported once.
+	r.Diags = Dedupe(r.Diags)
+
 	r.Efficiency = Efficiency(m)
 	if opts.EffNoteBelow > 0 {
 		kernels := make([]string, 0, len(r.Efficiency))
@@ -180,6 +185,15 @@ func Pairing(m *ir.Module, classOf func(int) BarrierClass) []Diagnostic {
 	waits := make([]bool, nb)
 	clears := make([]bool, nb) // wait or cancel
 	where := make([]string, nb)
+	// joinPos anchors SR1003 at the (last) join; waitPos collects every
+	// wait so SR1001 can anchor at the first one and carry delete edits
+	// for all of them.
+	type pos struct {
+		fn, block string
+		idx       int
+	}
+	joinPos := make([]pos, nb)
+	waitPos := make([][]pos, nb)
 	for _, f := range m.Funcs {
 		for _, b := range f.Blocks {
 			for i := range b.Instrs {
@@ -191,9 +205,11 @@ func Pairing(m *ir.Module, classOf func(int) BarrierClass) []Diagnostic {
 				case ir.OpJoin:
 					joins[in.Bar] = true
 					where[in.Bar] = f.Name + "." + b.Name
+					joinPos[in.Bar] = pos{f.Name, b.Name, i}
 				case ir.OpWait, ir.OpWaitN:
 					waits[in.Bar] = true
 					clears[in.Bar] = true
+					waitPos[in.Bar] = append(waitPos[in.Bar], pos{f.Name, b.Name, i})
 				case ir.OpCancel:
 					clears[in.Bar] = true
 				}
@@ -203,16 +219,33 @@ func Pairing(m *ir.Module, classOf func(int) BarrierClass) []Diagnostic {
 	var out []Diagnostic
 	for bar := 0; bar < nb; bar++ {
 		if waits[bar] && !joins[bar] {
+			// No join exists module-wide, so each wait releases an empty
+			// cohort immediately — deleting the orphaned waits is a
+			// behavior-preserving repair (restoring the lost join would
+			// need the original reconvergence intent, which is gone).
+			first := waitPos[bar][0]
+			var edits []Edit
+			for _, wp := range waitPos[bar] {
+				edits = append(edits, Edit{Kind: EditDelete, Fn: wp.fn, Block: wp.block, Index: wp.idx})
+			}
 			out = append(out, Diagnostic{
-				Code: CodeWaitNeverJoined, Severity: SeverityError, Fn: m.Name,
-				Msg: fmt.Sprintf("b%d is waited on but never joined (lost JoinBarrier)", bar),
-				Fix: fmt.Sprintf("join b%d before the wait, or delete the wait", bar),
+				Code: CodeWaitNeverJoined, Severity: SeverityError,
+				Fn: first.fn, Block: first.block, Instr: first.idx + 1,
+				Msg:   fmt.Sprintf("b%d is waited on but never joined (lost JoinBarrier)", bar),
+				Fix:   fmt.Sprintf("join b%d before the wait, or delete the wait", bar),
+				Edits: edits,
 			})
 		}
 		if classOf != nil && joins[bar] && !waits[bar] && classOf(bar) != ClassUser {
+			jp := joinPos[bar]
 			out = append(out, Diagnostic{
-				Code: CodeLostWait, Severity: SeverityError, Fn: m.Name,
+				Code: CodeLostWait, Severity: SeverityError,
+				Fn: jp.fn, Block: jp.block, Instr: jp.idx + 1,
 				Msg: fmt.Sprintf("%s barrier b%d is joined but never waited (lost WaitBarrier; joined at %s)", classOf(bar), bar, where[bar]),
+				// Deliberately no Edits: the sound position of the lost
+				// wait (the reconvergence point) cannot be reconstructed
+				// from the diagnostic, so SR1003 is unrepairable by design
+				// and the kernel falls back to PDOM.
 			})
 		}
 		if joins[bar] && !clears[bar] {
@@ -275,6 +308,10 @@ func exitPathDiags(f *ir.Function, info *cfg.Info, nb int, entryWaits map[string
 				Fn: f.Name, Block: b.Name, Instr: len(b.Instrs),
 				Msg: msg,
 				Fix: fmt.Sprintf("cancel b%d before the terminator of %q", bar, b.Name),
+				Edits: []Edit{{
+					Kind: EditInsert, Fn: f.Name, Block: b.Name,
+					Index: len(b.Instrs) - 1, Op: ir.OpCancel, Bar: bar,
+				}},
 			})
 		})
 	}
@@ -316,6 +353,10 @@ func rejoinDiags(f *ir.Function, info *cfg.Info, classOf func(int) BarrierClass)
 					Fn: f.Name, Block: b.Name, Instr: i + 1,
 					Msg: fmt.Sprintf("speculative barrier b%d waits on a looping path without an immediate rejoin (lost RejoinBarrier)", in.Bar),
 					Fix: fmt.Sprintf("insert join b%d immediately after the wait", in.Bar),
+					Edits: []Edit{{
+						Kind: EditInsert, Fn: f.Name, Block: b.Name,
+						Index: i + 1, Op: ir.OpJoin, Bar: in.Bar,
+					}},
 				})
 			}
 		}
@@ -351,23 +392,24 @@ func conflictDiags(f *ir.Function, info *cfg.Info, div *divergence.Info, nb int,
 	}
 
 	// Phrase the deadlock with the interpreter: at the speculative
-	// wait, the conflicting barrier is still joined on some path.
+	// wait, the conflicting barrier is still joined on some path. The
+	// returned index anchors the diagnostic and places the repair edit.
 	st := Interp(f, info, div, nb, entryWaits, !called[f.Name])
-	stillJoinedAtWait := func(spec, other int) string {
+	stillJoinedAtWait := func(spec, other int) (string, int, bool) {
 		for _, b := range f.Blocks {
-			var found string
+			found := -1
 			st.ForEachInstr(b, func(i int, pre []BarState) {
 				in := &b.Instrs[i]
-				if found == "" && (in.Op == ir.OpWait || in.Op == ir.OpWaitN) && in.Bar == spec &&
+				if found < 0 && (in.Op == ir.OpWait || in.Op == ir.OpWaitN) && in.Bar == spec &&
 					other < len(pre) && pre[other].Has(StateJoined) {
-					found = b.Name
+					found = i
 				}
 			})
-			if found != "" {
-				return found
+			if found >= 0 {
+				return b.Name, found, true
 			}
 		}
-		return ""
+		return "", 0, false
 	}
 
 	var out []Diagnostic
@@ -383,15 +425,22 @@ func conflictDiags(f *ir.Function, info *cfg.Info, div *divergence.Info, nb int,
 		}
 		sort.Ints(others)
 		for _, other := range others {
-			fix := ""
-			if blk := stillJoinedAtWait(spec, other); blk != "" {
-				fix = fmt.Sprintf("b%d is waiting at %q while b%d is still joined: cancel b%d before that wait (dynamic deconfliction)", spec, blk, other, other)
-			}
-			out = append(out, Diagnostic{
+			d := Diagnostic{
 				Code: CodeResidualConflict, Severity: SeverityError, Fn: f.Name,
 				Msg: fmt.Sprintf("residual live-range conflict between b%d and b%d after deconfliction (would deadlock, §4.3)", spec, other),
-				Fix: fix,
-			})
+			}
+			if blk, idx, ok := stillJoinedAtWait(spec, other); ok {
+				d.Block, d.Instr = blk, idx+1
+				d.Fix = fmt.Sprintf("b%d is waiting at %q while b%d is still joined: cancel b%d before that wait (dynamic deconfliction)", spec, blk, other, other)
+				// The repair is exactly what dynamic deconfliction would
+				// have emitted: cancel the conflicting barrier right
+				// before the speculative wait (Figure 5(c)).
+				d.Edits = []Edit{{
+					Kind: EditInsert, Fn: f.Name, Block: blk,
+					Index: idx, Op: ir.OpCancel, Bar: other,
+				}}
+			}
+			out = append(out, d)
 		}
 	}
 	return out

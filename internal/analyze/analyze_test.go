@@ -78,6 +78,44 @@ func TestFaultMatrixDiagnosticCodes(t *testing.T) {
 		if fmt.Sprint(got) != fmt.Sprint(expect) {
 			t.Errorf("%s: diagnostic codes = %v, want %v", f.Name, got, expect)
 		}
+		if len(expect) == 0 {
+			continue
+		}
+		// Position anchors: every error diagnostic for a
+		// statically-visible fault must name the function and carry an
+		// instruction index that resolves in range against the faulted
+		// build — the repair synthesizers and SARIF fixes depend on it.
+		// Diagnose runs the same pipeline without hard-failing, so the
+		// transformed module is available to resolve anchors against.
+		comp, derr := core.Diagnose(k.Module, opts)
+		if derr != nil {
+			t.Errorf("%s: Diagnose failed: %v", f.Name, derr)
+			continue
+		}
+		for _, d := range analyze.Filter(comp.Diagnostics, analyze.SeverityError) {
+			if d.Fn == "" {
+				t.Errorf("%s: %s diagnostic has no function anchor: %s", f.Name, d.Code, d.Msg)
+				continue
+			}
+			fn := comp.Module.FuncByName(d.Fn)
+			if fn == nil {
+				t.Errorf("%s: %s anchors to unknown function %q", f.Name, d.Code, d.Fn)
+				continue
+			}
+			if d.Block == "" {
+				t.Errorf("%s: %s diagnostic has no block anchor: %s", f.Name, d.Code, d.Msg)
+				continue
+			}
+			blk := fn.BlockByName(d.Block)
+			if blk == nil {
+				t.Errorf("%s: %s anchors to unknown block %s.%s", f.Name, d.Code, d.Fn, d.Block)
+				continue
+			}
+			if d.Instr <= 0 || d.Instr > len(blk.Instrs) {
+				t.Errorf("%s: %s instruction anchor %d out of range (1..%d) in %s.%s",
+					f.Name, d.Code, d.Instr, len(blk.Instrs), d.Fn, d.Block)
+			}
+		}
 	}
 }
 
@@ -123,6 +161,40 @@ func TestCorpusErrorFree(t *testing.T) {
 		if errs := rep.Errors(); len(errs) > 0 {
 			t.Errorf("%s: %d error diagnostics, first: %s", app.Name, len(errs), errs[0])
 		}
+	}
+}
+
+// TestDedupeTwoCallers is the interprocedural dedup regression: two
+// kernels calling the same faulty helper share one call graph, so the
+// module-granularity pairing finding (the helper waits on a barrier
+// nothing ever joins) must be reported exactly once — not once per
+// caller path.
+func TestDedupeTwoCallers(t *testing.T) {
+	m := ir.NewModule("twocallers")
+	h := m.NewFunction("h")
+	hb := ir.NewBuilder(h)
+	hb.SetBlock(h.NewBlock("entry"))
+	bar := hb.Barrier()
+	hb.Wait(bar)
+	hb.Ret()
+	for _, name := range []string{"k1", "k2"} {
+		f := m.NewFunction(name)
+		b := ir.NewBuilder(f)
+		b.SetBlock(f.NewBlock("entry"))
+		b.Call("h")
+		b.Exit()
+	}
+
+	rep := analyze.Analyze(m, analyze.Options{})
+	var sr1001 []analyze.Diagnostic
+	for _, d := range rep.Diags {
+		if d.Code == analyze.CodeWaitNeverJoined {
+			sr1001 = append(sr1001, d)
+		}
+	}
+	if len(sr1001) != 1 {
+		t.Fatalf("got %d SR1001 diagnostics, want exactly 1 (dedupe across call paths):\n%v",
+			len(sr1001), sr1001)
 	}
 }
 

@@ -15,6 +15,8 @@ package analyze
 import (
 	"fmt"
 	"sort"
+
+	"specrecon/internal/ir"
 )
 
 // Severity orders diagnostics by how actionable they are: errors are
@@ -159,8 +161,14 @@ type Diagnostic struct {
 	// diagnostic anchors to; 0 when it names a whole block or coarser.
 	Instr int
 	Msg   string
-	// Fix is an optional fix-it hint.
+	// Fix is an optional human-readable fix-it hint.
 	Fix string
+	// Edits, when non-empty, is the machine-applicable form of Fix: the
+	// exact barrier-op insertions/deletions that resolve the finding.
+	// internal/repair applies them; the SARIF emitter renders them as
+	// fixes[].artifactChanges. A diagnostic without edits (SR1003's lost
+	// wait, for example) is not machine-repairable.
+	Edits []Edit
 }
 
 // String renders "CODE: fn.block: msg" with the empty parts elided —
@@ -205,4 +213,98 @@ func MaxSeverity(diags []Diagnostic) Severity {
 		}
 	}
 	return max
+}
+
+// Dedupe drops diagnostics identical in (Code, Fn, Block, Instr, Msg),
+// keeping the first occurrence and the input order. Module-granularity
+// checks over an interprocedural call graph can reach the same defect
+// via several call paths; the report must state each defect once.
+func Dedupe(diags []Diagnostic) []Diagnostic {
+	if len(diags) < 2 {
+		return diags
+	}
+	type key struct {
+		code      Code
+		fn, block string
+		instr     int
+		msg       string
+	}
+	seen := make(map[key]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		k := key{d.Code, d.Fn, d.Block, d.Instr, d.Msg}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// EditKind is the vocabulary of machine-applicable edits: the repair
+// engine only ever inserts a barrier operation, deletes one, or rewrites
+// one's barrier operand — the three moves GPURepair-style barrier repair
+// needs.
+type EditKind int
+
+const (
+	// EditInsert inserts a fresh barrier instruction (Op on barrier Bar)
+	// at Index within Fn.Block, pushing the instruction currently at
+	// Index down. Index must stay at or before the terminator.
+	EditInsert EditKind = iota
+	// EditDelete removes the instruction at Index (never a terminator).
+	EditDelete
+	// EditReplaceBar rewrites the barrier operand of the instruction at
+	// Index to Bar, leaving the opcode in place.
+	EditReplaceBar
+)
+
+func (k EditKind) String() string {
+	switch k {
+	case EditInsert:
+		return "insert"
+	case EditDelete:
+		return "delete"
+	case EditReplaceBar:
+		return "replace-bar"
+	}
+	return fmt.Sprintf("editkind(%d)", int(k))
+}
+
+// Edit is one machine-applicable fix: a single barrier-op mutation at an
+// exact instruction position. Unlike Diagnostic.Instr (1-based, 0 =
+// coarser), Index is the plain 0-based slice index the mutation applies
+// at, so appliers need no off-by-one bookkeeping.
+type Edit struct {
+	Kind      EditKind
+	Fn, Block string
+	Index     int
+	// Op is the opcode to insert (EditInsert only): OpJoin, OpWait,
+	// OpWaitN or OpCancel.
+	Op ir.Opcode
+	// Bar is the barrier operand: the inserted instruction's barrier
+	// (EditInsert) or the replacement operand (EditReplaceBar).
+	Bar int
+	// N is the inserted OpWaitN threshold (0 otherwise).
+	N int64
+}
+
+// Instr materializes the instruction an EditInsert places.
+func (e Edit) Instr() ir.Instr {
+	return ir.Instr{Op: e.Op, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Bar: e.Bar, Imm: e.N}
+}
+
+func (e Edit) String() string {
+	loc := fmt.Sprintf("%s.%s[%d]", e.Fn, e.Block, e.Index)
+	switch e.Kind {
+	case EditInsert:
+		in := e.Instr()
+		return fmt.Sprintf("insert %q at %s", ir.FormatInstr(&in, nil), loc)
+	case EditDelete:
+		return fmt.Sprintf("delete instruction at %s", loc)
+	case EditReplaceBar:
+		return fmt.Sprintf("replace barrier operand at %s with b%d", loc, e.Bar)
+	}
+	return fmt.Sprintf("%s at %s", e.Kind, loc)
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+
+	"specrecon/internal/ir"
 )
 
 // SARIF 2.1.0 emission. One run per invocation; every diagnostic code
@@ -74,6 +76,39 @@ type sarifLogicalLocation struct {
 
 type sarifFix struct {
 	Description sarifMessage `json:"description"`
+	// ArtifactChanges renders the diagnostic's machine edits. The
+	// artifact is addressed by the logical "sasm:" URI scheme (there is
+	// no physical file for compiled modules); regions are 1-based
+	// instruction indices within the named block.
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges,omitempty"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion sarifRegion `json:"deletedRegion"`
+	// InsertedContent is absent for pure deletions.
+	InsertedContent *sarifArtifactContent `json:"insertedContent,omitempty"`
+}
+
+type sarifRegion struct {
+	// StartLine is the 1-based instruction index the edit anchors to.
+	// An insertion carries only StartLine (a zero-length insertion
+	// point); a deletion or replacement also sets EndLine to span the
+	// affected instruction.
+	StartLine int `json:"startLine"`
+	EndLine   int `json:"endLine,omitempty"`
+}
+
+type sarifArtifactContent struct {
+	Text string `json:"text"`
 }
 
 // sarifLevel maps Severity onto the SARIF level vocabulary.
@@ -146,8 +181,13 @@ func WriteSARIF(w io.Writer, toolName string, diags []Diagnostic) error {
 				}},
 			}}
 		}
-		if d.Fix != "" {
-			res.Fixes = []sarifFix{{Description: sarifMessage{Text: d.Fix}}}
+		if d.Fix != "" || len(d.Edits) > 0 {
+			fix := sarifFix{Description: sarifMessage{Text: d.Fix}}
+			if fix.Description.Text == "" {
+				fix.Description.Text = "apply the attached machine edits"
+			}
+			fix.ArtifactChanges = artifactChanges(d.Edits)
+			res.Fixes = []sarifFix{fix}
 		}
 		results = append(results, res)
 	}
@@ -170,6 +210,31 @@ func WriteSARIF(w io.Writer, toolName string, diags []Diagnostic) error {
 	}
 	_, err := w.Write(buf.Bytes())
 	return err
+}
+
+// artifactChanges renders machine edits as SARIF artifactChanges, one
+// per edit, addressed by a logical "sasm://<fn>/<block>" URI with
+// 1-based instruction indices as line numbers.
+func artifactChanges(edits []Edit) []sarifArtifactChange {
+	var out []sarifArtifactChange
+	for _, e := range edits {
+		in := e.Instr()
+		repl := sarifReplacement{DeletedRegion: sarifRegion{StartLine: e.Index + 1}}
+		switch e.Kind {
+		case EditInsert:
+			repl.InsertedContent = &sarifArtifactContent{Text: ir.FormatInstr(&in, nil)}
+		case EditDelete:
+			repl.DeletedRegion.EndLine = e.Index + 1
+		case EditReplaceBar:
+			repl.DeletedRegion.EndLine = e.Index + 1
+			repl.InsertedContent = &sarifArtifactContent{Text: ir.FormatInstr(&in, nil)}
+		}
+		out = append(out, sarifArtifactChange{
+			ArtifactLocation: sarifArtifactLocation{URI: "sasm://" + e.Fn + "/" + e.Block},
+			Replacements:     []sarifReplacement{repl},
+		})
+	}
+	return out
 }
 
 func logicalName(d Diagnostic) (name, kind string) {

@@ -9,13 +9,15 @@ import (
 	"testing"
 
 	"specrecon/internal/analyze"
+	"specrecon/internal/ir"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden SARIF fixture")
 
 // goldenDiags is a fixed diagnostic set covering every severity tier, a
-// fix-it, an instruction anchor, and a diagnostic with no block — the
-// shapes the SARIF emitter has to place differently.
+// fix-it, a machine edit (rendered as SARIF artifactChanges), an
+// instruction anchor, and a diagnostic with no block — the shapes the
+// SARIF emitter has to place differently.
 func goldenDiags() []analyze.Diagnostic {
 	return []analyze.Diagnostic{
 		{
@@ -27,6 +29,9 @@ func goldenDiags() []analyze.Diagnostic {
 			Fn: "kernel", Block: "done", Instr: 3,
 			Msg: "spec barrier b0 may still be joined when threads exit (missing release on this path)",
 			Fix: "insert CancelBarrier b0 before the exit",
+			Edits: []analyze.Edit{
+				{Kind: analyze.EditInsert, Fn: "kernel", Block: "done", Index: 2, Op: ir.OpCancel, Bar: 0},
+			},
 		},
 		{
 			Code: analyze.CodeUninitializedRead, Severity: analyze.SeverityWarning,
@@ -94,6 +99,21 @@ func TestWriteSARIFShape(t *testing.T) {
 			Results []struct {
 				RuleID string `json:"ruleId"`
 				Level  string `json:"level"`
+				Fixes  []struct {
+					ArtifactChanges []struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Replacements []struct {
+							DeletedRegion struct {
+								StartLine int `json:"startLine"`
+							} `json:"deletedRegion"`
+							InsertedContent *struct {
+								Text string `json:"text"`
+							} `json:"insertedContent"`
+						} `json:"replacements"`
+					} `json:"artifactChanges"`
+				} `json:"fixes"`
 			} `json:"results"`
 		} `json:"runs"`
 	}
@@ -131,6 +151,28 @@ func TestWriteSARIFShape(t *testing.T) {
 		}
 		if r.Level != wantLevel[diags[i].Severity] {
 			t.Errorf("result %d level %s, want %s", i, r.Level, wantLevel[diags[i].Severity])
+		}
+		// A diagnostic carrying machine edits must render them as a fix
+		// with artifactChanges; one without edits must not invent any.
+		wantChanges := len(diags[i].Edits)
+		gotChanges := 0
+		for _, f := range r.Fixes {
+			gotChanges += len(f.ArtifactChanges)
+		}
+		if gotChanges != wantChanges {
+			t.Errorf("result %d: %d artifactChanges, want %d", i, gotChanges, wantChanges)
+		}
+		for _, f := range r.Fixes {
+			for _, ac := range f.ArtifactChanges {
+				if ac.ArtifactLocation.URI == "" {
+					t.Errorf("result %d: artifactChange without a URI", i)
+				}
+				for _, rp := range ac.Replacements {
+					if rp.DeletedRegion.StartLine < 1 {
+						t.Errorf("result %d: replacement startLine %d, want >= 1", i, rp.DeletedRegion.StartLine)
+					}
+				}
+			}
 		}
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"specrecon/internal/cfg"
 	"specrecon/internal/divergence"
 	"specrecon/internal/ir"
+	"specrecon/internal/repair"
 )
 
 func init() {
@@ -105,6 +106,11 @@ type Options struct {
 	// Faults deterministically perturbs barrier placement for robustness
 	// testing (see fault.go). The zero value injects nothing.
 	Faults FaultPlan
+	// NoRepair disables CompileSafe's repair-then-reverify attempt: a
+	// verifier-rejected build falls straight back to PDOM, the
+	// pre-repair behavior. Campaigns measuring the pre-repair fallback
+	// rate set it.
+	NoRepair bool
 }
 
 // BaselineOptions compiles with standard PDOM synchronization only.
@@ -190,6 +196,9 @@ type Compilation struct {
 	// module — errors, warnings and notes — populated by the
 	// "barrier-safety" and "analyze" passes (nil when neither ran).
 	Diagnostics []analyze.Diagnostic
+	// RepairReport is the automated-repair fixpoint report, populated by
+	// the "repair" pass (nil when it did not run).
+	RepairReport *repair.Report
 	// StaticEff maps each kernel to its static SIMT-efficiency estimate,
 	// populated alongside Diagnostics.
 	StaticEff map[string]float64

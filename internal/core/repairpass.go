@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"specrecon/internal/ir"
+	"specrecon/internal/repair"
+)
+
+func init() {
+	RegisterPass(PassInfo{
+		Name:        "repair",
+		Description: "analysis-driven automated repair: apply the analyzer's machine edits to fixpoint before verification (arg: iteration budget)",
+		Build: func(arg string) (Pass, error) {
+			iters := 0
+			if arg != "" {
+				v, err := strconv.Atoi(arg)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("pass \"repair\": bad iteration budget %q (want a positive integer)", arg)
+				}
+				iters = v
+			}
+			spec := "repair"
+			if arg != "" {
+				spec += "=" + arg
+			}
+			return &pass{
+				name: "repair",
+				spec: spec,
+				run: func(c *PassContext) error {
+					rep := repair.Repair(c.Mod, repair.Options{
+						ClassOf:  c.barrierClassOf(),
+						MaxIters: iters,
+					})
+					c.result.RepairReport = rep
+					for _, ae := range rep.Edits {
+						c.Remarkf(ae.Edit.Fn, ae.Edit.Block, "iteration %d: %s (%s)", ae.Iter, ae.Edit, ae.Code)
+					}
+					if len(rep.Edits) > 0 || !rep.Clean() {
+						c.Remarkf("", "", "%s", rep.Summary())
+					}
+					// Never fail: the barrier-safety verifier downstream
+					// renders the verdict on whatever repair left behind.
+					return nil
+				},
+			}, nil
+		},
+	})
+}
+
+// RepairPipelineFor derives the fail-safe pipeline with the repair pass
+// in front of the verifier: ... deconflict [inject] repair
+// barrier-safety alloc. CompileSafe runs it as the second attempt after
+// a plain SafePipelineFor build is rejected.
+func RepairPipelineFor(opts Options) *Pipeline {
+	pipe := PipelineFor(opts)
+	specs := make([]string, 0, len(pipe.passes)+2)
+	inserted := false
+	for _, ps := range pipe.passes {
+		if ps.Name() == "alloc" {
+			specs = append(specs, "repair", "barrier-safety")
+			inserted = true
+		}
+		specs = append(specs, ps.Spec())
+	}
+	if !inserted {
+		specs = append(specs, "repair", "barrier-safety")
+	}
+	p, err := ParsePipeline(strings.Join(specs, ","))
+	if err != nil {
+		panic(fmt.Sprintf("core: RepairPipelineFor: %v", err))
+	}
+	return p
+}
+
+// DiagnoseRepaired is Diagnose with the repair pass ahead of the
+// analysis: the module is repaired to fixpoint, then the analyzer
+// reports on the repaired module. Diagnostics are the post-repair
+// findings; RepairReport records what was applied (including the
+// pre-repair findings as Report.Before). Like Diagnose, remaining
+// diagnostics do not fail the build. cmd/sasmvet -compiled -fix sits on
+// top of this.
+func DiagnoseRepaired(m *ir.Module, opts Options) (*Compilation, error) {
+	pipe := PipelineFor(opts)
+	specs := make([]string, 0, len(pipe.passes)+2)
+	inserted := false
+	for _, ps := range pipe.passes {
+		if ps.Name() == "alloc" {
+			specs = append(specs, "repair", "analyze")
+			inserted = true
+		}
+		specs = append(specs, ps.Spec())
+	}
+	if !inserted {
+		specs = append(specs, "repair", "analyze")
+	}
+	p, err := ParsePipeline(strings.Join(specs, ","))
+	if err != nil {
+		panic(fmt.Sprintf("core: DiagnoseRepaired: %v", err))
+	}
+	return CompilePipeline(m, opts, p)
+}

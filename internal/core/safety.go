@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"specrecon/internal/analyze"
 	"specrecon/internal/ir"
+	"specrecon/internal/repair"
 )
 
 // The static barrier-safety verifier. Speculative reconvergence is not
@@ -137,33 +139,66 @@ func SafePipelineFor(opts Options) *Pipeline {
 	return p
 }
 
-// SafeCompilation is CompileSafe's result: either the verified
-// speculative build, or the PDOM baseline it fell back to.
+// RepairedRemark records that CompileSafe's repair stage rescued a
+// rejected speculative build: the verifier's original rejection plus
+// the repair engine's fixpoint report.
+type RepairedRemark struct {
+	// Reject is the error the plain speculative build failed with
+	// (typically a *SafetyError through the pass manager's wrapping).
+	Reject error
+	// Report is the repair fixpoint report for the build that passed
+	// re-verification.
+	Report *repair.Report
+}
+
+// SafeCompilation is CompileSafe's result: the verified speculative
+// build (possibly after automated repair), or the PDOM baseline it fell
+// back to.
 type SafeCompilation struct {
 	*Compilation
-	// FellBack reports that the requested build was rejected and the
-	// Compilation is the PDOM baseline instead.
+	// FellBack reports that the requested build was rejected — and not
+	// repairable — so the Compilation is the PDOM baseline instead.
 	FellBack bool
 	// FallbackErr is the error that triggered the fallback (nil when
 	// FellBack is false). Typically a *SafetyError through the pass
 	// manager's wrapping.
 	FallbackErr error
+	// Repaired is non-nil when the build was initially rejected, the
+	// repair engine fixed it, and re-verification passed: the
+	// Compilation is the repaired speculative build, not a fallback.
+	Repaired *RepairedRemark
 }
 
 // CompileSafe compiles m under opts with the static barrier-safety
-// verifier in the pipeline. If the build fails — a safety violation, an
-// injected fault that broke the module, a prediction that does not
-// lower — it degrades to the PDOM baseline build (predictions and
-// faults stripped) and records the reason as a structured "failsafe"
-// remark, so a harness run over many kernels survives one pathological
-// input. The error return is non-nil only when the baseline itself
-// cannot be built, i.e. the input module is unusable regardless of
-// speculation.
+// verifier in the pipeline. A build the verifier rejects gets a second
+// chance through the automated-repair pipeline (the "repair" pass to
+// fixpoint, then re-verification) unless opts.NoRepair is set; only
+// when that also fails does it degrade to the PDOM baseline build
+// (predictions and faults stripped), recording the reason as a
+// structured "failsafe" remark, so a harness run over many kernels
+// survives one pathological input. The error return is non-nil only
+// when the baseline itself cannot be built, i.e. the input module is
+// unusable regardless of speculation.
 func CompileSafe(m *ir.Module, opts Options) (*SafeCompilation, error) {
 	comp, err := CompilePipeline(m, opts, SafePipelineFor(opts))
 	if err == nil {
 		return &SafeCompilation{Compilation: comp}, nil
 	}
+
+	// Repair-then-reverify: only worth attempting when the rejection is
+	// the verifier's (anything else — a fault that broke the module, a
+	// prediction that does not lower — has no diagnostics to drive it).
+	var se *SafetyError
+	if !opts.NoRepair && errors.As(err, &se) {
+		rcomp, rerr := CompilePipeline(m, opts, RepairPipelineFor(opts))
+		if rerr == nil && rcomp.RepairReport != nil && len(rcomp.RepairReport.Edits) > 0 {
+			return &SafeCompilation{
+				Compilation: rcomp,
+				Repaired:    &RepairedRemark{Reject: err, Report: rcomp.RepairReport},
+			}, nil
+		}
+	}
+
 	fb := Options{
 		InsertPDOM:        true,
 		ThresholdOverride: -1,

@@ -87,12 +87,68 @@ func TestVerifierCatchesFaults(t *testing.T) {
 	}
 }
 
-func TestCompileSafeFallsBackWithRemark(t *testing.T) {
+// TestCompileSafeRepairsFault: a verifier-rejected build whose
+// diagnostics carry machine edits is repaired and re-verified instead
+// of falling back — the repaired speculative build is measured, with
+// the rejection and the fixpoint report recorded.
+func TestCompileSafeRepairsFault(t *testing.T) {
 	opts := SpecReconOptions()
 	opts.Faults = FaultPlan{SkipConflict: 1}
 	sc := mustCompileSafe(t, opts)
+	if sc.FellBack {
+		t.Fatalf("repairable fault should be repaired, not fall back: %v", sc.FallbackErr)
+	}
+	if sc.Repaired == nil {
+		t.Fatal("repairable fault should record the repair")
+	}
+	var se *SafetyError
+	if !errors.As(sc.Repaired.Reject, &se) {
+		t.Fatalf("Repaired.Reject should be the SafetyError, got %v", sc.Repaired.Reject)
+	}
+	rep := sc.Repaired.Report
+	if rep == nil || !rep.Clean() || len(rep.Edits) == 0 {
+		t.Fatalf("repair report should be clean with edits applied, got %+v", rep)
+	}
+	// The repaired build keeps its speculative barriers.
+	hasSpec := false
+	for _, b := range sc.Barriers {
+		if b.Kind == KindSpec {
+			hasSpec = true
+		}
+	}
+	if !hasSpec {
+		t.Error("repaired build lost its speculative barriers")
+	}
+	found := false
+	for _, r := range sc.Remarks {
+		if r.Pass == "repair" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("repair should be recorded as repair-pass remarks")
+	}
+
+	// NoRepair restores the pre-repair contract: straight to PDOM.
+	opts.NoRepair = true
+	sc = mustCompileSafe(t, opts)
+	if !sc.FellBack || sc.Repaired != nil {
+		t.Fatal("NoRepair build should fall back without attempting repair")
+	}
+}
+
+// TestCompileSafeFallsBackWithRemark: a fault whose diagnostic carries
+// no machine edit (drop-wait -> SR1003, unrepairable by design) still
+// falls back to the PDOM baseline with the failsafe remark.
+func TestCompileSafeFallsBackWithRemark(t *testing.T) {
+	opts := SpecReconOptions()
+	opts.Faults = FaultPlan{DropWait: 1}
+	sc := mustCompileSafe(t, opts)
 	if !sc.FellBack {
 		t.Fatal("faulted build should fall back")
+	}
+	if sc.Repaired != nil {
+		t.Fatal("unrepairable fault should not report a repair")
 	}
 	var se *SafetyError
 	if !errors.As(sc.FallbackErr, &se) {

@@ -61,6 +61,13 @@ type Options struct {
 	// pipeline; violations surface as StageVerify findings before any
 	// simulation runs.
 	Verify bool
+	// Repair (with Verify) routes the speculative build through the
+	// automated-repair pipeline: the analyzer's machine edits are
+	// applied to fixpoint before re-verification. The baseline side is
+	// never repaired — it stays the un-repaired PDOM reference, so a
+	// passing check is the proof obligation that a repair preserved the
+	// kernel's results.
+	Repair bool
 	// AutoAnnotate runs the §4.5 detector when the module carries no
 	// predictions (corpus kernels arrive bare), annotating a clone.
 	AutoAnnotate bool
@@ -149,6 +156,9 @@ type Result struct {
 	SpecMetrics simt.Metrics
 	// Annotated reports whether AutoAnnotate attached predictions.
 	Annotated bool
+	// Repaired reports that the repair pipeline applied edits to the
+	// speculative build (Options.Repair only).
+	Repaired bool
 }
 
 func (r Result) String() string {
@@ -184,8 +194,15 @@ func Check(k Kernel, opts Options) Result {
 		ThresholdOverride: opts.ThresholdOverride,
 		Faults:            opts.Faults,
 	}
+	repaired := false
 	var specComp *core.Compilation
-	if opts.Verify {
+	if opts.Verify && opts.Repair {
+		specComp, err = opts.Cache.CompilePipeline(mod, specOpts, core.RepairPipelineFor(specOpts))
+		if err != nil {
+			return Result{Stage: StageVerify, Err: err, Annotated: annotated}
+		}
+		repaired = specComp.RepairReport != nil && len(specComp.RepairReport.Edits) > 0
+	} else if opts.Verify {
 		specComp, err = opts.Cache.CompilePipeline(mod, specOpts, core.SafePipelineFor(specOpts))
 		if err != nil {
 			return Result{Stage: StageVerify, Err: err, Annotated: annotated}
@@ -229,25 +246,25 @@ func Check(k Kernel, opts Options) Result {
 	if err != nil {
 		return Result{
 			Stage: StageRunSpec, Err: err,
-			BaseMetrics: base.Metrics, Annotated: annotated,
+			BaseMetrics: base.Metrics, Annotated: annotated, Repaired: repaired,
 		}
 	}
 
 	if err := SameMemory(base.Memory, spec.Memory); err != nil {
 		return Result{
 			Stage: StageCompare, Err: err,
-			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
+			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated, Repaired: repaired,
 		}
 	}
 	if err := SameShared(base.Shared, spec.Shared); err != nil {
 		return Result{
 			Stage: StageCompare, Err: err,
-			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
+			BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated, Repaired: repaired,
 		}
 	}
 	return Result{
 		OK: true, Stage: StageOK,
-		BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated,
+		BaseMetrics: base.Metrics, SpecMetrics: spec.Metrics, Annotated: annotated, Repaired: repaired,
 	}
 }
 

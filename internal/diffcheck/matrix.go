@@ -88,6 +88,11 @@ type Fault struct {
 	// at runtime — deadlock, leaked participation, budget, or wrong
 	// results.
 	WantDynamic bool
+	// WantRepaired: the automated-repair pipeline must fix the faulted
+	// build (re-verification clean). Statically-caught faults without it
+	// are unrepairable by design and must fall back to PDOM — the repair
+	// campaign checks both directions.
+	WantRepaired bool
 }
 
 // FaultMatrix enumerates the perturbations the robustness layer is
@@ -102,15 +107,19 @@ func FaultMatrix() []Fault {
 			Name:        "drop-cancel@1",
 			Description: "lose the deconfliction cancel: the PDOM and speculative live ranges conflict again (§4.3)",
 			Plan:        core.FaultPlan{DropCancel: 1},
-			WantStatic:  true, WantDynamic: true,
+			WantStatic:  true, WantDynamic: true, WantRepaired: true,
 		},
 		{
 			Name:        "drop-cancel@2",
 			Description: "lose a region-exit cancel: lanes exit the kernel still participating in the speculative barrier",
 			Plan:        core.FaultPlan{DropCancel: 2},
-			WantStatic:  true, WantDynamic: true,
+			WantStatic:  true, WantDynamic: true, WantRepaired: true,
 		},
 		{
+			// The matrix's designated unrepairable fault: SR1003 carries no
+			// machine edit (the lost wait's sound position is the region's
+			// reconvergence point, which the diagnostic cannot
+			// reconstruct), so repair gives up and the build falls back.
 			Name:        "drop-wait@1",
 			Description: "lose a WaitBarrier: its joins are cleaned up by the exit cancels, so only pairing analysis sees it",
 			Plan:        core.FaultPlan{DropWait: 1},
@@ -120,25 +129,25 @@ func FaultMatrix() []Fault {
 			Name:        "drop-join@1",
 			Description: "lose a JoinBarrier: the matching wait releases an empty cohort — quiet at runtime",
 			Plan:        core.FaultPlan{DropJoin: 1},
-			WantStatic:  true,
+			WantStatic:  true, WantRepaired: true,
 		},
 		{
 			Name:        "drop-rejoin@1",
 			Description: "lose the RejoinBarrier after a loop-carried wait (§4.2 rejoin discipline)",
 			Plan:        core.FaultPlan{DropRejoin: 1},
-			WantStatic:  true,
+			WantStatic:  true, WantRepaired: true,
 		},
 		{
 			Name:        "swap-waits",
 			Description: "swap the barrier registers of the first two waits, crossing the release pairing",
 			Plan:        core.FaultPlan{SwapWaits: true},
-			WantStatic:  true, WantDynamic: true,
+			WantStatic:  true, WantDynamic: true, WantRepaired: true,
 		},
 		{
 			Name:        "skip-conflict@1",
 			Description: "deconfliction skips the first conflict it finds: the overlap of Figure 5 deadlocks",
 			Plan:        core.FaultPlan{SkipConflict: 1},
-			WantStatic:  true, WantDynamic: true,
+			WantStatic:  true, WantDynamic: true, WantRepaired: true,
 		},
 		{
 			Name:         "skip-release@1",

@@ -50,6 +50,9 @@ func WriteRepro(dir string, k Kernel, opts Options, res Result) (string, error) 
 	if fault := faultSpec(opts); fault != "" {
 		fmt.Fprintf(&sb, "; repro-fault: %s\n", fault)
 	}
+	if opts.Repair {
+		sb.WriteString("; repro-repair: true\n")
+	}
 	if opts.Sched != simt.SchedGreedyConverge {
 		fmt.Fprintf(&sb, "; repro-sched: %s\n", opts.Sched)
 		if opts.Sched == simt.SchedRandom {
@@ -133,6 +136,10 @@ type ReproOpts struct {
 	SchedSeed   uint64
 	Policy      simt.Policy
 	StarveLimit int64
+	// Repair replays the check through the automated-repair pipeline
+	// (Options.Repair) — a repro of a repair that broke results is only
+	// a repro with the repair applied.
+	Repair bool
 }
 
 // Apply copies the recorded replay environment onto opts, returning the
@@ -142,6 +149,7 @@ func (r ReproOpts) Apply(opts Options) Options {
 	opts.SchedSeed = r.SchedSeed
 	opts.Policy = r.Policy
 	opts.StarveLimit = r.StarveLimit
+	opts.Repair = r.Repair
 	return opts
 }
 
@@ -201,6 +209,8 @@ func LoadRepro(path string) (Kernel, ReproOpts, error) {
 			k.Entry = val
 		case "fault":
 			ro.Fault = val
+		case "repair":
+			ro.Repair = val == "true"
 		case "sched":
 			if sp, err := simt.ParseSchedPolicy(val); err == nil {
 				ro.Sched = sp

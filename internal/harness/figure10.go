@@ -27,6 +27,7 @@ type FunnelResult struct {
 	Significant int // speedup and efficiency both improved materially
 	Regressed   int // detected but transformed version ran slower
 	Fallbacks   int // speculative build rejected by the verifier; PDOM fallback measured
+	Repaired    int // speculative build rejected, automatically repaired, re-verified
 	// PerApp holds the detail rows for detected applications.
 	PerApp []FunnelRow
 }
@@ -57,6 +58,7 @@ type funnelOutcome struct {
 	lowEff   bool
 	detected bool
 	fellBack bool
+	repaired bool
 	row      FunnelRow
 }
 
@@ -101,6 +103,7 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 			return fmt.Errorf("%s: auto compile: %w", app.Name, err)
 		}
 		outcomes[i].fellBack = specComp.FellBack
+		outcomes[i].repaired = specComp.Repaired != nil
 		spec, err := simt.Run(specComp.Module, runCfg)
 		if err != nil {
 			return fmt.Errorf("%s: auto run: %w", app.Name, err)
@@ -131,6 +134,9 @@ func RunFunnel(n int, seed uint64, parallelism int) (*FunnelResult, error) {
 		res.Detected++
 		if o.fellBack {
 			res.Fallbacks++
+		}
+		if o.repaired {
+			res.Repaired++
 		}
 		res.PerApp = append(res.PerApp, o.row)
 		if o.row.Speedup >= significantSpeedup && o.row.AutoEff >= significantEffRetention*o.row.BaseEff {

@@ -90,6 +90,12 @@ type Comparison struct {
 	// instead; FallbackReason is the verifier's first complaint.
 	FellBack       bool
 	FallbackReason string
+	// Repaired records that the speculative build was initially rejected
+	// but automatically repaired and re-verified — the row measures the
+	// repaired speculative build. RepairSummary is the repair engine's
+	// one-line report (edits applied, codes resolved).
+	Repaired      bool
+	RepairSummary string
 	// StaticEff is the static analyzer's SIMT-efficiency prediction for
 	// the kernel (0 when the analyzer did not run); DiagCodes lists the
 	// distinct diagnostic codes it reported on the measured speculative
@@ -164,6 +170,10 @@ func CompareOpts(w *workloads.Workload, cfg workloads.BuildConfig, specOpts core
 	}
 	if comp.FellBack && comp.FallbackErr != nil {
 		c.FallbackReason, _, _ = strings.Cut(comp.FallbackErr.Error(), "\n")
+	}
+	if comp.Repaired != nil {
+		c.Repaired = true
+		c.RepairSummary = comp.Repaired.Report.Summary()
 	}
 	c.StaticEff = comp.StaticEff[inst.Kernel]
 	seen := map[string]bool{}

@@ -187,8 +187,10 @@ func TestAutoMatchesManualPlacements(t *testing.T) {
 }
 
 // TestCompareFaultedWorkloadFallsBack: a deliberately-faulted
-// speculative build must not kill the experiment — fail-safe compilation
-// measures the PDOM fallback and reports it on the row.
+// speculative build must not kill the experiment. A repairable fault is
+// repaired and re-verified (the row measures the repaired speculative
+// build — CompareOpts itself checks its results against the baseline);
+// an unrepairable fault measures the PDOM fallback and reports it.
 func TestCompareFaultedWorkloadFallsBack(t *testing.T) {
 	w, err := workloads.Get("pathtracer")
 	if err != nil {
@@ -198,10 +200,27 @@ func TestCompareFaultedWorkloadFallsBack(t *testing.T) {
 	opts.Faults = core.FaultPlan{DropCancel: 1}
 	c, err := CompareOpts(w, workloads.BuildConfig{}, opts)
 	if err != nil {
+		t.Fatalf("faulted comparison should complete via repair, got %v", err)
+	}
+	if c.FellBack {
+		t.Fatalf("repairable fault should be repaired, not fall back: %s", c.FallbackReason)
+	}
+	if !c.Repaired || c.RepairSummary == "" {
+		t.Errorf("comparison should report the repair: %+v", c)
+	}
+
+	// An unrepairable fault (drop-wait -> SR1003 carries no machine
+	// edit) still degrades to the measured PDOM fallback.
+	opts.Faults = core.FaultPlan{DropWait: 1}
+	c, err = CompareOpts(w, workloads.BuildConfig{}, opts)
+	if err != nil {
 		t.Fatalf("faulted comparison should complete via fallback, got %v", err)
 	}
 	if !c.FellBack {
 		t.Fatal("comparison should report the fallback")
+	}
+	if c.Repaired {
+		t.Error("fallback row should not also claim a repair")
 	}
 	if c.FallbackReason == "" {
 		t.Error("fallback reason should be recorded")
@@ -211,12 +230,15 @@ func TestCompareFaultedWorkloadFallsBack(t *testing.T) {
 		t.Errorf("fallback row should measure the baseline: %+v", c)
 	}
 
-	// The unfaulted comparison stays fallback-free.
+	// The unfaulted comparison stays fallback- and repair-free.
 	clean, err := Compare(w, workloads.BuildConfig{}, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if clean.FellBack {
 		t.Errorf("clean build fell back: %s", clean.FallbackReason)
+	}
+	if clean.Repaired {
+		t.Errorf("clean build claims a repair: %s", clean.RepairSummary)
 	}
 }

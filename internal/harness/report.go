@@ -30,8 +30,11 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 			threshold = fmt.Sprintf("%d", r.Threshold)
 		}
 		fallback := "—"
-		if r.FellBack {
+		switch {
+		case r.FellBack:
 			fallback = "PDOM: " + r.FallbackReason
+		case r.Repaired:
+			fallback = "repaired: " + r.RepairSummary
 		}
 		diags := "—"
 		if len(r.DiagCodes) > 0 {
@@ -108,6 +111,7 @@ func WriteMarkdownReport(out io.Writer, cfg workloads.BuildConfig, funnelApps, p
 	fmt.Fprintf(out, "| significant improvement | 5 | %d |\n", funnel.Significant)
 	fmt.Fprintf(out, "| regressions among detected | — | %d |\n", funnel.Regressed)
 	fmt.Fprintf(out, "| verifier fallbacks among detected | — | %d |\n", funnel.Fallbacks)
+	fmt.Fprintf(out, "| repaired before measurement | — | %d |\n", funnel.Repaired)
 	fmt.Fprintln(out)
 
 	profiles, err := CollectProfiles(cfg, parallelism)

@@ -1,0 +1,161 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"specrecon/internal/analyze"
+	"specrecon/internal/ir"
+)
+
+// editModule builds a small two-block module for anchor validation:
+// entry holds [join b0, wait b0, br body], body holds [add, exit].
+func editModule() *ir.Module {
+	m := ir.NewModule("edits")
+	f := m.NewFunction("k")
+	b := ir.NewBuilder(f)
+	entry := f.NewBlock("entry")
+	body := f.NewBlock("body")
+	b.SetBlock(entry)
+	bar := b.Barrier()
+	b.Join(bar)
+	b.Wait(bar)
+	b.Br(body)
+	b.SetBlock(body)
+	r := b.Const(1)
+	b.Add(r, r)
+	b.Exit()
+	return m
+}
+
+func coded(e analyze.Edit) []codedEdit {
+	return []codedEdit{{code: analyze.CodeJoinedAtExit, edit: e}}
+}
+
+// TestApplyEditsValidation: every malformed anchor must abort the batch
+// with an error instead of corrupting the module.
+func TestApplyEditsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		edit analyze.Edit
+		want string
+	}{
+		{"unknown function", analyze.Edit{Kind: analyze.EditDelete, Fn: "nope", Block: "entry", Index: 0}, "no such block"},
+		{"unknown block", analyze.Edit{Kind: analyze.EditDelete, Fn: "k", Block: "nope", Index: 0}, "no such block"},
+		{"insert out of range", analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "entry", Index: 3, Op: ir.OpCancel}, "out of range"},
+		{"delete terminator", analyze.Edit{Kind: analyze.EditDelete, Fn: "k", Block: "entry", Index: 2}, "out of range or names the terminator"},
+		{"delete negative", analyze.Edit{Kind: analyze.EditDelete, Fn: "k", Block: "entry", Index: -1}, "out of range"},
+		{"replace non-barrier op", analyze.Edit{Kind: analyze.EditReplaceBar, Fn: "k", Block: "body", Index: 1, Bar: 1}, "no barrier operand"},
+		{"unknown kind", analyze.Edit{Kind: analyze.EditKind(99), Fn: "k", Block: "entry", Index: 0}, "unknown edit kind"},
+	}
+	for _, tc := range cases {
+		m := editModule()
+		before := ir.Print(m)
+		err := applyEdits(m, coded(tc.edit))
+		if err == nil {
+			t.Errorf("%s: applyEdits accepted a malformed edit", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if got := ir.Print(m); got != before {
+			t.Errorf("%s: module mutated by a rejected batch", tc.name)
+		}
+	}
+}
+
+// TestApplyEditsReplaceBar: a valid barrier-operand replacement must
+// rewrite exactly the named instruction's barrier.
+func TestApplyEditsReplaceBar(t *testing.T) {
+	m := editModule()
+	e := analyze.Edit{Kind: analyze.EditReplaceBar, Fn: "k", Block: "entry", Index: 1, Op: ir.OpWait, Bar: 3}
+	if err := applyEdits(m, coded(e)); err != nil {
+		t.Fatal(err)
+	}
+	in := m.FuncByName("k").BlockByName("entry").Instrs[1]
+	if in.Op != ir.OpWait || in.Bar != 3 {
+		t.Errorf("instruction after replace = %s b%d, want wait b3", in.Op, in.Bar)
+	}
+}
+
+// TestCollectEditsOneConflictPerRound pins the SR1005 fixpoint policy:
+// a partial overlap is reported from both sides, and applying both
+// cancels in one batch mutually truncates the pair into a fresh
+// overlap, so at most one conflict edit survives per round while edits
+// for other codes ride along untouched.
+func TestCollectEditsOneConflictPerRound(t *testing.T) {
+	conflictA := analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "entry", Index: 1, Op: ir.OpCancel, Bar: 0}
+	conflictB := analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "body", Index: 0, Op: ir.OpCancel, Bar: 1}
+	release := analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "body", Index: 1, Op: ir.OpCancel, Bar: 2}
+	errs := []analyze.Diagnostic{
+		{Code: analyze.CodeResidualConflict, Severity: analyze.SeverityError, Edits: []analyze.Edit{conflictA}},
+		{Code: analyze.CodeResidualConflict, Severity: analyze.SeverityError, Edits: []analyze.Edit{conflictB}},
+		{Code: analyze.CodeJoinedAtExit, Severity: analyze.SeverityError, Edits: []analyze.Edit{release}},
+	}
+	batch := collectEdits(errs)
+	conflicts, others := 0, 0
+	for _, ce := range batch {
+		if ce.code == analyze.CodeResidualConflict {
+			conflicts++
+		} else {
+			others++
+		}
+	}
+	if conflicts != 1 {
+		t.Errorf("%d conflict edits in one round, want exactly 1", conflicts)
+	}
+	if others != 1 {
+		t.Errorf("%d non-conflict edits, want 1 (other codes are not rationed)", others)
+	}
+}
+
+// TestCollectEditsDedupes: two diagnostics requesting the identical
+// mutation contribute it once.
+func TestCollectEditsDedupes(t *testing.T) {
+	e := analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "entry", Index: 1, Op: ir.OpCancel, Bar: 0}
+	errs := []analyze.Diagnostic{
+		{Code: analyze.CodeJoinedAtExit, Severity: analyze.SeverityError, Edits: []analyze.Edit{e}},
+		{Code: analyze.CodeJoinedAtExit, Severity: analyze.SeverityError, Edits: []analyze.Edit{e}},
+	}
+	if batch := collectEdits(errs); len(batch) != 1 {
+		t.Errorf("duplicate edit kept %d times, want 1", len(batch))
+	}
+}
+
+// TestCollectEditsOrder: within a block, higher indices apply first so
+// earlier anchors stay valid, and a delete sorts before an insert at
+// the same index.
+func TestCollectEditsOrder(t *testing.T) {
+	low := analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "entry", Index: 0, Op: ir.OpCancel, Bar: 0}
+	high := analyze.Edit{Kind: analyze.EditInsert, Fn: "k", Block: "entry", Index: 4, Op: ir.OpCancel, Bar: 0}
+	del := analyze.Edit{Kind: analyze.EditDelete, Fn: "k", Block: "entry", Index: 4}
+	errs := []analyze.Diagnostic{
+		{Code: analyze.CodeJoinedAtExit, Severity: analyze.SeverityError, Edits: []analyze.Edit{low, high}},
+		{Code: analyze.CodeWaitNeverJoined, Severity: analyze.SeverityError, Edits: []analyze.Edit{del}},
+	}
+	batch := collectEdits(errs)
+	if len(batch) != 3 {
+		t.Fatalf("got %d edits, want 3", len(batch))
+	}
+	if batch[0].edit != del {
+		t.Errorf("first edit %v, want the delete at the highest index", batch[0].edit)
+	}
+	if batch[1].edit != high || batch[2].edit != low {
+		t.Errorf("order %v, %v; want high-index insert then low-index insert", batch[1].edit, batch[2].edit)
+	}
+}
+
+// TestFingerprintTracksModule: the oscillation detector's fingerprint
+// must be stable across clones and move when the module changes.
+func TestFingerprintTracksModule(t *testing.T) {
+	m := editModule()
+	if fingerprint(m) != fingerprint(m.Clone()) {
+		t.Error("fingerprint differs between a module and its clone")
+	}
+	before := fingerprint(m)
+	m.FuncByName("k").BlockByName("entry").InsertAt(0, ir.Instr{Op: ir.OpCancel, Bar: 0})
+	if fingerprint(m) == before {
+		t.Error("fingerprint unchanged after an edit")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"specrecon/internal/harness"
 	"specrecon/internal/ir"
 	"specrecon/internal/obs"
+	"specrecon/internal/repair"
 	"specrecon/internal/simt"
 	"specrecon/internal/workloads"
 )
@@ -353,6 +354,47 @@ type LintWarning = core.LintWarning
 // Lint runs static diagnostics (uninitialized reads, unreachable blocks,
 // barrier hygiene) over the module.
 func Lint(m *Module) []LintWarning { return core.Lint(m) }
+
+// Automated repair layer (internal/repair, sasmvet -fix): the
+// analysis-driven fixpoint engine that applies the machine edits error
+// diagnostics carry (Diagnostic.Edits) and re-analyzes until clean or a
+// stop condition.
+type (
+	// DiagnosticEdit is one machine-applicable edit attached to a
+	// diagnostic: insert/delete a barrier instruction or replace a
+	// barrier operand at a (function, block, index) anchor.
+	DiagnosticEdit = analyze.Edit
+	// RepairOptions configures Repair (barrier provenance, iteration
+	// budget).
+	RepairOptions = repair.Options
+	// RepairReport is the typed fixpoint outcome: the pre-repair
+	// findings, every applied edit, the codes resolved, the error
+	// diagnostics remaining, and the give-up reason if any.
+	RepairReport = repair.Report
+	// RepairedRemark records a CompileSafe repair: the verifier
+	// rejection that triggered it plus the fixpoint report.
+	RepairedRemark = core.RepairedRemark
+)
+
+// Repair applies the analyzer's machine edits to m in place, iterating
+// analysis and application to a fixpoint under a bounded budget with
+// oscillation detection. Clone the module first to keep the original.
+// CompileSafe calls this automatically (repair-then-reverify) before
+// surrendering a rejected speculative build to the PDOM fail-safe;
+// Options.NoRepair disables that.
+func Repair(m *Module, opts RepairOptions) *RepairReport { return repair.Repair(m, opts) }
+
+// RepairableCode reports whether diagnostics with this SR code can
+// carry machine edits at all (SR1003's lost wait, for example, cannot:
+// its sound position is unreconstructible, so those kernels fall back).
+func RepairableCode(code analyze.Code) bool { return repair.Repairable(code) }
+
+// DiagnoseRepaired is Diagnose with the repair pass in front of the
+// analyzer: the compilation's RepairReport records the fixpoint and
+// Diagnostics reflect the repaired module.
+func DiagnoseRepaired(m *Module, opts CompileOptions) (*Compilation, error) {
+	return core.DiagnoseRepaired(m, opts)
+}
 
 // DOT renders a function's CFG in Graphviz dot syntax, with prediction
 // annotations drawn as dashed edges.
